@@ -1,0 +1,203 @@
+//! Growth-model classification for bit-count series.
+
+use serde::{Deserialize, Serialize};
+
+/// The growth models the paper's results distinguish between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GrowthModel {
+    /// `c·n` — Theorem 1/6 territory (regular languages).
+    Linear,
+    /// `c·n·log₂n` — the Theorem 4/5 lower bound and the counter
+    /// protocols.
+    NLogN,
+    /// `c·n^{3/2}` — the middle of the Note 7.3 hierarchy.
+    NPow3_2,
+    /// `c·n²` — the trivial upper bound and the `wcw` tier.
+    Quadratic,
+}
+
+impl GrowthModel {
+    /// All models, in increasing asymptotic order.
+    #[must_use]
+    pub fn all() -> [GrowthModel; 4] {
+        [GrowthModel::Linear, GrowthModel::NLogN, GrowthModel::NPow3_2, GrowthModel::Quadratic]
+    }
+
+    /// Evaluates the model shape (constant 1) at `n`.
+    #[must_use]
+    pub fn shape(self, n: usize) -> f64 {
+        let n = n as f64;
+        match self {
+            GrowthModel::Linear => n,
+            GrowthModel::NLogN => n * n.log2().max(1.0),
+            GrowthModel::NPow3_2 => n.powf(1.5),
+            GrowthModel::Quadratic => n * n,
+        }
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GrowthModel::Linear => "n",
+            GrowthModel::NLogN => "n log n",
+            GrowthModel::NPow3_2 => "n^1.5",
+            GrowthModel::Quadratic => "n^2",
+        }
+    }
+}
+
+impl std::fmt::Display for GrowthModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of fitting a series against the candidate models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The model with the most stable `measured / shape` ratio.
+    pub best_model: GrowthModel,
+    /// Mean of `measured / shape(best_model)` — the leading constant.
+    pub constant: f64,
+    /// Coefficient of variation of the winning ratio series (lower =
+    /// cleaner fit; a perfect fit gives 0).
+    pub dispersion: f64,
+    /// Least-squares slope of `ln(bits)` against `ln(n)` — an exponent
+    /// estimate independent of the model set (log n appears as a slight
+    /// excess over the integer exponent).
+    pub log_log_slope: f64,
+}
+
+/// Fits `(n, bits)` points against the four growth models.
+///
+/// The winner minimizes the coefficient of variation of the per-point
+/// ratio `bits / shape(n)` — the standard "is this curve really `c·f(n)`?"
+/// test. Points must have `n ≥ 2`; supply at least three for a meaningful
+/// answer.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or any `n < 2` or `bits <= 0`.
+#[must_use]
+pub fn fit_series(points: &[(usize, f64)]) -> FitResult {
+    assert!(!points.is_empty(), "fit_series needs at least one point");
+    assert!(
+        points.iter().all(|&(n, y)| n >= 2 && y > 0.0),
+        "fit_series needs n >= 2 and positive measurements"
+    );
+    let mut best: Option<(GrowthModel, f64, f64)> = None;
+    for model in GrowthModel::all() {
+        let ratios: Vec<f64> = points.iter().map(|&(n, y)| y / model.shape(n)).collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / ratios.len() as f64;
+        let cv = var.sqrt() / mean;
+        if best.as_ref().is_none_or(|&(_, _, best_cv)| cv < best_cv) {
+            best = Some((model, mean, cv));
+        }
+    }
+    let (best_model, constant, dispersion) = best.expect("at least one model evaluated");
+    FitResult {
+        best_model,
+        constant,
+        dispersion,
+        log_log_slope: log_log_slope(points),
+    }
+}
+
+/// Least-squares slope of `ln(bits)` on `ln(n)`.
+///
+/// A pure power law `c·n^k` yields exactly `k`; `n log n` yields a value
+/// slightly above 1 that decreases toward 1 as `n` grows.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or any value is
+/// non-positive.
+#[must_use]
+pub fn log_log_slope(points: &[(usize, f64)]) -> f64 {
+    assert!(points.len() >= 2, "slope needs at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, y)| {
+            assert!(n >= 1 && y > 0.0, "slope needs positive values");
+            ((n as f64).ln(), y.ln())
+        })
+        .collect();
+    let mx = logs.iter().map(|p| p.0).sum::<f64>() / logs.len() as f64;
+    let my = logs.iter().map(|p| p.1).sum::<f64>() / logs.len() as f64;
+    let cov: f64 = logs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let var: f64 = logs.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> Vec<(usize, f64)> {
+        (4..13).map(|k| (1usize << k, f((1usize << k) as f64))).collect()
+    }
+
+    #[test]
+    fn classifies_pure_shapes() {
+        assert_eq!(fit_series(&series(|n| 7.0 * n)).best_model, GrowthModel::Linear);
+        assert_eq!(fit_series(&series(|n| 2.0 * n * n.log2())).best_model, GrowthModel::NLogN);
+        assert_eq!(fit_series(&series(|n| 0.5 * n.powf(1.5))).best_model, GrowthModel::NPow3_2);
+        assert_eq!(fit_series(&series(|n| 3.0 * n * n)).best_model, GrowthModel::Quadratic);
+    }
+
+    #[test]
+    fn constant_is_recovered() {
+        let fit = fit_series(&series(|n| 7.0 * n));
+        assert!((fit.constant - 7.0).abs() < 1e-9);
+        assert!(fit.dispersion < 1e-12);
+    }
+
+    #[test]
+    fn noise_does_not_flip_the_model() {
+        // ±10% multiplicative noise on an n log n curve.
+        let noisy: Vec<(usize, f64)> = series(|n| 2.0 * n * n.log2())
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, y))| (n, y * (1.0 + 0.1 * if i % 2 == 0 { 1.0 } else { -1.0 })))
+            .collect();
+        assert_eq!(fit_series(&noisy).best_model, GrowthModel::NLogN);
+    }
+
+    #[test]
+    fn slope_matches_exponents() {
+        assert!((log_log_slope(&series(|n| 5.0 * n)) - 1.0).abs() < 1e-9);
+        assert!((log_log_slope(&series(|n| 5.0 * n * n)) - 2.0).abs() < 1e-9);
+        let s = log_log_slope(&series(|n| n * n.log2()));
+        assert!(s > 1.05 && s < 1.35, "{s}");
+    }
+
+    #[test]
+    fn shapes_are_ordered() {
+        // Strict separation needs log₂ n < √n, true from n = 17 on
+        // (at n = 16 the two middle shapes coincide: 16·4 = 16^1.5).
+        for n in [32usize, 256, 4096] {
+            let v: Vec<f64> = GrowthModel::all().iter().map(|m| m.shape(n)).collect();
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_series_panics() {
+        let _ = fit_series(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive measurements")]
+    fn zero_measurement_panics() {
+        let _ = fit_series(&[(4, 0.0)]);
+    }
+
+    #[test]
+    fn labels_display() {
+        assert_eq!(GrowthModel::NLogN.to_string(), "n log n");
+        assert_eq!(GrowthModel::Quadratic.to_string(), "n^2");
+    }
+}

@@ -1,0 +1,202 @@
+//! Experiment result records: terminal tables + JSON.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Did the measurement reproduce the paper's claim?
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The measured shape matches the claim.
+    Reproduced,
+    /// Matches with caveats (explained in the note).
+    Partial(String),
+    /// The measurement contradicts the claim.
+    Failed(String),
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Reproduced => f.write_str("REPRODUCED"),
+            Verdict::Partial(note) => write!(f, "PARTIAL — {note}"),
+            Verdict::Failed(note) => write!(f, "FAILED — {note}"),
+        }
+    }
+}
+
+/// One experiment's complete record: identity, claim, data, verdict.
+///
+/// Displays as an aligned text table; serializes to JSON for the
+/// `EXPERIMENTS.md` pipeline.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_analysis::{ExperimentResult, Verdict};
+/// let mut result = ExperimentResult::new(
+///     "E1",
+///     "Regular languages cost O(n) bits",
+///     "Theorem 1: BIT(n) = n·ceil(log |Q|)",
+///     vec!["n".into(), "bits".into()],
+/// );
+/// result.push_row(vec!["16".into(), "32".into()]);
+/// result.set_verdict(Verdict::Reproduced);
+/// let text = result.to_string();
+/// assert!(text.contains("E1"));
+/// assert!(text.contains("REPRODUCED"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. "E7").
+    pub id: String,
+    /// One-line title.
+    pub title: String,
+    /// The paper claim being reproduced, quoted or paraphrased.
+    pub paper_claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified — the table is for humans; exact values
+    /// live in the JSON).
+    pub rows: Vec<Vec<String>>,
+    /// Reproduction verdict.
+    pub verdict: Verdict,
+    /// Free-form notes (fit results, constants, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Starts a record with an undecided (failed-by-default) verdict.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        paper_claim: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            columns,
+            rows: Vec::new(),
+            verdict: Verdict::Failed("verdict never set".into()),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match columns");
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Sets the verdict.
+    pub fn set_verdict(&mut self, verdict: Verdict) {
+        self.verdict = verdict;
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the struct contains only strings.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("string-only struct serializes")
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, " ")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.columns)?;
+        let total: usize = widths.iter().sum::<usize>() + widths.len() + 2;
+        writeln!(f, " {}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, " note: {note}")?;
+        }
+        writeln!(f, " verdict: {}", self.verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        let mut r = ExperimentResult::new(
+            "E7",
+            "0^n 1^n 2^n in Θ(n log n)",
+            "Note 7.2",
+            vec!["n".into(), "bits".into(), "bits/(n log n)".into()],
+        );
+        r.push_row(vec!["27".into(), "540".into(), "4.2".into()]);
+        r.push_row(vec!["81".into(), "2100".into(), "4.1".into()]);
+        r.push_note("fit: n log n, dispersion 0.02");
+        r.set_verdict(Verdict::Reproduced);
+        r
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let text = sample().to_string();
+        assert!(text.contains("== E7"));
+        assert!(text.contains("bits/(n log n)"));
+        assert!(text.contains("verdict: REPRODUCED"));
+        assert!(text.contains("note: fit"));
+        // Numbers right-aligned under their headers.
+        let lines: Vec<&str> = text.lines().collect();
+        let header_pos = lines.iter().position(|l| l.contains("bits/(n log n)")).unwrap();
+        assert!(lines[header_pos + 2].ends_with("4.2"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut r = sample();
+        r.push_row(vec!["just one".into()]);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Reproduced.to_string(), "REPRODUCED");
+        assert!(Verdict::Partial("tiny rings".into()).to_string().contains("tiny rings"));
+        assert!(Verdict::Failed("wrong slope".into()).to_string().starts_with("FAILED"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Protocol sweeps over ring sizes, with ground-truth verification.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use ringleader_langs::Language;
+use ringleader_sim::{Protocol, RingRunner, Scheduler, SimError};
+
+/// One measurement of a protocol at one ring size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Ring size.
+    pub n: usize,
+    /// Worst-case bits observed across the sampled words at this size.
+    pub bits: usize,
+    /// Message count of the worst-case execution.
+    pub messages: usize,
+    /// Largest single message across all samples, in bits.
+    pub max_message_bits: usize,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Ring sizes to measure.
+    pub sizes: Vec<usize>,
+    /// Words sampled per size (positives and negatives each, when they
+    /// exist).
+    pub samples_per_size: usize,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+    /// Run in the paper's Note 7.4 known-`n` mode.
+    pub known_ring_size: bool,
+    /// Delivery schedule.
+    pub scheduler: Scheduler,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            sizes: vec![16, 32, 64, 128, 256, 512, 1024],
+            samples_per_size: 3,
+            seed: 0xB17C0DE,
+            known_ring_size: false,
+            scheduler: Scheduler::Fifo,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A sweep over the given sizes with the remaining defaults.
+    #[must_use]
+    pub fn with_sizes(sizes: Vec<usize>) -> Self {
+        Self { sizes, ..Self::default() }
+    }
+}
+
+/// Runs `protocol` over `config.sizes`, sampling member and non-member
+/// words of `language` at each size and recording the worst-case bits.
+///
+/// Every decision is cross-checked against `language.contains`; a mismatch
+/// is reported as [`SimError::Process`]-like failure via panic — a sweep
+/// is an experiment, and a wrong decision invalidates it loudly.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if the protocol's decision contradicts the language's ground
+/// truth (the experiment's precondition).
+pub fn sweep_protocol(
+    protocol: &dyn Protocol,
+    language: &dyn Language,
+    config: &SweepConfig,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut runner = RingRunner::new();
+    runner.known_ring_size(config.known_ring_size);
+    runner.scheduler(config.scheduler.clone());
+    let mut out = Vec::with_capacity(config.sizes.len());
+    for &n in &config.sizes {
+        let mut best: Option<SweepPoint> = None;
+        let mut max_message_bits = 0usize;
+        for _ in 0..config.samples_per_size {
+            for want in [true, false] {
+                let word = if want {
+                    language.positive_example(n, &mut rng)
+                } else {
+                    language.negative_example(n, &mut rng)
+                };
+                let Some(word) = word else { continue };
+                let outcome = runner.run(protocol, &word)?;
+                assert_eq!(
+                    outcome.accepted(),
+                    want,
+                    "{} decided wrongly on a length-{n} {} example of {}",
+                    protocol.name(),
+                    if want { "positive" } else { "negative" },
+                    language.name(),
+                );
+                max_message_bits = max_message_bits.max(outcome.stats.max_message_bits);
+                if best.as_ref().is_none_or(|b| outcome.stats.total_bits > b.bits) {
+                    best = Some(SweepPoint {
+                        n,
+                        bits: outcome.stats.total_bits,
+                        messages: outcome.stats.message_count,
+                        max_message_bits: 0, // patched below
+                    });
+                }
+            }
+        }
+        if let Some(mut point) = best {
+            point.max_message_bits = max_message_bits;
+            out.push(point);
+        }
+    }
+    Ok(out)
+}
+
+/// Measures one word under many delivery schedules, returning each
+/// execution's total bits.
+///
+/// `BIT_A(n)` quantifies over *all* executions; for schedule-sensitive
+/// (bidirectional) protocols a FIFO-only measurement underestimates the
+/// worst case. This helper sweeps the schedule space: FIFO, the
+/// adversarial longest-queue policy, and `random_seeds` seeded shuffles.
+/// Decisions are asserted identical across schedules (protocol
+/// correctness must be schedule-independent even when costs are not).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if two schedules produce different decisions.
+pub fn bits_across_schedules(
+    protocol: &dyn Protocol,
+    word: &ringleader_automata::Word,
+    random_seeds: u64,
+) -> Result<Vec<usize>, SimError> {
+    let mut schedules = vec![Scheduler::Fifo, Scheduler::LongestQueue];
+    for seed in 0..random_seeds {
+        schedules.push(Scheduler::Random { seed });
+    }
+    let mut bits = Vec::with_capacity(schedules.len());
+    let mut decision: Option<bool> = None;
+    for sched in schedules {
+        let mut runner = RingRunner::new();
+        runner.scheduler(sched.clone());
+        let outcome = runner.run(protocol, word)?;
+        match decision {
+            None => decision = outcome.decision,
+            Some(d) => assert_eq!(
+                Some(d),
+                outcome.decision,
+                "{} changed its decision under {sched:?}",
+                protocol.name()
+            ),
+        }
+        bits.push(outcome.stats.total_bits);
+    }
+    Ok(bits)
+}
+
+/// Result of a correctness verification run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Total decisions checked.
+    pub checked: usize,
+    /// Decisions that disagreed with ground truth.
+    pub mismatches: usize,
+}
+
+impl VerificationReport {
+    /// Whether every decision was correct.
+    #[must_use]
+    pub fn all_correct(&self) -> bool {
+        self.mismatches == 0 && self.checked > 0
+    }
+}
+
+/// Checks `protocol` against `language` on sampled words of each length,
+/// without asserting — returns the mismatch count for reporting.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn verify_protocol(
+    protocol: &dyn Protocol,
+    language: &dyn Language,
+    lengths: &[usize],
+    samples_per_length: usize,
+    seed: u64,
+) -> Result<VerificationReport, SimError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let runner = RingRunner::new();
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    for &n in lengths {
+        for _ in 0..samples_per_length {
+            for want in [true, false] {
+                let word = if want {
+                    language.positive_example(n, &mut rng)
+                } else {
+                    language.negative_example(n, &mut rng)
+                };
+                let Some(word) = word else { continue };
+                let outcome = runner.run(protocol, &word)?;
+                checked += 1;
+                if outcome.accepted() != want {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    Ok(VerificationReport { checked, mismatches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringleader_core::{CollectAll, DfaOnePass, ThreeCounters};
+    use ringleader_langs::{AnBnCn, DfaLanguage};
+    use std::sync::Arc;
+
+    #[test]
+    fn sweep_measures_exact_linear_costs() {
+        let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+        let proto = DfaOnePass::new(&lang);
+        let config = SweepConfig::with_sizes(vec![8, 16, 32]);
+        let points = sweep_protocol(&proto, &lang, &config).unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.bits, proto.predicted_bits(p.n));
+            assert_eq!(p.messages, p.n);
+        }
+    }
+
+    #[test]
+    fn sweep_skips_sizes_with_no_examples() {
+        // (ab)* has no words at odd lengths, but negatives exist at every
+        // length ≥ 1 — so odd sizes still measure (rejecting runs).
+        let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+        let proto = DfaOnePass::new(&lang);
+        let config = SweepConfig::with_sizes(vec![7, 8]);
+        let points = sweep_protocol(&proto, &lang, &config).unwrap();
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn schedule_sweep_reports_spread_and_constant() {
+        // Unidirectional token protocol: identical bits across schedules.
+        let lang = AnBnCn::new();
+        let proto = ThreeCounters::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use ringleader_langs::Language as _;
+        let word = lang.positive_example(12, &mut rng).unwrap();
+        let bits = bits_across_schedules(&proto, &word, 4).unwrap();
+        assert_eq!(bits.len(), 6);
+        assert!(bits.windows(2).all(|w| w[0] == w[1]), "{bits:?}");
+    }
+
+    #[test]
+    fn verify_passes_for_correct_protocols() {
+        let lang = AnBnCn::new();
+        let proto = ThreeCounters::new();
+        let report = verify_protocol(&proto, &lang, &[3, 6, 9, 12], 4, 7).unwrap();
+        assert!(report.all_correct(), "{report:?}");
+        assert!(report.checked > 10);
+    }
+
+    #[test]
+    fn verify_detects_wrong_protocols() {
+        // CollectAll wired to the WRONG language must show mismatches.
+        // WcW's alphabet also has three letters, so the wire format is
+        // compatible and only the decisions diverge.
+        let truth = AnBnCn::new();
+        let wrong = CollectAll::new(Arc::new(ringleader_langs::WcW::new()));
+        let report = verify_protocol(&wrong, &truth, &[3, 6, 9], 4, 7).unwrap();
+        assert!(report.mismatches > 0, "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "decided wrongly")]
+    fn sweep_panics_on_wrong_decisions() {
+        let truth = AnBnCn::new();
+        let wrong = CollectAll::new(Arc::new(ringleader_langs::WcW::new()));
+        let config = SweepConfig::with_sizes(vec![3, 6]);
+        let _ = sweep_protocol(&wrong, &truth, &config);
+    }
+}

@@ -1,0 +1,58 @@
+//! Integration tests for the analysis pipeline on synthetic and real data.
+
+use ringleader_analysis::{
+    bits_across_schedules, fit_series, log_log_slope, sweep_protocol, GrowthModel, SweepConfig,
+};
+use ringleader_core::{BidirMeetInMiddle, DfaOnePass};
+use ringleader_langs::DfaLanguage;
+
+#[test]
+fn fit_pipeline_on_real_sweep() {
+    let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("((a|b)(a|b)(a|b))*", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let config = SweepConfig::with_sizes(vec![24, 48, 96, 192, 384]);
+    let points = sweep_protocol(&proto, &lang, &config).unwrap();
+    let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
+    let fit = fit_series(&series);
+    assert_eq!(fit.best_model, GrowthModel::Linear);
+    assert!((fit.constant - proto.state_bits() as f64).abs() < 1e-9);
+    assert!(fit.dispersion < 1e-9, "exact protocols fit exactly");
+    assert!((log_log_slope(&series) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn schedule_sweep_finds_spread_on_bidirectional_protocols() {
+    // The bidirectional protocol's verdict path depends on probe timing,
+    // so different schedules legitimately cost different bits — the sweep
+    // must expose that spread while confirming decisions agree.
+    let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let proto = BidirMeetInMiddle::new(&lang);
+    let word = ringleader_automata::Word::from_str(&"ab".repeat(16), &sigma).unwrap();
+    let bits = bits_across_schedules(&proto, &word, 8).unwrap();
+    assert_eq!(bits.len(), 10);
+    let min = bits.iter().min().unwrap();
+    let max = bits.iter().max().unwrap();
+    // Spread exists but stays within the linear regime.
+    assert!(max >= min);
+    assert!(*max <= 32 * word.len(), "worst case stays O(n): {max}");
+}
+
+#[test]
+fn sweep_respects_known_ring_size_flag() {
+    use ringleader_core::LgRecognizer;
+    use ringleader_langs::{GrowthFunction, LgLanguage};
+    let lang = LgLanguage::new(GrowthFunction::NSqrtN);
+    let proto = LgRecognizer::new(&lang);
+    let sizes = vec![64usize, 128];
+    let unknown = sweep_protocol(&proto, &lang, &SweepConfig::with_sizes(sizes.clone())).unwrap();
+    let known = {
+        let mut cfg = SweepConfig::with_sizes(sizes);
+        cfg.known_ring_size = true;
+        sweep_protocol(&proto, &lang, &cfg).unwrap()
+    };
+    for (u, k) in unknown.iter().zip(&known) {
+        assert!(k.bits < u.bits, "known-n must be cheaper: {k:?} vs {u:?}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Alphabets, symbols, and words.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::AutomataError;
+
+/// One letter of an [`Alphabet`], stored as a dense index.
+///
+/// A `Symbol` is meaningful only relative to the alphabet that produced it;
+/// the index form keeps transition tables dense and lets the wire encoding
+/// of a letter cost exactly `⌈log |Σ|⌉` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Symbol(pub u16);
+
+impl Symbol {
+    /// The dense index of this symbol within its alphabet.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A finite, ordered alphabet `Σ`.
+///
+/// Alphabets are cheap to clone (the symbol table is shared) and compare by
+/// value. Symbols display as the character they were declared with.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_automata::Alphabet;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("abc")?;
+/// assert_eq!(sigma.len(), 3);
+/// let a = sigma.symbol('a').unwrap();
+/// assert_eq!(sigma.char_of(a), 'a');
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Alphabet {
+    chars: Arc<Vec<char>>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from the distinct characters of `chars`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidAlphabet`] if `chars` is empty or
+    /// contains a duplicate character.
+    pub fn from_chars(chars: &str) -> Result<Self, AutomataError> {
+        let list: Vec<char> = chars.chars().collect();
+        if list.is_empty() {
+            return Err(AutomataError::InvalidAlphabet("alphabet must be non-empty".into()));
+        }
+        for (i, c) in list.iter().enumerate() {
+            if list[..i].contains(c) {
+                return Err(AutomataError::InvalidAlphabet(format!("duplicate character {c:?}")));
+            }
+        }
+        if list.len() > u16::MAX as usize {
+            return Err(AutomataError::InvalidAlphabet("alphabet too large".into()));
+        }
+        Ok(Self { chars: Arc::new(list) })
+    }
+
+    /// Builds the binary alphabet `{0, 1}` rendered as `'0'`/`'1'`.
+    #[must_use]
+    pub fn binary() -> Self {
+        Self::from_chars("01").expect("binary alphabet is valid")
+    }
+
+    /// Builds an alphabet of `k` generated symbols `s0..s{k-1}` rendered as
+    /// successive Unicode codepoints starting at `'A'` (then lowercase,
+    /// then digits). Used by the Note-7.5 trade-off family, which needs
+    /// `2^k` letters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::InvalidAlphabet`] if `k` is 0 or greater
+    /// than 62.
+    pub fn generated(k: usize) -> Result<Self, AutomataError> {
+        const POOL: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        if k == 0 || k > POOL.chars().count() {
+            return Err(AutomataError::InvalidAlphabet(format!(
+                "generated alphabet size {k} out of range 1..=62"
+            )));
+        }
+        let take: String = POOL.chars().take(k).collect();
+        Self::from_chars(&take)
+    }
+
+    /// Number of symbols `|Σ|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Always `false`: alphabets are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up the symbol declared for character `c`.
+    #[must_use]
+    pub fn symbol(&self, c: char) -> Option<Symbol> {
+        self.chars.iter().position(|&x| x == c).map(|i| Symbol(i as u16))
+    }
+
+    /// The character symbol `s` was declared with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a symbol of this alphabet.
+    #[must_use]
+    pub fn char_of(&self, s: Symbol) -> char {
+        self.chars[s.index()]
+    }
+
+    /// Iterates over all symbols in declaration order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.chars.len()).map(|i| Symbol(i as u16))
+    }
+}
+
+/// A word `w ∈ Σ*` — the pattern written around the ring.
+///
+/// Position 0 is the leader's letter `σ₁`.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_automata::{Alphabet, Word};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let w = Word::from_str("abba", &sigma)?;
+/// assert_eq!(w.len(), 4);
+/// assert_eq!(w.render(&sigma), "abba");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Word {
+    symbols: Vec<Symbol>,
+}
+
+impl Word {
+    /// Creates an empty word.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a word from raw symbols.
+    #[must_use]
+    pub fn from_symbols(symbols: Vec<Symbol>) -> Self {
+        Self { symbols }
+    }
+
+    /// Parses `text` into a word over `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownSymbol`] for any character not in
+    /// the alphabet.
+    pub fn from_str(text: &str, alphabet: &Alphabet) -> Result<Self, AutomataError> {
+        let mut symbols = Vec::with_capacity(text.len());
+        for c in text.chars() {
+            symbols.push(alphabet.symbol(c).ok_or(AutomataError::UnknownSymbol(c))?);
+        }
+        Ok(Self { symbols })
+    }
+
+    /// Number of letters (the ring size `n` when this word labels a ring).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` for the empty word `ε`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Letter at `index` (0-based; the leader holds index 0).
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Symbol> {
+        self.symbols.get(index).copied()
+    }
+
+    /// The underlying symbols.
+    #[must_use]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Appends a letter.
+    pub fn push(&mut self, s: Symbol) {
+        self.symbols.push(s);
+    }
+
+    /// Renders the word back to characters using `alphabet`.
+    #[must_use]
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        self.symbols.iter().map(|&s| alphabet.char_of(s)).collect()
+    }
+
+    /// The reversal of this word.
+    #[must_use]
+    pub fn reversed(&self) -> Word {
+        let mut symbols = self.symbols.clone();
+        symbols.reverse();
+        Word { symbols }
+    }
+
+    /// Concatenation `self · other`.
+    #[must_use]
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut symbols = self.symbols.clone();
+        symbols.extend_from_slice(&other.symbols);
+        Word { symbols }
+    }
+}
+
+impl FromIterator<Symbol> for Word {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        Self { symbols: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_rejects_empty_and_duplicates() {
+        assert!(Alphabet::from_chars("").is_err());
+        assert!(Alphabet::from_chars("aa").is_err());
+        assert!(Alphabet::from_chars("aba").is_err());
+        assert!(Alphabet::from_chars("abc").is_ok());
+    }
+
+    #[test]
+    fn symbol_lookup_roundtrip() {
+        let sigma = Alphabet::from_chars("xyz").unwrap();
+        for (i, c) in "xyz".chars().enumerate() {
+            let s = sigma.symbol(c).unwrap();
+            assert_eq!(s.index(), i);
+            assert_eq!(sigma.char_of(s), c);
+        }
+        assert_eq!(sigma.symbol('w'), None);
+    }
+
+    #[test]
+    fn generated_alphabets() {
+        let g = Alphabet::generated(4).unwrap();
+        assert_eq!(g.len(), 4);
+        assert!(g.symbol('A').is_some());
+        assert!(g.symbol('D').is_some());
+        assert!(g.symbol('E').is_none());
+        assert!(Alphabet::generated(0).is_err());
+        assert!(Alphabet::generated(63).is_err());
+        assert_eq!(Alphabet::generated(62).unwrap().len(), 62);
+    }
+
+    #[test]
+    fn binary_alphabet() {
+        let b = Alphabet::binary();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.char_of(Symbol(0)), '0');
+        assert_eq!(b.char_of(Symbol(1)), '1');
+    }
+
+    #[test]
+    fn word_parse_render_roundtrip() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        for text in ["", "a", "b", "abba", "aaabbb"] {
+            let w = Word::from_str(text, &sigma).unwrap();
+            assert_eq!(w.render(&sigma), text);
+            assert_eq!(w.len(), text.len());
+        }
+        assert!(matches!(
+            Word::from_str("abc", &sigma),
+            Err(AutomataError::UnknownSymbol('c'))
+        ));
+    }
+
+    #[test]
+    fn word_ops() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let w = Word::from_str("aab", &sigma).unwrap();
+        assert_eq!(w.reversed().render(&sigma), "baa");
+        let v = Word::from_str("ba", &sigma).unwrap();
+        assert_eq!(w.concat(&v).render(&sigma), "aabba");
+        assert_eq!(w.get(0), sigma.symbol('a'));
+        assert_eq!(w.get(2), sigma.symbol('b'));
+        assert_eq!(w.get(3), None);
+    }
+
+    #[test]
+    fn word_from_iterator() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let w: Word = sigma.symbols().collect();
+        assert_eq!(w.render(&sigma), "ab");
+    }
+
+    #[test]
+    fn alphabet_clone_is_cheap_and_equal() {
+        let a = Alphabet::from_chars("abc").unwrap();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,648 @@
+//! Deterministic finite automata.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Alphabet, AutomataError, Symbol, Word};
+
+/// Identifier of a DFA state (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The dense index of this state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A complete deterministic finite automaton `(Q, Σ, δ, q₀, F)`.
+///
+/// Transitions are total: every state has an outgoing edge for every
+/// symbol. This matches the paper's Theorem 1, where each processor applies
+/// `δ` to whatever state arrives — there is no "missing transition" on a
+/// ring.
+///
+/// # Examples
+///
+/// Even number of `a`s over `{a,b}`:
+///
+/// ```rust
+/// # use ringleader_automata::{Alphabet, Dfa, DfaBuilder, Word};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let mut b = DfaBuilder::new(sigma.clone());
+/// let even = b.add_state(true);
+/// let odd = b.add_state(false);
+/// let a = sigma.symbol('a').unwrap();
+/// let bb = sigma.symbol('b').unwrap();
+/// b.set_transition(even, a, odd);
+/// b.set_transition(even, bb, even);
+/// b.set_transition(odd, a, even);
+/// b.set_transition(odd, bb, odd);
+/// b.set_start(even);
+/// let dfa = b.build()?;
+/// assert!(dfa.accepts(&Word::from_str("abab", &sigma)?));
+/// assert!(!dfa.accepts(&Word::from_str("ab", &sigma)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    /// `transitions[state][symbol]`.
+    transitions: Vec<Vec<StateId>>,
+    accepting: Vec<bool>,
+    start: StateId,
+}
+
+impl Dfa {
+    /// Builds a DFA directly from closures — convenient for the fixed
+    /// families in the language corpus.
+    ///
+    /// `transition(state, symbol)` and `accepting(state)` are evaluated for
+    /// every `state in 0..state_count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::MalformedDfa`] if `state_count == 0`, the
+    /// start is out of range, or any transition target is out of range.
+    pub fn from_fn(
+        alphabet: Alphabet,
+        state_count: usize,
+        start: usize,
+        accepting: impl Fn(usize) -> bool,
+        transition: impl Fn(usize, Symbol) -> usize,
+    ) -> Result<Self, AutomataError> {
+        if state_count == 0 {
+            return Err(AutomataError::MalformedDfa("no states".into()));
+        }
+        if start >= state_count {
+            return Err(AutomataError::MalformedDfa(format!("start {start} out of range")));
+        }
+        let mut transitions = Vec::with_capacity(state_count);
+        for q in 0..state_count {
+            let mut row = Vec::with_capacity(alphabet.len());
+            for s in alphabet.symbols() {
+                let to = transition(q, s);
+                if to >= state_count {
+                    return Err(AutomataError::MalformedDfa(format!(
+                        "transition ({q}, {s}) -> {to} out of range"
+                    )));
+                }
+                row.push(StateId(to as u32));
+            }
+            transitions.push(row);
+        }
+        Ok(Self {
+            alphabet,
+            transitions,
+            accepting: (0..state_count).map(accepting).collect(),
+            start: StateId(start as u32),
+        })
+    }
+
+    /// The automaton's alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states `|Q|`.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The start state `q₀`.
+    #[must_use]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `state` is in `F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state.index()]
+    }
+
+    /// One step of `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `symbol` is out of range.
+    #[must_use]
+    pub fn step(&self, state: StateId, symbol: Symbol) -> StateId {
+        self.transitions[state.index()][symbol.index()]
+    }
+
+    /// Runs the automaton from an arbitrary state over `word`.
+    #[must_use]
+    pub fn run_from(&self, state: StateId, word: &Word) -> StateId {
+        word.symbols().iter().fold(state, |q, &s| self.step(q, s))
+    }
+
+    /// Runs the automaton from `q₀` over `word`.
+    #[must_use]
+    pub fn run(&self, word: &Word) -> StateId {
+        self.run_from(self.start, word)
+    }
+
+    /// Whether `word ∈ L(self)`.
+    #[must_use]
+    pub fn accepts(&self, word: &Word) -> bool {
+        self.is_accepting(self.run(word))
+    }
+
+    /// The complement automaton: accepts exactly the words this one rejects.
+    #[must_use]
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for b in &mut out.accepting {
+            *b = !*b;
+        }
+        out
+    }
+
+    /// Product construction with a boolean combiner on acceptance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] if the alphabets differ.
+    pub fn product(
+        &self,
+        other: &Dfa,
+        combine: impl Fn(bool, bool) -> bool,
+    ) -> Result<Dfa, AutomataError> {
+        if self.alphabet != other.alphabet {
+            return Err(AutomataError::AlphabetMismatch);
+        }
+        let n2 = other.state_count();
+        let pair_id = |a: StateId, b: StateId| a.index() * n2 + b.index();
+        let count = self.state_count() * n2;
+        let mut transitions = Vec::with_capacity(count);
+        let mut accepting = Vec::with_capacity(count);
+        for qa in 0..self.state_count() {
+            for qb in 0..n2 {
+                let mut row = Vec::with_capacity(self.alphabet.len());
+                for s in self.alphabet.symbols() {
+                    let ta = self.step(StateId(qa as u32), s);
+                    let tb = other.step(StateId(qb as u32), s);
+                    row.push(StateId(pair_id(ta, tb) as u32));
+                }
+                transitions.push(row);
+                accepting.push(combine(self.accepting[qa], other.accepting[qb]));
+            }
+        }
+        Ok(Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: StateId(pair_id(self.start, other.start) as u32),
+        })
+    }
+
+    /// Intersection `L(self) ∩ L(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] if the alphabets differ.
+    pub fn intersect(&self, other: &Dfa) -> Result<Dfa, AutomataError> {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Union `L(self) ∪ L(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] if the alphabets differ.
+    pub fn union(&self, other: &Dfa) -> Result<Dfa, AutomataError> {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Symmetric difference `L(self) Δ L(other)` — empty iff equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] if the alphabets differ.
+    pub fn symmetric_difference(&self, other: &Dfa) -> Result<Dfa, AutomataError> {
+        self.product(other, |a, b| a != b)
+    }
+
+    /// Restricts to states reachable from the start (preserves language).
+    #[must_use]
+    pub fn trimmed(&self) -> Dfa {
+        let mut reachable = vec![false; self.state_count()];
+        let mut queue = VecDeque::from([self.start]);
+        reachable[self.start.index()] = true;
+        while let Some(q) = queue.pop_front() {
+            for s in self.alphabet.symbols() {
+                let t = self.step(q, s);
+                if !reachable[t.index()] {
+                    reachable[t.index()] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; self.state_count()];
+        let mut next = 0u32;
+        for (i, &r) in reachable.iter().enumerate() {
+            if r {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let mut transitions = Vec::with_capacity(next as usize);
+        let mut accepting = Vec::with_capacity(next as usize);
+        for q in 0..self.state_count() {
+            if !reachable[q] {
+                continue;
+            }
+            transitions.push(
+                self.transitions[q].iter().map(|t| StateId(remap[t.index()])).collect(),
+            );
+            accepting.push(self.accepting[q]);
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: StateId(remap[self.start.index()]),
+        }
+    }
+
+    /// Whether `L(self) = ∅`.
+    #[must_use]
+    pub fn is_empty_language(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// A shortest accepted word, or `None` if the language is empty.
+    ///
+    /// Breadth-first search over states; the result has minimal length and
+    /// is lexicographically least among those (by symbol order).
+    #[must_use]
+    pub fn shortest_accepted(&self) -> Option<Word> {
+        if self.is_accepting(self.start) {
+            return Some(Word::new());
+        }
+        let mut prev: Vec<Option<(StateId, Symbol)>> = vec![None; self.state_count()];
+        let mut seen = vec![false; self.state_count()];
+        seen[self.start.index()] = true;
+        let mut queue = VecDeque::from([self.start]);
+        while let Some(q) = queue.pop_front() {
+            for s in self.alphabet.symbols() {
+                let t = self.step(q, s);
+                if seen[t.index()] {
+                    continue;
+                }
+                seen[t.index()] = true;
+                prev[t.index()] = Some((q, s));
+                if self.is_accepting(t) {
+                    // Walk back to the start.
+                    let mut letters = Vec::new();
+                    let mut cur = t;
+                    while let Some((p, sym)) = prev[cur.index()] {
+                        letters.push(sym);
+                        cur = p;
+                    }
+                    letters.reverse();
+                    return Some(Word::from_symbols(letters));
+                }
+                queue.push_back(t);
+            }
+        }
+        None
+    }
+
+    /// Whether the two automata recognize the same language.
+    ///
+    /// Decided by emptiness of the symmetric difference, so it is exact,
+    /// not sampled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::AlphabetMismatch`] if the alphabets differ.
+    pub fn equivalent(&self, other: &Dfa) -> Result<bool, AutomataError> {
+        Ok(self.symmetric_difference(other)?.trimmed().is_empty_language())
+    }
+
+    /// Hopcroft-minimized equivalent automaton (trimmed first).
+    ///
+    /// The result has the minimum possible number of states; the paper's
+    /// `⌈log |Q|⌉` per-message cost of Theorem 1 is measured against this.
+    #[must_use]
+    pub fn minimized(&self) -> Dfa {
+        crate::minimize::minimize(self)
+    }
+
+    pub(crate) fn parts(&self) -> (&Alphabet, &[Vec<StateId>], &[bool], StateId) {
+        (&self.alphabet, &self.transitions, &self.accepting, self.start)
+    }
+
+    pub(crate) fn from_parts(
+        alphabet: Alphabet,
+        transitions: Vec<Vec<StateId>>,
+        accepting: Vec<bool>,
+        start: StateId,
+    ) -> Self {
+        Self { alphabet, transitions, accepting, start }
+    }
+}
+
+/// Incremental [`Dfa`] constructor.
+///
+/// Add states, wire transitions, pick a start state, then
+/// [`build`](DfaBuilder::build). Missing transitions are an error unless a
+/// default sink is configured with
+/// [`complete_missing_to_sink`](DfaBuilder::complete_missing_to_sink).
+#[derive(Debug, Clone)]
+pub struct DfaBuilder {
+    alphabet: Alphabet,
+    transitions: Vec<Vec<Option<StateId>>>,
+    accepting: Vec<bool>,
+    start: Option<StateId>,
+    sink_missing: bool,
+}
+
+impl DfaBuilder {
+    /// Creates a builder for automata over `alphabet`.
+    #[must_use]
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self {
+            alphabet,
+            transitions: Vec::new(),
+            accepting: Vec::new(),
+            start: None,
+            sink_missing: false,
+        }
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = StateId(self.transitions.len() as u32);
+        self.transitions.push(vec![None; self.alphabet.len()]);
+        self.accepting.push(accepting);
+        id
+    }
+
+    /// Sets `δ(from, symbol) = to` (overwrites any previous edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` has not been added, or `symbol` is out of
+    /// range for the alphabet.
+    pub fn set_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) -> &mut Self {
+        assert!(from.index() < self.transitions.len(), "unknown source state");
+        assert!(to.index() < self.transitions.len(), "unknown target state");
+        assert!(symbol.index() < self.alphabet.len(), "symbol out of range");
+        self.transitions[from.index()][symbol.index()] = Some(to);
+        self
+    }
+
+    /// Chooses the start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` has not been added.
+    pub fn set_start(&mut self, start: StateId) -> &mut Self {
+        assert!(start.index() < self.transitions.len(), "unknown start state");
+        self.start = Some(start);
+        self
+    }
+
+    /// Routes any transition left unset to a fresh non-accepting sink.
+    pub fn complete_missing_to_sink(&mut self) -> &mut Self {
+        self.sink_missing = true;
+        self
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::MalformedDfa`] if no states were added, no
+    /// start was set, or (without
+    /// [`complete_missing_to_sink`](DfaBuilder::complete_missing_to_sink))
+    /// some transition is missing.
+    pub fn build(mut self) -> Result<Dfa, AutomataError> {
+        if self.transitions.is_empty() {
+            return Err(AutomataError::MalformedDfa("no states".into()));
+        }
+        let start = self
+            .start
+            .ok_or_else(|| AutomataError::MalformedDfa("no start state".into()))?;
+        let missing = self
+            .transitions
+            .iter()
+            .any(|row| row.iter().any(Option::is_none));
+        let sink = if missing {
+            if !self.sink_missing {
+                return Err(AutomataError::MalformedDfa(
+                    "missing transition (call complete_missing_to_sink to allow)".into(),
+                ));
+            }
+            let sink = StateId(self.transitions.len() as u32);
+            self.transitions.push(vec![Some(sink); self.alphabet.len()]);
+            self.accepting.push(false);
+            Some(sink)
+        } else {
+            None
+        };
+        let transitions = self
+            .transitions
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|t| t.or(sink).expect("missing transitions were completed"))
+                    .collect()
+            })
+            .collect();
+        Ok(Dfa {
+            alphabet: self.alphabet,
+            transitions,
+            accepting: self.accepting,
+            start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn even_a() -> Dfa {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 0, |q, s| {
+            if sigma.char_of(s) == 'a' {
+                1 - q
+            } else {
+                q
+            }
+        })
+        .unwrap()
+    }
+
+    fn ends_in_b() -> Dfa {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 1, |_, s| {
+            usize::from(sigma.char_of(s) == 'b')
+        })
+        .unwrap()
+    }
+
+    fn w(text: &str) -> Word {
+        Word::from_str(text, &Alphabet::from_chars("ab").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let d = even_a();
+        assert!(d.accepts(&w("")));
+        assert!(d.accepts(&w("bb")));
+        assert!(d.accepts(&w("aab")));
+        assert!(!d.accepts(&w("a")));
+        assert!(!d.accepts(&w("baaab")));
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let d = even_a();
+        let c = d.complement();
+        for text in ["", "a", "ab", "aa", "bab", "aabb"] {
+            assert_eq!(d.accepts(&w(text)), !c.accepts(&w(text)), "{text}");
+        }
+    }
+
+    #[test]
+    fn product_ops() {
+        let d = even_a();
+        let e = ends_in_b();
+        let both = d.intersect(&e).unwrap();
+        assert!(both.accepts(&w("aab")));
+        assert!(!both.accepts(&w("ab"))); // odd a's
+        assert!(!both.accepts(&w("aa"))); // doesn't end in b
+        let either = d.union(&e).unwrap();
+        assert!(either.accepts(&w("ab")));
+        assert!(either.accepts(&w("aa")));
+        assert!(!either.accepts(&w("a")));
+    }
+
+    #[test]
+    fn alphabet_mismatch_detected() {
+        let d = even_a();
+        let other = Dfa::from_fn(Alphabet::from_chars("xy").unwrap(), 1, 0, |_| true, |q, _| q)
+            .unwrap();
+        assert!(matches!(d.intersect(&other), Err(AutomataError::AlphabetMismatch)));
+    }
+
+    #[test]
+    fn trim_drops_unreachable() {
+        let sigma = Alphabet::from_chars("a").unwrap();
+        // State 1 is unreachable.
+        let d = Dfa::from_fn(sigma, 3, 0, |q| q == 2, |q, _| if q == 0 { 2 } else { q })
+            .unwrap();
+        let t = d.trimmed();
+        assert_eq!(t.state_count(), 2);
+        assert!(t.accepts(&Word::from_str("a", t.alphabet()).unwrap()));
+        assert!(!t.accepts(&Word::new()));
+    }
+
+    #[test]
+    fn shortest_accepted_is_bfs_minimal() {
+        let d = even_a().intersect(&ends_in_b()).unwrap();
+        // Shortest word with even 'a's ending in 'b' is "b".
+        let shortest = d.shortest_accepted().unwrap();
+        assert_eq!(shortest.render(d.alphabet()), "b");
+
+        let empty = even_a().intersect(&even_a().complement()).unwrap();
+        assert!(empty.is_empty_language());
+        assert!(empty.shortest_accepted().is_none());
+    }
+
+    #[test]
+    fn shortest_accepted_empty_word() {
+        let d = even_a();
+        assert_eq!(d.shortest_accepted().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn equivalence_is_exact() {
+        let d = even_a();
+        // Same language built a different way: product with a universal DFA.
+        let sigma = d.alphabet().clone();
+        let universal = Dfa::from_fn(sigma, 1, 0, |_| true, |q, _| q).unwrap();
+        let same = d.intersect(&universal).unwrap();
+        assert!(d.equivalent(&same).unwrap());
+        assert!(!d.equivalent(&d.complement()).unwrap());
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let mut b = DfaBuilder::new(sigma.clone());
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        for s in sigma.symbols() {
+            b.set_transition(q0, s, q1);
+            b.set_transition(q1, s, q0);
+        }
+        b.set_start(q0);
+        let d = b.build().unwrap();
+        // Accepts odd-length words.
+        assert!(d.accepts(&w("a")));
+        assert!(!d.accepts(&w("ab")));
+        assert!(d.accepts(&w("aba")));
+    }
+
+    #[test]
+    fn builder_missing_transition_errors() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let mut b = DfaBuilder::new(sigma);
+        let q0 = b.add_state(true);
+        b.set_start(q0);
+        assert!(matches!(b.build(), Err(AutomataError::MalformedDfa(_))));
+    }
+
+    #[test]
+    fn builder_sink_completion() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let mut b = DfaBuilder::new(sigma.clone());
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        let a = sigma.symbol('a').unwrap();
+        b.set_transition(q0, a, q1);
+        b.set_start(q0);
+        b.complete_missing_to_sink();
+        let d = b.build().unwrap();
+        // Language is exactly {"a"}.
+        assert!(d.accepts(&w("a")));
+        assert!(!d.accepts(&w("b")));
+        assert!(!d.accepts(&w("aa")));
+        assert!(!d.accepts(&w("")));
+        assert_eq!(d.state_count(), 3);
+    }
+
+    #[test]
+    fn builder_no_start_errors() {
+        let sigma = Alphabet::from_chars("a").unwrap();
+        let mut b = DfaBuilder::new(sigma);
+        let q = b.add_state(true);
+        b.set_transition(q, Symbol(0), q);
+        assert!(matches!(b.build(), Err(AutomataError::MalformedDfa(_))));
+    }
+
+    #[test]
+    fn from_fn_validates() {
+        let sigma = Alphabet::from_chars("a").unwrap();
+        assert!(Dfa::from_fn(sigma.clone(), 0, 0, |_| true, |q, _| q).is_err());
+        assert!(Dfa::from_fn(sigma.clone(), 1, 5, |_| true, |q, _| q).is_err());
+        assert!(Dfa::from_fn(sigma, 1, 0, |_| true, |_, _| 9).is_err());
+    }
+}

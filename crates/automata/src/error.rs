@@ -1,0 +1,65 @@
+//! Errors for automaton construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while building or combining automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomataError {
+    /// The alphabet definition was empty, duplicated, or oversized.
+    InvalidAlphabet(String),
+    /// A character outside the alphabet appeared in a word or regex.
+    UnknownSymbol(char),
+    /// A regex failed to parse; the payload describes where and why.
+    RegexParse {
+        /// Byte offset of the failure in the pattern.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Two automata over different alphabets were combined.
+    AlphabetMismatch,
+    /// A DFA was built with a dangling state reference or no states.
+    MalformedDfa(String),
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::InvalidAlphabet(msg) => write!(f, "invalid alphabet: {msg}"),
+            AutomataError::UnknownSymbol(c) => write!(f, "symbol {c:?} is not in the alphabet"),
+            AutomataError::RegexParse { at, message } => {
+                write!(f, "regex parse error at byte {at}: {message}")
+            }
+            AutomataError::AlphabetMismatch => {
+                write!(f, "automata are defined over different alphabets")
+            }
+            AutomataError::MalformedDfa(msg) => write!(f, "malformed DFA: {msg}"),
+        }
+    }
+}
+
+impl Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        assert_eq!(
+            AutomataError::UnknownSymbol('x').to_string(),
+            "symbol 'x' is not in the alphabet"
+        );
+        assert!(AutomataError::AlphabetMismatch.to_string().contains("different alphabets"));
+        let e = AutomataError::RegexParse { at: 3, message: "unbalanced ')'".into() };
+        assert!(e.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AutomataError>();
+    }
+}

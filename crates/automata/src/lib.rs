@@ -1,0 +1,52 @@
+//! Finite-automata toolkit for ring pattern recognition.
+//!
+//! Mansour & Zaks (PODC 1986) characterize the languages recognizable in
+//! `O(n)` bits on a ring with a leader as exactly the **regular** languages.
+//! Both directions of that characterization are constructive and both
+//! constructions live on top of this crate:
+//!
+//! * Theorem 1 consumes a [`Dfa`]: the one-pass algorithm forwards the
+//!   automaton state in `⌈log |Q|⌉` bits per message.
+//! * Theorem 2 *produces* a DFA: the reachable message graph of any
+//!   `O(n)`-bit one-pass algorithm is finite and is (literally) a state
+//!   diagram. The extraction code in `ringleader-core` returns a [`Dfa`]
+//!   built here and proves equivalence with [`Dfa::equivalent`].
+//!
+//! The crate also carries the workload machinery the experiments need:
+//! a regex front-end ([`Regex`]), an [`Nfa`] with subset construction,
+//! Hopcroft minimization ([`Dfa::minimized`]), and per-length word
+//! counting/sampling ([`WordSampler`]) used by the benchmark generators.
+//!
+//! # Examples
+//!
+//! Compile a regex, minimize it, and run it:
+//!
+//! ```rust
+//! # use ringleader_automata::{Alphabet, Regex, Word};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ab = Alphabet::from_chars("ab")?;
+//! let dfa = Regex::parse("(ab)*", &ab)?.compile();
+//! assert!(dfa.accepts(&Word::from_str("abab", &ab)?));
+//! assert!(!dfa.accepts(&Word::from_str("aba", &ab)?));
+//! assert_eq!(dfa.minimized().state_count(), 3); // expecting-a, expecting-b, dead
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabet;
+mod dfa;
+mod error;
+mod minimize;
+mod nfa;
+mod regex;
+mod sample;
+
+pub use alphabet::{Alphabet, Symbol, Word};
+pub use dfa::{Dfa, DfaBuilder, StateId};
+pub use error::AutomataError;
+pub use nfa::Nfa;
+pub use regex::Regex;
+pub use sample::WordSampler;

@@ -1,0 +1,243 @@
+//! Hopcroft DFA minimization.
+//!
+//! Used both for workload preparation (Theorem 1's `⌈log |Q|⌉` message
+//! width is only meaningful against the *minimal* automaton) and for the
+//! Theorem 2 message-graph extraction, whose output is minimized before
+//! being compared with the reference automaton.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{Dfa, StateId};
+
+/// Returns the minimal DFA equivalent to `dfa`.
+///
+/// The input is trimmed to its reachable part first; the classic Hopcroft
+/// partition-refinement then runs in `O(|Σ| · |Q| log |Q|)`. States of the
+/// result are numbered so the start state is 0 and the rest follow in
+/// first-visit breadth-first order, which makes minimized automata
+/// comparable with `==` when built from the same language.
+pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
+    let dfa = dfa.trimmed();
+    let (alphabet, transitions, accepting, start) = dfa.parts();
+    let n = transitions.len();
+    let k = alphabet.len();
+
+    // Reverse transition lists: rev[symbol][target] = sources.
+    let mut rev: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); n]; k];
+    for (q, row) in transitions.iter().enumerate() {
+        for (s, t) in row.iter().enumerate() {
+            rev[s][t.index()].push(q as u32);
+        }
+    }
+
+    // Initial partition: accepting / rejecting (skip empty blocks).
+    let mut block_of: Vec<u32> = accepting.iter().map(|&a| u32::from(a)).collect();
+    let acc_count = accepting.iter().filter(|&&a| a).count();
+    let mut blocks: Vec<Vec<u32>> = if acc_count == 0 || acc_count == n {
+        block_of.iter_mut().for_each(|b| *b = 0);
+        vec![(0..n as u32).collect()]
+    } else {
+        let mut rej = Vec::new();
+        let mut acc = Vec::new();
+        for (q, &a) in accepting.iter().enumerate() {
+            if a {
+                acc.push(q as u32);
+            } else {
+                rej.push(q as u32);
+            }
+        }
+        block_of = accepting.iter().map(|&a| u32::from(a)).collect();
+        vec![rej, acc]
+    };
+
+    // Worklist of (block index, symbol) splitters.
+    let mut work: HashSet<(u32, u16)> = HashSet::new();
+    if blocks.len() == 2 {
+        let smaller = u32::from(blocks[1].len() < blocks[0].len());
+        for s in 0..k as u16 {
+            work.insert((smaller, s));
+        }
+    } else {
+        for s in 0..k as u16 {
+            work.insert((0, s));
+        }
+    }
+
+    while let Some(&(block_idx, sym)) = work.iter().next() {
+        work.remove(&(block_idx, sym));
+        // X = states with a `sym`-transition into the splitter block.
+        let mut x: HashSet<u32> = HashSet::new();
+        for &t in &blocks[block_idx as usize] {
+            for &src in &rev[sym as usize][t as usize] {
+                x.insert(src);
+            }
+        }
+        if x.is_empty() {
+            continue;
+        }
+        // For each block B hit by X, split into B∩X and B\X.
+        let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &q in &x {
+            touched.entry(block_of[q as usize]).or_default().push(q);
+        }
+        for (b, inter) in touched {
+            let b_len = blocks[b as usize].len();
+            if inter.len() == b_len {
+                continue; // no split
+            }
+            // New block gets the intersection (the smaller side is pushed
+            // to the worklist below).
+            let new_idx = blocks.len() as u32;
+            let inter_set: HashSet<u32> = inter.iter().copied().collect();
+            blocks[b as usize].retain(|q| !inter_set.contains(q));
+            for &q in &inter {
+                block_of[q as usize] = new_idx;
+            }
+            blocks.push(inter);
+            let small = if blocks[new_idx as usize].len() <= blocks[b as usize].len() {
+                new_idx
+            } else {
+                b
+            };
+            for s in 0..k as u16 {
+                if work.contains(&(b, s)) {
+                    // Both halves must be processed if the parent was queued.
+                    work.insert((new_idx, s));
+                } else {
+                    work.insert((small, s));
+                }
+            }
+        }
+    }
+
+    // Rebuild a DFA over blocks, renumbered by BFS from the start block.
+    let start_block = block_of[start.index()];
+    let mut order: Vec<u32> = Vec::with_capacity(blocks.len());
+    let mut pos: HashMap<u32, u32> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([start_block]);
+    pos.insert(start_block, 0);
+    order.push(start_block);
+    while let Some(b) = queue.pop_front() {
+        let repr = blocks[b as usize][0];
+        for s in 0..k {
+            let t_block = block_of[transitions[repr as usize][s].index()];
+            if let std::collections::hash_map::Entry::Vacant(e) = pos.entry(t_block) {
+                e.insert(order.len() as u32);
+                order.push(t_block);
+                queue.push_back(t_block);
+            }
+        }
+    }
+
+    let m = order.len();
+    let mut new_transitions = Vec::with_capacity(m);
+    let mut new_accepting = Vec::with_capacity(m);
+    for &b in &order {
+        let repr = blocks[b as usize][0] as usize;
+        new_transitions.push(
+            (0..k)
+                .map(|s| StateId(pos[&block_of[transitions[repr][s].index()]]))
+                .collect(),
+        );
+        new_accepting.push(accepting[repr]);
+    }
+    Dfa::from_parts(alphabet.clone(), new_transitions, new_accepting, StateId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Alphabet, Dfa, Regex, Word};
+
+    fn w(text: &str, sigma: &Alphabet) -> Word {
+        Word::from_str(text, sigma).unwrap()
+    }
+
+    #[test]
+    fn already_minimal_is_fixed_point() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let even_a = Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 0, |q, s| {
+            if sigma.char_of(s) == 'a' {
+                1 - q
+            } else {
+                q
+            }
+        })
+        .unwrap();
+        let m = even_a.minimized();
+        assert_eq!(m.state_count(), 2);
+        assert!(m.equivalent(&even_a).unwrap());
+        // Minimizing again changes nothing.
+        assert_eq!(m.minimized(), m);
+    }
+
+    #[test]
+    fn redundant_states_collapse() {
+        // 4-state automaton for "odd length" with two duplicated states.
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let d = Dfa::from_fn(sigma, 4, 0, |q| q % 2 == 1, |q, _| (q + 1) % 4).unwrap();
+        let m = d.minimized();
+        assert_eq!(m.state_count(), 2);
+        assert!(m.equivalent(&d).unwrap());
+    }
+
+    #[test]
+    fn unreachable_states_do_not_survive() {
+        let sigma = Alphabet::from_chars("a").unwrap();
+        let d = Dfa::from_fn(sigma, 5, 0, |q| q == 0, |q, _| q.min(1)).unwrap();
+        // Only states 0,1 reachable.
+        assert!(d.minimized().state_count() <= 2);
+    }
+
+    #[test]
+    fn all_accepting_collapses_to_one() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let d = Dfa::from_fn(sigma, 7, 3, |_| true, |q, _| (q + 2) % 7).unwrap();
+        assert_eq!(d.minimized().state_count(), 1);
+    }
+
+    #[test]
+    fn empty_language_collapses_to_one() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let d = Dfa::from_fn(sigma, 7, 3, |_| false, |q, _| (q + 2) % 7).unwrap();
+        assert_eq!(d.minimized().state_count(), 1);
+    }
+
+    #[test]
+    fn minimization_preserves_language_on_regex_corpus() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        for pattern in ["(ab)*", "a*b*", "(a|b)*abb", "a(a|b)*a|a", "((a|b)(a|b))*"] {
+            let d = Regex::parse(pattern, &sigma).unwrap().compile();
+            let m = d.minimized();
+            assert!(m.equivalent(&d).unwrap(), "{pattern}");
+            assert!(m.state_count() <= d.state_count(), "{pattern}");
+            // Exhaustive check up to length 8.
+            for len in 0..=8usize {
+                for idx in 0..(1usize << len) {
+                    let text: String = (0..len)
+                        .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
+                        .collect();
+                    let word = w(&text, &sigma);
+                    assert_eq!(d.accepts(&word), m.accepts(&word), "{pattern} on {text:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classic_counterexample_five_states_to_three(){
+        // Textbook example: states {0..4}, accepting {4}, over {a,b};
+        // states 1 and 2 are equivalent, 3 and 4 differ.
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let trans = [
+            [1usize, 2usize], // 0
+            [3, 3],           // 1
+            [3, 3],           // 2  (same behaviour as 1)
+            [4, 4],           // 3
+            [4, 4],           // 4
+        ];
+        let d = Dfa::from_fn(sigma, 5, 0, |q| q == 4, |q, s| trans[q][s.index()]).unwrap();
+        let m = d.minimized();
+        assert!(m.equivalent(&d).unwrap());
+        assert_eq!(m.state_count(), 4); // 0, {1,2}, 3, 4
+    }
+}

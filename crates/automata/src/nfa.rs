@@ -1,0 +1,307 @@
+//! Nondeterministic finite automata with ε-transitions.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::{Alphabet, Dfa, StateId, Symbol, Word};
+
+/// A nondeterministic finite automaton with ε-moves.
+///
+/// The regex front-end builds NFAs with the Thompson construction; the
+/// subset construction ([`Nfa::determinize`]) then yields the complete
+/// [`Dfa`] that the ring protocols consume.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_automata::{Alphabet, Nfa, Word};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// // Accepts "a" or "ab" via nondeterministic choice.
+/// let mut nfa = Nfa::new(sigma.clone());
+/// let s0 = nfa.add_state();
+/// let s1 = nfa.add_state();
+/// let s2 = nfa.add_state();
+/// nfa.add_transition(s0, sigma.symbol('a').unwrap(), s1);
+/// nfa.add_transition(s1, sigma.symbol('b').unwrap(), s2);
+/// nfa.set_start(s0);
+/// nfa.add_accepting(s1);
+/// nfa.add_accepting(s2);
+/// let dfa = nfa.determinize();
+/// assert!(dfa.accepts(&Word::from_str("a", &sigma)?));
+/// assert!(dfa.accepts(&Word::from_str("ab", &sigma)?));
+/// assert!(!dfa.accepts(&Word::from_str("b", &sigma)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet: Alphabet,
+    /// `transitions[state]` = labelled edges.
+    transitions: Vec<Vec<(Symbol, usize)>>,
+    /// `epsilon[state]` = ε-successors.
+    epsilon: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+    start: usize,
+}
+
+impl Nfa {
+    /// Creates an empty NFA (no states yet) over `alphabet`.
+    #[must_use]
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self {
+            alphabet,
+            transitions: Vec::new(),
+            epsilon: Vec::new(),
+            accepting: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// The automaton's alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a state and returns its index.
+    pub fn add_state(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.epsilon.push(Vec::new());
+        self.accepting.push(false);
+        self.transitions.len() - 1
+    }
+
+    /// Adds the labelled edge `from --symbol--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is unknown or `symbol` is out of range.
+    pub fn add_transition(&mut self, from: usize, symbol: Symbol, to: usize) {
+        assert!(from < self.state_count() && to < self.state_count(), "unknown state");
+        assert!(symbol.index() < self.alphabet.len(), "symbol out of range");
+        self.transitions[from].push((symbol, to));
+    }
+
+    /// Adds the ε-edge `from --ε--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is unknown.
+    pub fn add_epsilon(&mut self, from: usize, to: usize) {
+        assert!(from < self.state_count() && to < self.state_count(), "unknown state");
+        self.epsilon[from].push(to);
+    }
+
+    /// Chooses the start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is unknown.
+    pub fn set_start(&mut self, start: usize) {
+        assert!(start < self.state_count(), "unknown state");
+        self.start = start;
+    }
+
+    /// Marks `state` accepting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is unknown.
+    pub fn add_accepting(&mut self, state: usize) {
+        assert!(state < self.state_count(), "unknown state");
+        self.accepting[state] = true;
+    }
+
+    /// ε-closure of a set of states.
+    fn closure(&self, set: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = set.clone();
+        let mut queue: VecDeque<usize> = set.iter().copied().collect();
+        while let Some(q) = queue.pop_front() {
+            for &t in &self.epsilon[q] {
+                if out.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the NFA accepts `word` (direct simulation, no determinizing).
+    #[must_use]
+    pub fn accepts(&self, word: &Word) -> bool {
+        if self.state_count() == 0 {
+            return false;
+        }
+        let mut current = self.closure(&BTreeSet::from([self.start]));
+        for &s in word.symbols() {
+            let mut next = BTreeSet::new();
+            for &q in &current {
+                for &(label, t) in &self.transitions[q] {
+                    if label == s {
+                        next.insert(t);
+                    }
+                }
+            }
+            current = self.closure(&next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&q| self.accepting[q])
+    }
+
+    /// Subset construction: an equivalent complete [`Dfa`].
+    ///
+    /// The empty subset becomes an explicit dead state, so the result is
+    /// total as the ring protocols require.
+    #[must_use]
+    pub fn determinize(&self) -> Dfa {
+        let k = self.alphabet.len();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut transitions: Vec<Vec<StateId>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        let start_set = if self.state_count() == 0 {
+            BTreeSet::new()
+        } else {
+            self.closure(&BTreeSet::from([self.start]))
+        };
+        index.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+
+        let mut i = 0;
+        while i < subsets.len() {
+            let current = subsets[i].clone();
+            accepting.push(current.iter().any(|&q| self.accepting[q]));
+            let mut row = Vec::with_capacity(k);
+            for s in self.alphabet.symbols() {
+                let mut next = BTreeSet::new();
+                for &q in &current {
+                    for &(label, t) in &self.transitions[q] {
+                        if label == s {
+                            next.insert(t);
+                        }
+                    }
+                }
+                let next = self.closure(&next);
+                let id = *index.entry(next.clone()).or_insert_with(|| {
+                    subsets.push(next);
+                    subsets.len() - 1
+                });
+                row.push(StateId(id as u32));
+            }
+            transitions.push(row);
+            i += 1;
+        }
+        Dfa::from_parts(self.alphabet.clone(), transitions, accepting, StateId(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma() -> Alphabet {
+        Alphabet::from_chars("ab").unwrap()
+    }
+
+    fn w(text: &str) -> Word {
+        Word::from_str(text, &sigma()).unwrap()
+    }
+
+    /// NFA for (a|b)*abb — the classic dragon-book example.
+    fn dragon() -> Nfa {
+        let sigma = sigma();
+        let a = sigma.symbol('a').unwrap();
+        let b = sigma.symbol('b').unwrap();
+        let mut n = Nfa::new(sigma);
+        let s: Vec<usize> = (0..4).map(|_| n.add_state()).collect();
+        n.add_transition(s[0], a, s[0]);
+        n.add_transition(s[0], b, s[0]);
+        n.add_transition(s[0], a, s[1]);
+        n.add_transition(s[1], b, s[2]);
+        n.add_transition(s[2], b, s[3]);
+        n.set_start(s[0]);
+        n.add_accepting(s[3]);
+        n
+    }
+
+    #[test]
+    fn direct_simulation() {
+        let n = dragon();
+        assert!(n.accepts(&w("abb")));
+        assert!(n.accepts(&w("aabb")));
+        assert!(n.accepts(&w("babb")));
+        assert!(!n.accepts(&w("ab")));
+        assert!(!n.accepts(&w("abba")));
+        assert!(!n.accepts(&w("")));
+    }
+
+    #[test]
+    fn determinize_agrees_with_simulation_exhaustively() {
+        let n = dragon();
+        let d = n.determinize();
+        for len in 0..=10usize {
+            for idx in 0..(1usize << len) {
+                let text: String = (0..len)
+                    .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
+                    .collect();
+                let word = w(&text);
+                assert_eq!(n.accepts(&word), d.accepts(&word), "{text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinized_dragon_minimizes_to_four_states() {
+        let d = dragon().determinize().minimized();
+        assert_eq!(d.state_count(), 4);
+    }
+
+    #[test]
+    fn epsilon_closure_chains() {
+        let sigma = sigma();
+        let a = sigma.symbol('a').unwrap();
+        let mut n = Nfa::new(sigma);
+        let s0 = n.add_state();
+        let s1 = n.add_state();
+        let s2 = n.add_state();
+        let s3 = n.add_state();
+        n.add_epsilon(s0, s1);
+        n.add_epsilon(s1, s2);
+        n.add_transition(s2, a, s3);
+        n.set_start(s0);
+        n.add_accepting(s3);
+        assert!(n.accepts(&w("a")));
+        assert!(!n.accepts(&w("")));
+        let d = n.determinize();
+        assert!(d.accepts(&w("a")));
+        assert!(!d.accepts(&w("aa")));
+    }
+
+    #[test]
+    fn empty_nfa_rejects_everything() {
+        let n = Nfa::new(sigma());
+        assert!(!n.accepts(&w("")));
+        let d = n.determinize();
+        assert!(!d.accepts(&w("")));
+        assert!(!d.accepts(&w("ab")));
+    }
+
+    #[test]
+    fn accepting_start_accepts_empty_word() {
+        let mut n = Nfa::new(sigma());
+        let s0 = n.add_state();
+        n.set_start(s0);
+        n.add_accepting(s0);
+        assert!(n.accepts(&w("")));
+        assert!(n.determinize().accepts(&w("")));
+    }
+}

@@ -1,0 +1,409 @@
+//! A small regular-expression front-end.
+//!
+//! Supports the operators needed to state the paper's regular workloads:
+//! concatenation, alternation `|`, grouping `(...)`, Kleene star `*`, plus
+//! `+`, option `?`, the any-symbol dot `.`, character classes `[abc]`, and
+//! backslash escapes for metacharacters. Patterns compile via the Thompson
+//! construction to an [`Nfa`] and from there (subset construction) to a
+//! complete [`Dfa`].
+
+use crate::{Alphabet, AutomataError, Dfa, Nfa, Symbol};
+
+/// A parsed regular expression over a fixed [`Alphabet`].
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_automata::{Alphabet, Regex, Word};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let re = Regex::parse("a(a|b)*b", &sigma)?;
+/// let dfa = re.compile();
+/// assert!(dfa.accepts(&Word::from_str("ab", &sigma)?));
+/// assert!(dfa.accepts(&Word::from_str("aabab", &sigma)?));
+/// assert!(!dfa.accepts(&Word::from_str("ba", &sigma)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    alphabet: Alphabet,
+    ast: Ast,
+    pattern: String,
+}
+
+#[derive(Debug, Clone)]
+enum Ast {
+    /// Matches only the empty word.
+    Empty,
+    /// A single symbol.
+    Literal(Symbol),
+    /// Any one of the listed symbols (`.` or `[...]`).
+    Class(Vec<Symbol>),
+    Concat(Box<Ast>, Box<Ast>),
+    Alternate(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Optional(Box<Ast>),
+}
+
+impl Regex {
+    /// Parses `pattern` over `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::RegexParse`] with the byte offset of the
+    /// first problem, or [`AutomataError::UnknownSymbol`] if a literal is
+    /// not in the alphabet.
+    pub fn parse(pattern: &str, alphabet: &Alphabet) -> Result<Self, AutomataError> {
+        let mut p = Parser {
+            chars: pattern.char_indices().collect(),
+            pos: 0,
+            alphabet,
+        };
+        let ast = p.alternation()?;
+        if p.pos < p.chars.len() {
+            return Err(AutomataError::RegexParse {
+                at: p.chars[p.pos].0,
+                message: format!("unexpected {:?}", p.chars[p.pos].1),
+            });
+        }
+        Ok(Self {
+            alphabet: alphabet.clone(),
+            ast,
+            pattern: pattern.to_owned(),
+        })
+    }
+
+    /// The original pattern text.
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The alphabet the pattern was parsed against.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Thompson construction to an [`Nfa`].
+    #[must_use]
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::new(self.alphabet.clone());
+        let (start, end) = build(&mut nfa, &self.ast);
+        nfa.set_start(start);
+        nfa.add_accepting(end);
+        nfa
+    }
+
+    /// Compiles to a complete [`Dfa`] (subset construction, not minimized).
+    #[must_use]
+    pub fn compile(&self) -> Dfa {
+        self.to_nfa().determinize()
+    }
+}
+
+/// Builds the fragment for `ast`, returning `(start, accept)` states.
+fn build(nfa: &mut Nfa, ast: &Ast) -> (usize, usize) {
+    match ast {
+        Ast::Empty => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_epsilon(s, e);
+            (s, e)
+        }
+        Ast::Literal(sym) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_transition(s, *sym, e);
+            (s, e)
+        }
+        Ast::Class(symbols) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            for &sym in symbols {
+                nfa.add_transition(s, sym, e);
+            }
+            (s, e)
+        }
+        Ast::Concat(a, b) => {
+            let (sa, ea) = build(nfa, a);
+            let (sb, eb) = build(nfa, b);
+            nfa.add_epsilon(ea, sb);
+            (sa, eb)
+        }
+        Ast::Alternate(a, b) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (sa, ea) = build(nfa, a);
+            let (sb, eb) = build(nfa, b);
+            nfa.add_epsilon(s, sa);
+            nfa.add_epsilon(s, sb);
+            nfa.add_epsilon(ea, e);
+            nfa.add_epsilon(eb, e);
+            (s, e)
+        }
+        Ast::Star(a) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (sa, ea) = build(nfa, a);
+            nfa.add_epsilon(s, sa);
+            nfa.add_epsilon(s, e);
+            nfa.add_epsilon(ea, sa);
+            nfa.add_epsilon(ea, e);
+            (s, e)
+        }
+        Ast::Plus(a) => {
+            let (sa, ea) = build(nfa, a);
+            let e = nfa.add_state();
+            nfa.add_epsilon(ea, sa);
+            nfa.add_epsilon(ea, e);
+            (sa, e)
+        }
+        Ast::Optional(a) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (sa, ea) = build(nfa, a);
+            nfa.add_epsilon(s, sa);
+            nfa.add_epsilon(s, e);
+            nfa.add_epsilon(ea, e);
+            (s, e)
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a Alphabet,
+}
+
+const METACHARS: &[char] = &['(', ')', '[', ']', '|', '*', '+', '?', '.', '\\'];
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or_else(|| self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()), |&(i, _)| i)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> AutomataError {
+        AutomataError::RegexParse { at: self.byte_at(), message: message.into() }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, AutomataError> {
+        let mut left = self.concat()?;
+        while self.peek() == Some('|') {
+            self.bump();
+            let right = self.concat()?;
+            left = Ast::Alternate(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn concat(&mut self) -> Result<Ast, AutomataError> {
+        let mut parts: Vec<Ast> = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(parts
+            .into_iter()
+            .reduce(|a, b| Ast::Concat(Box::new(a), Box::new(b)))
+            .unwrap_or(Ast::Empty))
+    }
+
+    fn repeat(&mut self) -> Result<Ast, AutomataError> {
+        let mut atom = self.atom()?;
+        while let Some(c) = self.peek() {
+            atom = match c {
+                '*' => Ast::Star(Box::new(atom)),
+                '+' => Ast::Plus(Box::new(atom)),
+                '?' => Ast::Optional(Box::new(atom)),
+                _ => break,
+            };
+            self.bump();
+        }
+        Ok(atom)
+    }
+
+    fn atom(&mut self) -> Result<Ast, AutomataError> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of pattern")),
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                let mut symbols = Vec::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.error("unterminated '['")),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let c = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                            symbols.push(self.lookup(c)?);
+                        }
+                        Some(c) => symbols.push(self.lookup(c)?),
+                    }
+                }
+                if symbols.is_empty() {
+                    return Err(self.error("empty character class"));
+                }
+                Ok(Ast::Class(symbols))
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::Class(self.alphabet.symbols().collect()))
+            }
+            Some('\\') => {
+                self.bump();
+                let c = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                Ok(Ast::Literal(self.lookup(c)?))
+            }
+            Some(c) if METACHARS.contains(&c) => Err(self.error(format!("unexpected {c:?}"))),
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(self.lookup(c)?))
+            }
+        }
+    }
+
+    fn lookup(&self, c: char) -> Result<Symbol, AutomataError> {
+        self.alphabet.symbol(c).ok_or(AutomataError::UnknownSymbol(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Word;
+
+    fn sigma() -> Alphabet {
+        Alphabet::from_chars("ab").unwrap()
+    }
+
+    fn matches(pattern: &str, text: &str) -> bool {
+        let sigma = sigma();
+        let re = Regex::parse(pattern, &sigma).unwrap();
+        re.compile().accepts(&Word::from_str(text, &sigma).unwrap())
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        assert!(matches("ab", "ab"));
+        assert!(!matches("ab", "a"));
+        assert!(!matches("ab", "ba"));
+        assert!(!matches("ab", "abb"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_word() {
+        assert!(matches("", ""));
+        assert!(!matches("", "a"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(matches("a|b", "a"));
+        assert!(matches("a|b", "b"));
+        assert!(!matches("a|b", "ab"));
+        assert!(matches("ab|ba", "ba"));
+        assert!(matches("a|", "")); // right side empty
+    }
+
+    #[test]
+    fn star_plus_optional() {
+        assert!(matches("a*", ""));
+        assert!(matches("a*", "aaaa"));
+        assert!(!matches("a+", ""));
+        assert!(matches("a+", "aaa"));
+        assert!(matches("a?", ""));
+        assert!(matches("a?", "a"));
+        assert!(!matches("a?", "aa"));
+    }
+
+    #[test]
+    fn grouping_and_nesting() {
+        assert!(matches("(ab)*", ""));
+        assert!(matches("(ab)*", "ababab"));
+        assert!(!matches("(ab)*", "aba"));
+        assert!(matches("((a|b)b)+", "abbb"));
+        assert!(matches("a(ba)*b?", "ababab"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(matches(".", "a"));
+        assert!(matches(".", "b"));
+        assert!(!matches(".", ""));
+        assert!(matches("[ab]a", "aa"));
+        assert!(matches("[ab]a", "ba"));
+        assert!(matches("..*", "abbab"));
+    }
+
+    #[test]
+    fn stacked_quantifiers() {
+        // (a*)* etc. must not loop forever during construction or matching.
+        assert!(matches("(a*)*", "aaa"));
+        assert!(matches("(a*)*", ""));
+        assert!(matches("(a?)+", ""));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let sigma = sigma();
+        match Regex::parse("a)b", &sigma) {
+            Err(AutomataError::RegexParse { at, .. }) => assert_eq!(at, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(Regex::parse("(ab", &sigma).is_err());
+        assert!(Regex::parse("[", &sigma).is_err());
+        assert!(Regex::parse("[]", &sigma).is_err());
+        assert!(Regex::parse("a\\", &sigma).is_err());
+        assert!(matches!(
+            Regex::parse("ax", &sigma),
+            Err(AutomataError::UnknownSymbol('x'))
+        ));
+    }
+
+    #[test]
+    fn leading_quantifier_rejected() {
+        assert!(Regex::parse("*a", &sigma()).is_err());
+        assert!(Regex::parse("|*", &sigma()).is_err());
+    }
+
+    #[test]
+    fn dragon_book_pattern() {
+        let sigma = sigma();
+        let d = Regex::parse("(a|b)*abb", &sigma).unwrap().compile().minimized();
+        assert_eq!(d.state_count(), 4);
+        assert!(d.accepts(&Word::from_str("aabb", &sigma).unwrap()));
+        assert!(!d.accepts(&Word::from_str("abab", &sigma).unwrap()));
+    }
+
+    #[test]
+    fn pattern_accessor_roundtrip() {
+        let re = Regex::parse("(ab)*", &sigma()).unwrap();
+        assert_eq!(re.pattern(), "(ab)*");
+        assert_eq!(re.alphabet().len(), 2);
+    }
+}

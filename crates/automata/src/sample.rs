@@ -1,0 +1,302 @@
+//! Per-length word counting, enumeration, and uniform sampling.
+//!
+//! The experiments need, for each language and ring size `n`, words that
+//! are *in* the language (to measure accepting executions) and words that
+//! are *not* (to measure rejecting ones). For regular workloads this module
+//! does it exactly: a dynamic program over the DFA counts the words of each
+//! length per state, which yields uniform sampling and full enumeration.
+
+use rand::Rng;
+
+use crate::{Dfa, StateId, Word};
+
+/// Counts, enumerates, and uniformly samples the words of a fixed length
+/// accepted by a [`Dfa`].
+///
+/// Construction runs the counting DP up to `max_len` once; queries are then
+/// cheap. Counts saturate at `u128::MAX` (relevant only for alphabets and
+/// lengths far beyond the experiments').
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_automata::{Alphabet, Regex, WordSampler};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let dfa = Regex::parse("(ab)*", &sigma)?.compile();
+/// let sampler = WordSampler::new(&dfa, 8);
+/// assert_eq!(sampler.count(4), 1); // only "abab"
+/// assert_eq!(sampler.count(5), 0);
+/// let words = sampler.enumerate(6);
+/// assert_eq!(words.len(), 1);
+/// assert_eq!(words[0].render(&sigma), "ababab");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WordSampler {
+    dfa: Dfa,
+    /// `counts[len][state]` = number of words of length `len` leading from
+    /// `state` to an accepting state.
+    counts: Vec<Vec<u128>>,
+}
+
+impl WordSampler {
+    /// Builds the counting tables for word lengths `0..=max_len`.
+    #[must_use]
+    pub fn new(dfa: &Dfa, max_len: usize) -> Self {
+        let n = dfa.state_count();
+        let mut counts: Vec<Vec<u128>> = Vec::with_capacity(max_len + 1);
+        counts.push(
+            (0..n)
+                .map(|q| u128::from(dfa.is_accepting(StateId(q as u32))))
+                .collect(),
+        );
+        for len in 1..=max_len {
+            let prev = &counts[len - 1];
+            let row: Vec<u128> = (0..n)
+                .map(|q| {
+                    dfa.alphabet()
+                        .symbols()
+                        .map(|s| prev[dfa.step(StateId(q as u32), s).index()])
+                        .fold(0u128, u128::saturating_add)
+                })
+                .collect();
+            counts.push(row);
+        }
+        Self { dfa: dfa.clone(), counts }
+    }
+
+    /// The automaton the sampler was built from.
+    #[must_use]
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Highest length the tables cover.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.counts.len() - 1
+    }
+
+    /// Number of accepted words of exactly length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > max_len`.
+    #[must_use]
+    pub fn count(&self, len: usize) -> u128 {
+        self.counts[len][self.dfa.start().index()]
+    }
+
+    /// Samples a uniformly random accepted word of length `len`, or `None`
+    /// if no such word exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > max_len`.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Option<Word> {
+        let total = self.count(len);
+        if total == 0 {
+            return None;
+        }
+        let mut target = random_u128_below(rng, total);
+        let mut word = Word::new();
+        let mut state = self.dfa.start();
+        for remaining in (0..len).rev() {
+            for s in self.dfa.alphabet().symbols() {
+                let next = self.dfa.step(state, s);
+                let ways = self.counts[remaining][next.index()];
+                if target < ways {
+                    word.push(s);
+                    state = next;
+                    break;
+                }
+                target -= ways;
+            }
+        }
+        debug_assert_eq!(word.len(), len);
+        debug_assert!(self.dfa.accepts(&word));
+        Some(word)
+    }
+
+    /// Enumerates every accepted word of length `len`, in symbol order.
+    ///
+    /// Intended for exhaustive small-`n` verification; the result can be
+    /// astronomically large for permissive automata at big lengths, so
+    /// callers should gate on [`count`](WordSampler::count) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > max_len`.
+    #[must_use]
+    pub fn enumerate(&self, len: usize) -> Vec<Word> {
+        let mut out = Vec::new();
+        let mut prefix = Word::new();
+        self.enumerate_rec(self.dfa.start(), len, &mut prefix, &mut out);
+        out
+    }
+
+    fn enumerate_rec(&self, state: StateId, remaining: usize, prefix: &mut Word, out: &mut Vec<Word>) {
+        if remaining == 0 {
+            if self.dfa.is_accepting(state) {
+                out.push(prefix.clone());
+            }
+            return;
+        }
+        for s in self.dfa.alphabet().symbols() {
+            let next = self.dfa.step(state, s);
+            if self.counts[remaining - 1][next.index()] == 0 {
+                continue; // prune dead branches
+            }
+            prefix.push(s);
+            self.enumerate_rec(next, remaining - 1, prefix, out);
+            let mut symbols = prefix.symbols().to_vec();
+            symbols.pop();
+            *prefix = Word::from_symbols(symbols);
+        }
+    }
+}
+
+/// Uniform value in `0..bound` (bound > 0) built from two `u64` draws.
+fn random_u128_below<R: Rng + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if let Ok(small) = u64::try_from(bound) {
+        return u128::from(rng.gen_range(0..small));
+    }
+    // Rejection sampling on the full 128-bit range.
+    loop {
+        let hi = u128::from(rng.gen::<u64>());
+        let lo = u128::from(rng.gen::<u64>());
+        let v = (hi << 64) | lo;
+        // Accept if within the largest multiple of `bound`.
+        let limit = u128::MAX - (u128::MAX % bound);
+        if v < limit {
+            return v % bound;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Alphabet, Regex};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn compile(pattern: &str) -> Dfa {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        Regex::parse(pattern, &sigma).unwrap().compile()
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        for pattern in ["(ab)*", "a*b*", "(a|b)*abb", ".?.?.?"] {
+            let dfa = compile(pattern);
+            let sampler = WordSampler::new(&dfa, 10);
+            for len in 0..=10usize {
+                let brute = (0..(1usize << len))
+                    .filter(|idx| {
+                        let text: String = (0..len)
+                            .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
+                            .collect();
+                        dfa.accepts(&Word::from_str(&text, &sigma).unwrap())
+                    })
+                    .count() as u128;
+                assert_eq!(sampler.count(len), brute, "{pattern} at len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_matches_count_and_accepts() {
+        let dfa = compile("a*b*");
+        let sampler = WordSampler::new(&dfa, 9);
+        for len in 0..=9usize {
+            let words = sampler.enumerate(len);
+            assert_eq!(words.len() as u128, sampler.count(len));
+            for w in &words {
+                assert_eq!(w.len(), len);
+                assert!(dfa.accepts(w));
+            }
+            // Distinct.
+            let set: std::collections::HashSet<_> = words.iter().collect();
+            assert_eq!(set.len(), words.len());
+        }
+    }
+
+    #[test]
+    fn sample_returns_accepted_words_of_right_length() {
+        let dfa = compile("(a|b)*abb");
+        let sampler = WordSampler::new(&dfa, 32);
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [3usize, 4, 10, 32] {
+            for _ in 0..50 {
+                let w = sampler.sample(len, &mut rng).unwrap();
+                assert_eq!(w.len(), len);
+                assert!(dfa.accepts(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // a*b* has length-3 words: aaa aab abb bbb → 4 words.
+        let dfa = compile("a*b*");
+        let sampler = WordSampler::new(&dfa, 3);
+        assert_eq!(sampler.count(3), 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut histogram = std::collections::HashMap::new();
+        let draws = 4000;
+        for _ in 0..draws {
+            let w = sampler.sample(3, &mut rng).unwrap();
+            *histogram.entry(w.render(dfa.alphabet())).or_insert(0usize) += 1;
+        }
+        assert_eq!(histogram.len(), 4);
+        for (word, n) in histogram {
+            let expected = draws / 4;
+            assert!(
+                n > expected / 2 && n < expected * 2,
+                "{word} drawn {n} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_lengths_return_none() {
+        let dfa = compile("(ab)*");
+        let sampler = WordSampler::new(&dfa, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.count(3), 0);
+        assert!(sampler.sample(3, &mut rng).is_none());
+        assert!(sampler.enumerate(5).is_empty());
+    }
+
+    #[test]
+    fn length_zero_is_the_empty_word() {
+        let dfa = compile("a*");
+        let sampler = WordSampler::new(&dfa, 4);
+        assert_eq!(sampler.count(0), 1);
+        let words = sampler.enumerate(0);
+        assert_eq!(words.len(), 1);
+        assert!(words[0].is_empty());
+    }
+
+    #[test]
+    fn complement_sampler_gives_negative_examples() {
+        let dfa = compile("(ab)*");
+        let negative = WordSampler::new(&dfa.complement(), 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let w = negative.sample(8, &mut rng).unwrap();
+            assert!(!dfa.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn max_len_reports_table_size() {
+        let dfa = compile("a*");
+        assert_eq!(WordSampler::new(&dfa, 13).max_len(), 13);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the automata toolkit.
+//!
+//! The core invariants: minimization and determinization preserve the
+//! language; product constructions implement their boolean semantics;
+//! sampling only produces members.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ringleader_automata::{Alphabet, Dfa, Symbol, Word, WordSampler};
+
+/// Strategy: a random complete DFA over {a,b} with up to 8 states.
+fn random_dfa() -> impl Strategy<Value = Dfa> {
+    (1usize..=8).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(0..n, n * 2),
+            proptest::collection::vec(any::<bool>(), n),
+            0..n,
+        )
+            .prop_map(|(n, targets, accepting, start)| {
+                let sigma = Alphabet::from_chars("ab").unwrap();
+                Dfa::from_fn(sigma, n, start, |q| accepting[q], |q, s| {
+                    targets[q * 2 + s.index()]
+                })
+                .expect("targets are in range by construction")
+            })
+    })
+}
+
+/// Strategy: a random word over {a,b} up to length 12.
+fn random_word() -> impl Strategy<Value = Word> {
+    proptest::collection::vec(0u16..2, 0..12)
+        .prop_map(|v| Word::from_symbols(v.into_iter().map(Symbol).collect()))
+}
+
+proptest! {
+    #[test]
+    fn minimization_preserves_language(dfa in random_dfa(), words in proptest::collection::vec(random_word(), 1..30)) {
+        let m = dfa.minimized();
+        prop_assert!(m.state_count() <= dfa.state_count().max(1));
+        for w in &words {
+            prop_assert_eq!(dfa.accepts(w), m.accepts(w));
+        }
+        prop_assert!(m.equivalent(&dfa).unwrap());
+    }
+
+    #[test]
+    fn minimized_is_canonical_for_equivalent_automata(dfa in random_dfa()) {
+        // Minimizing an automaton and its trimmed copy yields identical
+        // (not just equivalent) DFAs thanks to BFS renumbering.
+        let m1 = dfa.minimized();
+        let m2 = dfa.trimmed().minimized();
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn complement_is_involutive_and_disjoint(dfa in random_dfa(), w in random_word()) {
+        let c = dfa.complement();
+        prop_assert_eq!(dfa.accepts(&w), !c.accepts(&w));
+        prop_assert_eq!(c.complement().accepts(&w), dfa.accepts(&w));
+    }
+
+    #[test]
+    fn product_semantics(a in random_dfa(), b in random_dfa(), w in random_word()) {
+        let inter = a.intersect(&b).unwrap();
+        let uni = a.union(&b).unwrap();
+        let sym = a.symmetric_difference(&b).unwrap();
+        prop_assert_eq!(inter.accepts(&w), a.accepts(&w) && b.accepts(&w));
+        prop_assert_eq!(uni.accepts(&w), a.accepts(&w) || b.accepts(&w));
+        prop_assert_eq!(sym.accepts(&w), a.accepts(&w) != b.accepts(&w));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_respects_complement(dfa in random_dfa()) {
+        prop_assert!(dfa.equivalent(&dfa).unwrap());
+        prop_assert!(dfa.equivalent(&dfa.minimized()).unwrap());
+        // A DFA equals its complement only if... never (some word differs,
+        // since every word is in exactly one of the two).
+        prop_assert!(!dfa.equivalent(&dfa.complement()).unwrap());
+    }
+
+    #[test]
+    fn shortest_accepted_is_shortest(dfa in random_dfa()) {
+        if let Some(w) = dfa.shortest_accepted() {
+            prop_assert!(dfa.accepts(&w));
+            // No strictly shorter accepted word exists: check exhaustively.
+            let sampler = WordSampler::new(&dfa, w.len().saturating_sub(1));
+            for len in 0..w.len() {
+                prop_assert_eq!(sampler.count(len), 0, "found shorter word at length {}", len);
+            }
+        } else {
+            // Empty language: no accepted word up to a healthy bound.
+            let sampler = WordSampler::new(&dfa, 16);
+            for len in 0..=16usize {
+                prop_assert_eq!(sampler.count(len), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_counts_sum_over_first_letter(dfa in random_dfa(), len in 1usize..10) {
+        // count(len, q0) = Σ_σ count(len-1, δ(q0,σ)) — the DP invariant,
+        // verified against an independent sampler built per successor.
+        let sampler = WordSampler::new(&dfa, len);
+        let total = sampler.count(len);
+        let mut sum = 0u128;
+        for s in dfa.alphabet().symbols() {
+            let mut word = Word::new();
+            word.push(s);
+            // Build a DFA that starts at δ(q0, σ).
+            let shifted = Dfa::from_fn(
+                dfa.alphabet().clone(),
+                dfa.state_count(),
+                dfa.step(dfa.start(), s).index(),
+                |q| dfa.is_accepting(ringleader_automata::StateId(q as u32)),
+                |q, sym| dfa.step(ringleader_automata::StateId(q as u32), sym).index(),
+            )
+            .unwrap();
+            sum = sum.saturating_add(WordSampler::new(&shifted, len - 1).count(len - 1));
+        }
+        prop_assert_eq!(total, sum);
+    }
+
+    #[test]
+    fn samples_are_members(dfa in random_dfa(), len in 0usize..14, seed: u64) {
+        let sampler = WordSampler::new(&dfa, len);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match sampler.sample(len, &mut rng) {
+            Some(w) => {
+                prop_assert_eq!(w.len(), len);
+                prop_assert!(dfa.accepts(&w));
+            }
+            None => prop_assert_eq!(sampler.count(len), 0),
+        }
+    }
+
+    #[test]
+    fn run_decomposes_over_concat(dfa in random_dfa(), u in random_word(), v in random_word()) {
+        // δ*(q0, uv) = δ*(δ*(q0,u), v): the exact property Theorem 1's
+        // state-forwarding protocol relies on.
+        let mid = dfa.run(&u);
+        let direct = dfa.run(&u.concat(&v));
+        let composed = dfa.run_from(mid, &v);
+        prop_assert_eq!(direct, composed);
+    }
+}

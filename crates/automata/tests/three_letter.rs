@@ -1,0 +1,141 @@
+//! Cross-validation on a three-letter alphabet.
+//!
+//! Most unit tests use `{a, b}`; the ring experiments also run over
+//! `{0,1,2}` and `{a,b,c}`, so the toolkit's alphabet-genericity deserves
+//! its own coverage: regex semantics, product constructions, minimization,
+//! and sampling must all hold when `|Σ| > 2`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ringleader_automata::{Alphabet, Dfa, Regex, Word, WordSampler};
+
+fn sigma() -> Alphabet {
+    Alphabet::from_chars("abc").unwrap()
+}
+
+/// Enumerate all words of length `len` over a 3-letter alphabet.
+fn all_words(len: usize) -> Vec<Word> {
+    let sigma = sigma();
+    let mut out = Vec::new();
+    for mut idx in 0..3usize.pow(len as u32) {
+        let mut text = String::new();
+        for _ in 0..len {
+            text.push(['a', 'b', 'c'][idx % 3]);
+            idx /= 3;
+        }
+        out.push(Word::from_str(&text, &sigma).unwrap());
+    }
+    out
+}
+
+#[test]
+fn regex_semantics_over_three_letters() {
+    let sigma = sigma();
+    let cases = [
+        // (pattern, word, expected)
+        ("a(b|c)*", "abcbc", true),
+        ("a(b|c)*", "abca", false),
+        ("[ab]c[ab]c", "acbc", true),
+        ("[ab]c[ab]c", "cccc", false),
+        (".*c", "abc", true),
+        (".*c", "cba", false),
+        ("(abc)+", "abcabc", true),
+        ("(abc)+", "", false),
+        ("a?b?c?", "ac", true),
+        ("a?b?c?", "ca", false),
+    ];
+    for (pattern, text, expected) in cases {
+        let dfa = Regex::parse(pattern, &sigma).unwrap().compile();
+        let word = Word::from_str(text, &sigma).unwrap();
+        assert_eq!(dfa.accepts(&word), expected, "{pattern} on {text}");
+    }
+}
+
+#[test]
+fn de_morgan_on_three_letter_languages() {
+    // ¬(L1 ∪ L2) = ¬L1 ∩ ¬L2, verified exhaustively to length 5.
+    let sigma = sigma();
+    let l1 = Regex::parse("a.*", &sigma).unwrap().compile();
+    let l2 = Regex::parse(".*c", &sigma).unwrap().compile();
+    let lhs = l1.union(&l2).unwrap().complement();
+    let rhs = l1.complement().intersect(&l2.complement()).unwrap();
+    assert!(lhs.equivalent(&rhs).unwrap());
+    for len in 0..=5usize {
+        for w in all_words(len) {
+            assert_eq!(lhs.accepts(&w), rhs.accepts(&w));
+        }
+    }
+}
+
+#[test]
+fn minimization_collapses_three_letter_redundancy() {
+    // Build a deliberately redundant automaton: state q tracks the last
+    // letter (3 states + start), but acceptance only depends on whether
+    // the last letter was 'c' — minimization must find the 2-class truth.
+    let sigma = sigma();
+    // States: 0 = start/last-a, 1 = last-b, 2 = last-c.
+    let dfa = Dfa::from_fn(sigma, 3, 0, |q| q == 2, |_, s| s.index()).unwrap();
+    let minimal = dfa.minimized();
+    assert_eq!(minimal.state_count(), 2);
+    assert!(minimal.equivalent(&dfa).unwrap());
+}
+
+#[test]
+fn sampler_counts_powers_of_three() {
+    let sigma = sigma();
+    let universal = Regex::parse(".*", &sigma).unwrap().compile();
+    let sampler = WordSampler::new(&universal, 12);
+    for len in 0..=12usize {
+        assert_eq!(sampler.count(len), 3u128.pow(len as u32), "len={len}");
+    }
+}
+
+#[test]
+fn sampler_uniformity_on_constrained_language() {
+    // Words of length 3 with exactly one 'c': 3 positions × 2² fillings = 12.
+    let sigma = sigma();
+    let lang = Regex::parse("c[ab][ab]|[ab]c[ab]|[ab][ab]c", &sigma).unwrap().compile();
+    let sampler = WordSampler::new(&lang, 3);
+    assert_eq!(sampler.count(3), 12);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..2400 {
+        let w = sampler.sample(3, &mut rng).unwrap();
+        *seen.entry(w.render(&sigma)).or_insert(0usize) += 1;
+    }
+    assert_eq!(seen.len(), 12, "all twelve words should appear");
+    for (word, count) in seen {
+        assert!(count > 100 && count < 400, "{word}: {count}/2400");
+    }
+}
+
+#[test]
+fn shortest_accepted_with_three_letters() {
+    let sigma = sigma();
+    let dfa = Regex::parse("(a|b)(a|b)c", &sigma).unwrap().compile();
+    let w = dfa.shortest_accepted().unwrap();
+    assert_eq!(w.len(), 3);
+    assert!(dfa.accepts(&w));
+    // Symbol-order BFS gives the lexicographically least witness: "aac".
+    assert_eq!(w.render(&sigma), "aac");
+}
+
+#[test]
+fn enumerate_agrees_with_brute_force() {
+    let sigma = sigma();
+    let dfa = Regex::parse("a.*c", &sigma).unwrap().compile();
+    let sampler = WordSampler::new(&dfa, 6);
+    for len in 0..=6usize {
+        let enumerated: std::collections::HashSet<String> = sampler
+            .enumerate(len)
+            .into_iter()
+            .map(|w| w.render(&sigma))
+            .collect();
+        let brute: std::collections::HashSet<String> = all_words(len)
+            .into_iter()
+            .filter(|w| dfa.accepts(w))
+            .map(|w| w.render(&sigma))
+            .collect();
+        assert_eq!(enumerated, brute, "len={len}");
+    }
+}

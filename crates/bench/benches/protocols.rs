@@ -1,0 +1,303 @@
+//! Criterion wall-clock benches: one group per experiment family.
+//!
+//! The paper's metric (bits) is measured exactly by the `experiments`
+//! binary; these benches track the *simulator's* throughput on the same
+//! workloads, so performance regressions in the substrate are caught the
+//! same way correctness regressions are.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringleader_automata::{Alphabet, Word};
+use ringleader_core::{
+    BidirMeetInMiddle, CollectAll, CountRingSize, CutLinkAdapter, DfaOnePass,
+    LengthPredicateKnownN, LgRecognizer, MessageGraphExplorer, OnePassParity, ThreeCounters,
+    TwoPassParity, WcWPrefixForward,
+};
+use ringleader_langs::{
+    AnBnCn, DfaLanguage, GrowthFunction, Language, LgLanguage, PowerOfTwoLength, WcW,
+};
+use ringleader_sim::RingRunner;
+
+fn sizes() -> [usize; 3] {
+    [64, 256, 1024]
+}
+
+/// E1: the Theorem 1 one-pass recognizer.
+fn bench_e1_regular(c: &mut Criterion) {
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("e1_regular_one_pass");
+    for n in sizes() {
+        let word = lang
+            .positive_example(n, &mut rng)
+            .or_else(|| lang.negative_example(n, &mut rng))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E2: message-graph extraction.
+fn bench_e2_graph(c: &mut Criterion) {
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*a(a|b)(a|b)", &sigma).unwrap();
+    let dfa_proto = DfaOnePass::new(&lang);
+    let parity = OnePassParity::new(2);
+    let mut group = c.benchmark_group("e2_message_graph");
+    group.bench_function("extract_dfa", |b| {
+        b.iter(|| MessageGraphExplorer::new(10_000).explore(&dfa_proto));
+    });
+    group.bench_function("extract_parity_k2", |b| {
+        b.iter(|| MessageGraphExplorer::new(100_000).explore(&parity));
+    });
+    group.bench_function("diverge_counting_500", |b| {
+        b.iter(|| MessageGraphExplorer::new(500).explore(&CountRingSize::probe()));
+    });
+    group.finish();
+}
+
+/// E3: traced runs + information-state extraction.
+fn bench_e3_infostate(c: &mut Criterion) {
+    let proto = ThreeCounters::new();
+    let sigma = proto.language().alphabet().clone();
+    let words: Vec<Word> = ringleader_core::infostate::exhaustive_words(&sigma, 5);
+    c.bench_function("e3_info_state_census_3pow5", |b| {
+        b.iter(|| ringleader_core::analyze_info_states(&proto, &words).unwrap());
+    });
+}
+
+/// E4: the cut-link transformation.
+fn bench_e4_reroute(c: &mut Criterion) {
+    let unary = Alphabet::from_chars("a").unwrap();
+    let inner = CountRingSize::probe();
+    let adapted = CutLinkAdapter::new(inner.clone());
+    let mut group = c.benchmark_group("e4_cut_link");
+    for n in sizes() {
+        let word = Word::from_str(&"a".repeat(n), &unary).unwrap();
+        group.bench_with_input(BenchmarkId::new("plain", n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&inner, w).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("rerouted", n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&adapted, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E5: the bidirectional meet-in-the-middle recognizer.
+fn bench_e5_bidirectional(c: &mut Criterion) {
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+    let proto = BidirMeetInMiddle::new(&lang);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("e5_bidirectional");
+    for n in sizes() {
+        let word = lang
+            .positive_example(n, &mut rng)
+            .or_else(|| lang.negative_example(n, &mut rng))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E6: the quadratic wcw recognizer.
+fn bench_e6_wcw(c: &mut Criterion) {
+    let lang = WcW::new();
+    let proto = WcWPrefixForward::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("e6_wcw");
+    group.sample_size(20);
+    for n in [65usize, 257, 513] {
+        let word = lang.positive_example(n, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E7: three counters vs collect-all.
+fn bench_e7_counters(c: &mut Criterion) {
+    let lang = AnBnCn::new();
+    let counters = ThreeCounters::new();
+    let collect = CollectAll::new(Arc::new(AnBnCn::new()));
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("e7_anbncn");
+    group.sample_size(20);
+    for n in [66usize, 258, 1026] {
+        let word = lang.positive_example(n, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("three_counters", n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&counters, w).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("collect_all", n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&collect, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E8: the L_g hierarchy tiers.
+fn bench_e8_hierarchy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("e8_hierarchy");
+    group.sample_size(20);
+    for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN, GrowthFunction::NSquaredHalf] {
+        let lang = LgLanguage::new(g);
+        let proto = LgRecognizer::new(&lang);
+        let word = lang.positive_example(256, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(g.label()), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E9: known-n mode.
+fn bench_e9_known_n(c: &mut Criterion) {
+    let lang = PowerOfTwoLength::new();
+    let known = LengthPredicateKnownN::new(
+        ringleader_automata::Symbol(0),
+        Arc::new(|n: usize| n.is_power_of_two()),
+    );
+    let unknown = CountRingSize::new(Arc::new(|n: usize| n.is_power_of_two()));
+    let word = {
+        let mut rng = StdRng::seed_from_u64(7);
+        lang.positive_example(1024, &mut rng).unwrap()
+    };
+    let mut group = c.benchmark_group("e9_known_n");
+    group.bench_function("known_n_1024", |b| {
+        let mut runner = RingRunner::new();
+        runner.known_ring_size(true);
+        b.iter(|| runner.run(&known, &word).unwrap());
+    });
+    group.bench_function("unknown_n_1024", |b| {
+        b.iter(|| RingRunner::new().run(&unknown, &word).unwrap());
+    });
+    group.finish();
+}
+
+/// E10: the pass/bit trade-off family.
+fn bench_e10_tradeoff(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("e10_tradeoff");
+    for k in [1u32, 3, 5] {
+        let two = TwoPassParity::new(k);
+        let one = OnePassParity::new(k);
+        let word = two.language().positive_example(120, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("two_pass", k), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&two, w).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("one_pass", k), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&one, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E11: collect-all across ring sizes.
+fn bench_e11_collect(c: &mut Criterion) {
+    let lang = AnBnCn::new();
+    let proto = CollectAll::new(Arc::new(AnBnCn::new()));
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut group = c.benchmark_group("e11_collect_all");
+    group.sample_size(20);
+    for n in [66usize, 258, 1026] {
+        let word = lang.positive_example(n, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E12: event engine vs schedulers vs threads.
+fn bench_e12_backends(c: &mut Criterion) {
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let mut rng = StdRng::seed_from_u64(10);
+    let word = lang.positive_example(256, &mut rng).unwrap();
+    let mut group = c.benchmark_group("e12_backends");
+    group.bench_function("event_fifo_256", |b| {
+        b.iter(|| RingRunner::new().run(&proto, &word).unwrap());
+    });
+    group.bench_function("event_random_256", |b| {
+        let mut runner = RingRunner::new();
+        runner.scheduler(ringleader_sim::Scheduler::Random { seed: 1 });
+        b.iter(|| runner.run(&proto, &word).unwrap());
+    });
+    group.sample_size(10);
+    group.bench_function("threads_64", |b| {
+        let small = lang.positive_example(64, &mut rng).unwrap();
+        b.iter(|| ringleader_sim::ThreadedRunner::new().run(&proto, &small).unwrap());
+    });
+    group.finish();
+}
+
+/// A1/A2: ablation workloads (encodings + stateless replay).
+fn bench_ablations(c: &mut Criterion) {
+    use ringleader_core::{CounterEncoding, StatelessTwoPass};
+    let unary = Alphabet::from_chars("a").unwrap();
+    let word = Word::from_str(&"a".repeat(256), &unary).unwrap();
+    let mut group = c.benchmark_group("a1_counter_encodings");
+    for encoding in [
+        CounterEncoding::EliasDelta,
+        CounterEncoding::EliasGamma,
+        CounterEncoding::Unary,
+        CounterEncoding::Fixed64,
+    ] {
+        let proto = CountRingSize::probe_with_encoding(encoding);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{encoding:?}")),
+            &word,
+            |b, w| {
+                b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("a2_stateless_replay");
+    for k in [1u32, 3, 5] {
+        let stateful = TwoPassParity::new(k);
+        let stateless = StatelessTwoPass::new(k);
+        let w = stateful.language().positive_example(90, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("stateful", k), &w, |b, w| {
+            b.iter(|| RingRunner::new().run(&stateful, w).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("stateless", k), &w, |b, w| {
+            b.iter(|| RingRunner::new().run(&stateless, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_regular,
+    bench_e2_graph,
+    bench_e3_infostate,
+    bench_e4_reroute,
+    bench_e5_bidirectional,
+    bench_e6_wcw,
+    bench_e7_counters,
+    bench_e8_hierarchy,
+    bench_e9_known_n,
+    bench_e10_tradeoff,
+    bench_e11_collect,
+    bench_e12_backends,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Regenerates every quantitative claim of Mansour & Zaks (PODC 1986).
+//!
+//! ```text
+//! experiments            # run all twelve experiments, print tables
+//! experiments e7 e10     # run a subset
+//! experiments --json out.json       # also dump machine-readable results
+//! experiments --list                # list experiment ids and titles
+//! ```
+//!
+//! Exit code 0 iff every executed experiment's verdict is REPRODUCED.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use ringleader_analysis::Verdict;
+use ringleader_bench::{run_all, run_by_id};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, title) in [
+            ("e1", "Theorem 1: regular languages in n*ceil(log|Q|) bits"),
+            ("e2", "Theorem 2: message graphs (finite = regular)"),
+            ("e3", "Theorem 4: information-state census"),
+            ("e4", "Theorem 5: cut-link rerouting <= 4x"),
+            ("e5", "Theorems 6/7: bidirectional O(n)"),
+            ("e6", "Note 7.1: wcw is Theta(n^2)"),
+            ("e7", "Note 7.2: 0^n1^n2^n is Theta(n log n)"),
+            ("e8", "Note 7.3: the L_g hierarchy"),
+            ("e9", "Note 7.4: known n closes the gap"),
+            ("e10", "Note 7.5: pass/bit trade-off (exact)"),
+            ("e11", "Section 1: collect-all upper bound"),
+            ("e12", "Model validity: schedules and threads"),
+            ("a1", "Ablation: counter encodings"),
+            ("a2", "Ablation: Theorem 3 stateless replay"),
+        ] {
+            println!("{id:>4}  {title}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--json" {
+            match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+
+    let results = if ids.is_empty() {
+        run_all()
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            match run_by_id(id) {
+                Some(r) => out.push(r),
+                None => {
+                    eprintln!("unknown experiment id {id:?} (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+
+    let mut all_reproduced = true;
+    for r in &results {
+        println!("{r}");
+        if r.verdict != Verdict::Reproduced {
+            all_reproduced = false;
+        }
+    }
+
+    println!("summary: {}/{} experiments reproduced",
+        results.iter().filter(|r| r.verdict == Verdict::Reproduced).count(),
+        results.len());
+
+    if let Some(path) = json_path {
+        let payload: Vec<serde_json::Value> = results
+            .iter()
+            .map(|r| serde_json::to_value(r).expect("string-only structs serialize"))
+            .collect();
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = writeln!(
+                    f,
+                    "{}",
+                    serde_json::to_string_pretty(&payload).expect("valid JSON")
+                ) {
+                    eprintln!("failed writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if all_reproduced {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

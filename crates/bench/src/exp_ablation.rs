@@ -1,0 +1,177 @@
+//! A1 and A2: ablations of design choices DESIGN.md calls out.
+
+use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_core::{CounterEncoding, CountRingSize, StatelessTwoPass, TwoPassParity};
+use ringleader_langs::Language;
+use ringleader_sim::RingRunner;
+
+/// A1 — counter-encoding ablation: the `Θ(n log n)` counting result is a
+/// statement about *self-delimiting logarithmic* encodings, not about
+/// counters per se.
+///
+/// The same counting algorithm is run with four wire encodings. Elias
+/// delta (the default) and gamma stay in `Θ(n log n)` (gamma pays a larger
+/// constant); unary demotes the pass to `Θ(n²)` — an entire complexity
+/// tier lost to an encoding choice; a fixed 64-bit field *looks* linear
+/// but is a capped algorithm (wrong for `n ≥ 2⁶⁴`), which is why the
+/// honest protocols never use it.
+#[must_use]
+pub fn a1_encoding_ablation() -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "A1",
+        "Ablation: counter encodings vs the Θ(n log n) claim",
+        "Summary §8 uses one-pass counting at O(n log n) bits; the class depends on the counter being self-delimiting and logarithmic",
+        vec![
+            "encoding".into(),
+            "bits(n=256)".into(),
+            "bits(n=1024)".into(),
+            "ratio (4× size)".into(),
+            "class".into(),
+        ],
+    );
+    let unary_alphabet = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
+    let word = |n: usize| {
+        ringleader_automata::Word::from_str(&"a".repeat(n), &unary_alphabet)
+            .expect("unary words parse")
+    };
+    let mut all_good = true;
+    let cases = [
+        (CounterEncoding::EliasDelta, "n log n (the paper's)", 4.0, 6.0),
+        (CounterEncoding::EliasGamma, "n log n, bigger constant", 4.0, 6.0),
+        (CounterEncoding::Unary, "n² — tier lost", 14.0, 18.0),
+        (CounterEncoding::Fixed64, "64n — capped, wrong for n ≥ 2^64", 3.99, 4.01),
+    ];
+    for (encoding, class, lo, hi) in cases {
+        let proto = CountRingSize::probe_with_encoding(encoding);
+        let b256 = match RingRunner::new().run(&proto, &word(256)) {
+            Ok(o) => o.stats.total_bits,
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("{encoding:?}: {e}"));
+                continue;
+            }
+        };
+        let b1024 = match RingRunner::new().run(&proto, &word(1024)) {
+            Ok(o) => o.stats.total_bits,
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("{encoding:?}: {e}"));
+                continue;
+            }
+        };
+        // Exactness against the closed forms.
+        if b256 != encoding.predicted_pass_bits(256) || b1024 != encoding.predicted_pass_bits(1024)
+        {
+            all_good = false;
+        }
+        let ratio = b1024 as f64 / b256 as f64;
+        if ratio < lo || ratio > hi {
+            all_good = false;
+        }
+        result.push_row(vec![
+            format!("{encoding:?}"),
+            b256.to_string(),
+            b1024.to_string(),
+            format!("{ratio:.2}"),
+            class.into(),
+        ]);
+    }
+    result.push_note("growth ratios for a 4× size step: ~4 = linear, ~5 = n log n, ~16 = quadratic");
+    result.set_verdict(if all_good {
+        Verdict::Reproduced
+    } else {
+        Verdict::Failed("an encoding missed its class".into())
+    });
+    result
+}
+
+/// A2 — the Theorem 3 Stage-1 construction: making processors stateless
+/// by replaying message history costs a bounded factor, never a
+/// complexity class.
+#[must_use]
+pub fn a2_stateless_replay() -> ExperimentResult {
+    let n = 90usize;
+    let mut result = ExperimentResult::new(
+        "A2",
+        "Ablation: Theorem 3's stateless-replay construction",
+        "Theorem 3 Stage 1: an equivalent algorithm that keeps no processor state, at BIT ≤ π_A·BIT_A — a bounded blow-up",
+        vec![
+            "k".into(),
+            format!("stateful bits (n={n})"),
+            format!("stateless bits (n={n})"),
+            "blow-up".into(),
+            "≤ 2× (π_A = 2)?".into(),
+        ],
+    );
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
+    let mut all_good = true;
+    for k in 1..=5u32 {
+        let stateful = TwoPassParity::new(k);
+        let stateless = StatelessTwoPass::new(k);
+        let word = stateful
+            .language()
+            .positive_example(n, &mut rng)
+            .expect("positives exist at every length");
+        let (b_stateful, d1) = match RingRunner::new().run(&stateful, &word) {
+            Ok(o) => (o.stats.total_bits, o.accepted()),
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("stateful k={k}: {e}"));
+                continue;
+            }
+        };
+        let (b_stateless, d2) = match RingRunner::new().run(&stateless, &word) {
+            Ok(o) => (o.stats.total_bits, o.accepted()),
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("stateless k={k}: {e}"));
+                continue;
+            }
+        };
+        if d1 != d2 || !d1 {
+            all_good = false;
+        }
+        if b_stateless != stateless.predicted_bits(n) || b_stateful != stateful.predicted_bits(n) {
+            all_good = false;
+        }
+        let blowup = b_stateless as f64 / b_stateful as f64;
+        let within = b_stateless <= 2 * b_stateful;
+        if !within {
+            all_good = false;
+        }
+        result.push_row(vec![
+            k.to_string(),
+            b_stateful.to_string(),
+            b_stateless.to_string(),
+            format!("{blowup:.2}"),
+            if within { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    result.push_note("(3k+3)n vs (2k+1)n: the replay factor decays toward 1.5 as k grows — bounded by the pass count, exactly as the proof accounts");
+    result.set_verdict(if all_good {
+        Verdict::Reproduced
+    } else {
+        Verdict::Failed("the construction broke equivalence or its bound".into())
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_reproduces() {
+        let r = a1_encoding_ablation();
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn a2_reproduces() {
+        let r = a2_stateless_replay();
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.rows.iter().all(|row| row[4] == "yes"));
+    }
+}

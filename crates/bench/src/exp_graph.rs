@@ -1,0 +1,159 @@
+//! E2: the Theorem 2 message-graph construction, both directions.
+
+use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_core::{
+    CountRingSize, DfaOnePass, GraphOutcome, MessageGraphExplorer, OnePassParity, ThreeCounters,
+    WcWPrefixForward,
+};
+use ringleader_langs::{regular_corpus, Language};
+
+/// E2 — Theorem 2 / Corollary 1: an `O(n)`-bit one-pass algorithm's
+/// message graph is finite and *is* an automaton for its language; a
+/// non-regular recognizer's message set diverges.
+///
+/// For every regular protocol the extracted DFA is proven equivalent to
+/// the reference automaton (exact symmetric-difference check, not
+/// sampling). For the counter protocols the exploration must exceed its
+/// budget, with the growth profile showing *why* (one new message per
+/// depth for counting; superlinear for richer tokens).
+#[must_use]
+pub fn e2_message_graph() -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E2",
+        "Message graphs: finite = regular, divergent = non-regular",
+        "Theorem 2: O(n) one-pass => finite message graph => DFA; Corollary 1: non-regular one-pass uses infinitely many messages",
+        vec![
+            "algorithm".into(),
+            "graph".into(),
+            "messages".into(),
+            "language check".into(),
+        ],
+    );
+    let mut all_good = true;
+    let explorer = MessageGraphExplorer::new(4000);
+
+    // Finite side: every corpus DFA protocol closes and reproduces its
+    // language exactly.
+    for lang in regular_corpus() {
+        let proto = DfaOnePass::new(&lang);
+        match explorer.explore(&proto) {
+            GraphOutcome::Finite { dfa, distinct_messages } => {
+                let equivalent = dfa.equivalent(lang.dfa()).unwrap_or(false);
+                if !equivalent {
+                    all_good = false;
+                }
+                result.push_row(vec![
+                    format!("one-pass[{}]", lang.name()),
+                    "finite".into(),
+                    distinct_messages.to_string(),
+                    if equivalent { "equivalent (exact)".into() } else { "MISMATCH".into() },
+                ]);
+            }
+            GraphOutcome::Exceeded { .. } => {
+                all_good = false;
+                result.push_row(vec![
+                    format!("one-pass[{}]", lang.name()),
+                    "diverged?!".into(),
+                    "-".into(),
+                    "FAILED".into(),
+                ]);
+            }
+        }
+    }
+
+    // The one-pass parity protocol is regular but message-hungry: finite,
+    // no reference DFA to compare against (we check closure only).
+    match explorer.explore(&OnePassParity::new(2)) {
+        GraphOutcome::Finite { distinct_messages, .. } => {
+            result.push_row(vec![
+                "one-pass-parity(k=2)".into(),
+                "finite".into(),
+                distinct_messages.to_string(),
+                "regular (closure)".into(),
+            ]);
+        }
+        GraphOutcome::Exceeded { .. } => {
+            all_good = false;
+            result.push_row(vec![
+                "one-pass-parity(k=2)".into(),
+                "diverged?!".into(),
+                "-".into(),
+                "FAILED".into(),
+            ]);
+        }
+    }
+
+    // Infinite side: counter algorithms must blow the budget.
+    let divergent: [(&str, GraphOutcome); 3] = [
+        ("count-ring-size", explorer.explore(&CountRingSize::probe())),
+        ("three-counters", explorer.explore(&ThreeCounters::new())),
+        ("wcw-prefix-forward", explorer.explore(&WcWPrefixForward::new())),
+    ];
+    for (name, outcome) in divergent {
+        match outcome {
+            GraphOutcome::Exceeded { growth, budget } => {
+                let profile = growth_summary(&growth);
+                result.push_row(vec![
+                    name.into(),
+                    format!("diverged (> {budget})"),
+                    growth.last().map_or_else(|| "-".into(), ToString::to_string),
+                    profile,
+                ]);
+            }
+            GraphOutcome::Finite { distinct_messages, .. } => {
+                all_good = false;
+                result.push_row(vec![
+                    name.into(),
+                    "finite?!".into(),
+                    distinct_messages.to_string(),
+                    "FAILED (expected divergence)".into(),
+                ]);
+            }
+        }
+    }
+
+    result.push_note("equivalence via emptiness of the symmetric difference — exact, not sampled");
+    result.set_verdict(if all_good {
+        Verdict::Reproduced
+    } else {
+        Verdict::Failed("a graph landed on the wrong side of the dichotomy".into())
+    });
+    result
+}
+
+/// Summarizes a cumulative growth profile as a per-depth discovery trend.
+fn growth_summary(growth: &[usize]) -> String {
+    if growth.len() < 3 {
+        return "short profile".into();
+    }
+    let deltas: Vec<usize> = growth.windows(2).map(|w| w[1] - w[0]).collect();
+    let first = deltas.first().copied().unwrap_or(0);
+    let last = deltas.last().copied().unwrap_or(0);
+    if deltas.iter().all(|&d| d == first) {
+        format!("+{first}/depth (linear growth)")
+    } else if last > first {
+        format!("+{first}→+{last}/depth (superlinear growth)")
+    } else {
+        format!("+{first}→+{last}/depth")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_reproduces() {
+        let r = e2_message_graph();
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        // Corpus languages + parity + 3 divergent protocols.
+        assert_eq!(r.rows.len(), regular_corpus().len() + 1 + 3);
+    }
+
+    #[test]
+    fn growth_summaries_read_well() {
+        assert!(growth_summary(&[1, 2, 3, 4]).contains("linear"));
+        assert!(growth_summary(&[2, 4, 8, 16]).contains("superlinear"));
+        assert_eq!(growth_summary(&[1]), "short profile");
+    }
+}

@@ -1,0 +1,110 @@
+//! E8: the `L_g` bit-complexity hierarchy is dense (Note 7.3).
+
+use ringleader_analysis::{
+    log_log_slope, sweep_protocol, ExperimentResult, SweepConfig, Verdict,
+};
+use ringleader_core::LgRecognizer;
+use ringleader_langs::{GrowthFunction, Language, LgLanguage};
+
+/// E8 — Note 7.3: for every `g` between `n log n` and `n²` the language
+/// `L_g` costs `Θ(g(n))` bits.
+///
+/// Four growth functions spanning the band are swept; for each, the
+/// measured-bits-to-`g(n)` ratio must be stable (bounded above and below
+/// across sizes), and the log-log slopes must come out *ordered* the same
+/// way the functions are — the hierarchy is real and dense.
+#[must_use]
+pub fn e8_hierarchy() -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E8",
+        "The L_g hierarchy: Θ(g(n)) for every g in the band",
+        "Note 7.3: for every g, Ω(n log n) ≤ g ≤ O(n²), L_g requires Θ(g(n)) bits",
+        vec![
+            "g".into(),
+            "n".into(),
+            "bits".into(),
+            "g(n)".into(),
+            "bits/g(n)".into(),
+        ],
+    );
+    let growths = [
+        GrowthFunction::NLogN,
+        GrowthFunction::NQuarterLog,
+        GrowthFunction::NSqrtN,
+        GrowthFunction::NSquaredHalf,
+    ];
+    let sizes = vec![32usize, 64, 128, 256, 512];
+    let mut all_good = true;
+    let mut slopes = Vec::new();
+    for g in growths {
+        let lang = LgLanguage::new(g);
+        let proto = LgRecognizer::new(&lang);
+        let config = SweepConfig::with_sizes(sizes.clone());
+        let points = match sweep_protocol(&proto, &lang, &config) {
+            Ok(p) => p,
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("{}: simulation error {e}", lang.name()));
+                continue;
+            }
+        };
+        let mut ratios = Vec::new();
+        for p in &points {
+            let gn = g.eval(p.n as u64) as f64;
+            let ratio = p.bits as f64 / gn;
+            ratios.push(ratio);
+            result.push_row(vec![
+                g.label().into(),
+                p.n.to_string(),
+                p.bits.to_string(),
+                (gn as u64).to_string(),
+                format!("{ratio:.3}"),
+            ]);
+        }
+        // Θ(g): the ratio stays within a constant band across the sweep.
+        let max = ratios.iter().copied().fold(f64::MIN, f64::max);
+        let min = ratios.iter().copied().fold(f64::MAX, f64::min);
+        if max / min > 4.0 {
+            all_good = false;
+            result.push_note(format!(
+                "{}: ratio band too wide ({min:.3}..{max:.3})",
+                g.label()
+            ));
+        }
+        let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
+        slopes.push((g, log_log_slope(&series)));
+    }
+    // Slopes ordered like the growth functions.
+    let slope_values: Vec<f64> = slopes.iter().map(|&(_, s)| s).collect();
+    let ordered = slope_values.windows(2).all(|w| w[0] < w[1] + 0.02);
+    if !ordered {
+        all_good = false;
+    }
+    result.push_note(format!(
+        "log-log slopes across the band: {}",
+        slopes
+            .iter()
+            .map(|(g, s)| format!("{}→{s:.2}", g.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    result.set_verdict(if all_good {
+        Verdict::Reproduced
+    } else {
+        Verdict::Failed("a tier fell outside its Θ(g) band".into())
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_reproduces() {
+        let r = e8_hierarchy();
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        // 4 growth functions × 5 sizes.
+        assert_eq!(r.rows.len(), 20);
+    }
+}

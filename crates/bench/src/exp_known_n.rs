@@ -1,0 +1,140 @@
+//! E9: knowing `n` collapses the `Ω(n log n)` barrier (Note 7.4).
+
+use std::sync::Arc;
+
+use ringleader_analysis::{sweep_protocol, ExperimentResult, SweepConfig, Verdict};
+use ringleader_core::{CountRingSize, LengthPredicateKnownN, LgRecognizer};
+use ringleader_langs::{GrowthFunction, Language, LgLanguage, PowerOfTwoLength};
+use ringleader_sim::RingRunner;
+
+/// E9 — Note 7.4: with `n` known, non-regular languages drop to `O(n)`
+/// bits, and the `L_g` hierarchy loses its counting-pass floor.
+///
+/// Measured claims:
+///
+/// 1. `{a^{2^k}}` costs exactly `n` bits known-`n` vs `Θ(n log n)`
+///    unknown-`n` — the gap, on the same language;
+/// 2. the fully-periodic `L_g` recognizer in known-`n` mode sends
+///    window-only messages: the counting term vanishes and the measured
+///    bits track `n·m` for every period (down to the `g(n) = Θ(n)` tier,
+///    where `Ω(n log n)` would forbid it if `n` were unknown).
+#[must_use]
+pub fn e9_known_n() -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E9",
+        "Known n: the gap closes",
+        "Note 7.4: if n is known no gap exists; there are non-regular languages recognizable in O(n) bits",
+        vec![
+            "workload".into(),
+            "n".into(),
+            "known-n bits".into(),
+            "unknown-n bits".into(),
+            "gap factor".into(),
+        ],
+    );
+    let mut all_good = true;
+
+    // Part 1: the power-of-two length language both ways.
+    let lang = PowerOfTwoLength::new();
+    let known = LengthPredicateKnownN::new(
+        ringleader_automata::Symbol(0),
+        Arc::new(|n: usize| n.is_power_of_two()),
+    );
+    let unknown = CountRingSize::new(Arc::new(|n: usize| n.is_power_of_two()));
+    let unary = lang.alphabet().clone();
+    for k in [6u32, 8, 10] {
+        let n = 1usize << k;
+        let word = ringleader_automata::Word::from_str(&"a".repeat(n), &unary)
+            .expect("unary words parse");
+        let known_bits = {
+            let mut runner = RingRunner::new();
+            runner.known_ring_size(true);
+            match runner.run(&known, &word) {
+                Ok(o) => {
+                    if !o.accepted() {
+                        all_good = false;
+                    }
+                    o.stats.total_bits
+                }
+                Err(e) => {
+                    all_good = false;
+                    result.push_note(format!("known-n run failed: {e}"));
+                    continue;
+                }
+            }
+        };
+        let unknown_bits = match RingRunner::new().run(&unknown, &word) {
+            Ok(o) => o.stats.total_bits,
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("unknown-n run failed: {e}"));
+                continue;
+            }
+        };
+        if known_bits != n {
+            all_good = false;
+        }
+        result.push_row(vec![
+            "a^(2^k) membership".into(),
+            n.to_string(),
+            known_bits.to_string(),
+            unknown_bits.to_string(),
+            format!("{:.2}", unknown_bits as f64 / known_bits as f64),
+        ]);
+    }
+    result.push_note("known-n bits are exactly n — a non-regular language below the Ω(n log n) barrier");
+
+    // Part 2: fully-periodic L_g, known vs unknown n.
+    for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN] {
+        let lang = LgLanguage::fully_periodic(g);
+        let proto = LgRecognizer::new(&lang);
+        let sizes = vec![64usize, 256, 1024];
+        let known_points = {
+            let mut config = SweepConfig::with_sizes(sizes.clone());
+            config.known_ring_size = true;
+            sweep_protocol(&proto, &lang, &config)
+        };
+        let unknown_points = sweep_protocol(&proto, &lang, &SweepConfig::with_sizes(sizes));
+        match (known_points, unknown_points) {
+            (Ok(kp), Ok(up)) => {
+                for (k, u) in kp.iter().zip(&up) {
+                    if k.bits >= u.bits {
+                        all_good = false;
+                    }
+                    result.push_row(vec![
+                        format!("L_g-periodic ({})", g.label()),
+                        k.n.to_string(),
+                        k.bits.to_string(),
+                        u.bits.to_string(),
+                        format!("{:.2}", u.bits as f64 / k.bits.max(1) as f64),
+                    ]);
+                }
+            }
+            _ => {
+                all_good = false;
+                result.push_note(format!("{}: sweep failed", g.label()));
+            }
+        }
+    }
+    result.push_note("known-n drops the counting pass: every gap factor > 1, largest at the n log n tier");
+
+    result.set_verdict(if all_good {
+        Verdict::Reproduced
+    } else {
+        Verdict::Failed("a known-n measurement missed its bound".into())
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_reproduces() {
+        let r = e9_known_n();
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        // 3 power-of-two rows + 2 growths × 3 sizes.
+        assert_eq!(r.rows.len(), 9);
+    }
+}

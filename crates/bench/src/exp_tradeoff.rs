@@ -1,0 +1,112 @@
+//! E10: the pass/bit trade-off (Note 7.5), reproduced *exactly*.
+
+use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_core::{OnePassParity, TwoPassParity};
+use ringleader_langs::Language;
+use ringleader_sim::RingRunner;
+
+/// E10 — Note 7.5: the two-pass algorithm costs `(2k+1)·n` bits and the
+/// one-pass algorithm `(k + 2^k − 1)·n`. These are closed forms, not
+/// asymptotics — the measured totals must equal them bit for bit, with
+/// the crossover at `k = 3`.
+#[must_use]
+pub fn e10_tradeoff() -> ExperimentResult {
+    let n = 120usize;
+    let mut result = ExperimentResult::new(
+        "E10",
+        "Two passes beat one pass, exponentially in k",
+        "Note 7.5: a language needing (2k+1)n bits in two passes needs (k+2^k-1)n bits in one pass",
+        vec![
+            "k".into(),
+            "|Σ|".into(),
+            format!("2-pass bits (n={n})"),
+            "formula (2k+1)n".into(),
+            format!("1-pass bits (n={n})"),
+            "formula (k+2^k-1)n".into(),
+            "winner".into(),
+        ],
+    );
+    let mut all_good = true;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(12);
+    for k in 1..=5u32 {
+        let two = TwoPassParity::new(k);
+        let one = OnePassParity::new(k);
+        let lang = two.language().clone();
+        let word = lang
+            .positive_example(n, &mut rng)
+            .expect("positives exist at every length");
+        let b2 = match RingRunner::new().run(&two, &word) {
+            Ok(o) => {
+                if !o.accepted() {
+                    all_good = false;
+                }
+                o.stats.total_bits
+            }
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("two-pass k={k} failed: {e}"));
+                continue;
+            }
+        };
+        let b1 = match RingRunner::new().run(&one, &word) {
+            Ok(o) => {
+                if !o.accepted() {
+                    all_good = false;
+                }
+                o.stats.total_bits
+            }
+            Err(e) => {
+                all_good = false;
+                result.push_note(format!("one-pass k={k} failed: {e}"));
+                continue;
+            }
+        };
+        let f2 = two.predicted_bits(n);
+        let f1 = one.predicted_bits(n);
+        if b2 != f2 || b1 != f1 {
+            all_good = false;
+        }
+        let winner = match b2.cmp(&b1) {
+            std::cmp::Ordering::Less => "two-pass",
+            std::cmp::Ordering::Equal => "tie",
+            std::cmp::Ordering::Greater => "one-pass",
+        };
+        result.push_row(vec![
+            k.to_string(),
+            (1usize << k).to_string(),
+            b2.to_string(),
+            f2.to_string(),
+            b1.to_string(),
+            f1.to_string(),
+            winner.into(),
+        ]);
+    }
+    // The paper's crossover: one-pass wins at k=1, ties at k=2, loses after.
+    let winners: Vec<&str> = result.rows.iter().map(|r| r[6].as_str()).collect();
+    if winners != ["one-pass", "tie", "two-pass", "two-pass", "two-pass"] {
+        all_good = false;
+    }
+    result.push_note("exact reproduction: measured bits equal the paper's closed forms at every k");
+    result.set_verdict(if all_good {
+        Verdict::Reproduced
+    } else {
+        Verdict::Failed("a closed form failed to match".into())
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_reproduces_exactly() {
+        let r = e10_tradeoff();
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            assert_eq!(row[2], row[3], "two-pass formula mismatch: {row:?}");
+            assert_eq!(row[4], row[5], "one-pass formula mismatch: {row:?}");
+        }
+    }
+}

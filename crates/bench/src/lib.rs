@@ -1,0 +1,135 @@
+//! The experiment suite: one regenerable result per quantitative claim of
+//! Mansour & Zaks (PODC 1986).
+//!
+//! The paper publishes no numeric tables (it is a theory paper); its
+//! "evaluation" is the set of theorems and Section-7 notes. Each function
+//! here measures one of those claims on the simulator and returns an
+//! [`ExperimentResult`] whose verdict states whether the claimed *shape*
+//! (linear / `n log n` / `n²` / exact formula) was observed. The
+//! `experiments` binary prints all of them; the Criterion benches in
+//! `benches/` time the same workloads.
+//!
+//! | id | claim |
+//! |----|-------|
+//! | E1 | Thm 1: regular ⇒ exactly `n·⌈log│Q│⌉` bits, one pass |
+//! | E2 | Thm 2: finite message graph ⇔ extractable, equivalent DFA |
+//! | E3 | Thm 4: information-state census behind `Ω(n log n)` |
+//! | E4 | Thm 5: cut-link rerouting costs ≤ 4× |
+//! | E5 | Thm 6/7: bidirectional regular recognition stays `O(n)` |
+//! | E6 | Note 7.1: `wcw` costs `Θ(n²)` |
+//! | E7 | Note 7.2: `0ⁿ1ⁿ2ⁿ` costs `Θ(n log n)`; crossover vs collect-all |
+//! | E8 | Note 7.3: `L_g` costs `Θ(g(n))` across the band |
+//! | E9 | Note 7.4: known `n` ⇒ non-regular in exactly `n` bits |
+//! | E10 | Note 7.5: `(2k+1)n` two-pass vs `(k+2^k−1)n` one-pass, exact |
+//! | E11 | §1: collect-all is a universal `Θ(n²)` upper bound |
+//! | E12 | model validity: schedule-independence & threaded agreement |
+//! | A1 | ablation: counter encodings decide the complexity class |
+//! | A2 | ablation: Theorem 3's stateless replay costs a bounded factor |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exp_ablation;
+mod exp_graph;
+mod exp_hierarchy;
+mod exp_known_n;
+mod exp_lower;
+mod exp_model;
+mod exp_quadratic;
+mod exp_regular;
+mod exp_reroute;
+mod exp_tradeoff;
+
+pub use exp_ablation::{a1_encoding_ablation, a2_stateless_replay};
+pub use exp_graph::e2_message_graph;
+pub use exp_hierarchy::e8_hierarchy;
+pub use exp_known_n::e9_known_n;
+pub use exp_lower::{e3_info_states, e7_three_counters};
+pub use exp_model::e12_model_validity;
+pub use exp_quadratic::{e11_collect_all, e6_wcw};
+pub use exp_regular::{e1_regular_linear, e5_bidirectional};
+pub use exp_reroute::e4_cut_link;
+pub use exp_tradeoff::e10_tradeoff;
+
+use ringleader_analysis::ExperimentResult;
+
+/// Standard sweep sizes used by the linear/`n log n` experiments.
+pub(crate) fn standard_sizes() -> Vec<usize> {
+    vec![16, 32, 64, 128, 256, 512, 1024]
+}
+
+/// Sweep for quadratic-cost protocols: starts at `n = 65` because below
+/// that the `Θ(n log n)` message framing (two delta-coded fields per hop)
+/// still rivals the quadratic payload and muddies the fit; capped at 1025
+/// because the `n²` totals make bigger rings slow without adding
+/// information.
+pub(crate) fn quadratic_sizes() -> Vec<usize> {
+    vec![65, 129, 257, 513, 1025]
+}
+
+/// Runs every experiment in order.
+#[must_use]
+pub fn run_all() -> Vec<ExperimentResult> {
+    vec![
+        e1_regular_linear(),
+        e2_message_graph(),
+        e3_info_states(),
+        e4_cut_link(),
+        e5_bidirectional(),
+        e6_wcw(),
+        e7_three_counters(),
+        e8_hierarchy(),
+        e9_known_n(),
+        e10_tradeoff(),
+        e11_collect_all(),
+        e12_model_validity(),
+        a1_encoding_ablation(),
+        a2_stateless_replay(),
+    ]
+}
+
+/// Runs the experiment with the given id (`"e1"`…`"e12"`, case-insensitive).
+#[must_use]
+pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1_regular_linear()),
+        "e2" => Some(e2_message_graph()),
+        "e3" => Some(e3_info_states()),
+        "e4" => Some(e4_cut_link()),
+        "e5" => Some(e5_bidirectional()),
+        "e6" => Some(e6_wcw()),
+        "e7" => Some(e7_three_counters()),
+        "e8" => Some(e8_hierarchy()),
+        "e9" => Some(e9_known_n()),
+        "e10" => Some(e10_tradeoff()),
+        "e11" => Some(e11_collect_all()),
+        "e12" => Some(e12_model_validity()),
+        "a1" => Some(a1_encoding_ablation()),
+        "a2" => Some(a2_stateless_replay()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringleader_analysis::Verdict;
+
+    #[test]
+    fn ids_resolve() {
+        for id in ["e1", "E1", "e10", "e12"] {
+            assert!(run_by_id(id).is_some(), "{id}");
+        }
+        assert!(run_by_id("e13").is_none());
+        assert!(run_by_id("").is_none());
+    }
+
+    // Each experiment's full run is asserted REPRODUCED in its own module;
+    // here we only check the suite wiring stays intact.
+    #[test]
+    fn quick_experiment_reproduces() {
+        let r = e10_tradeoff();
+        assert_eq!(r.id, "E10");
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+    }
+}

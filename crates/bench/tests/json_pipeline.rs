@@ -1,0 +1,44 @@
+//! The machine-readable experiment pipeline: results serialize, round-trip,
+//! and carry everything EXPERIMENTS.md quotes.
+
+use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_bench::{run_by_id, e10_tradeoff};
+
+#[test]
+fn fast_experiments_roundtrip_through_json() {
+    // Use the cheap, fully-deterministic experiments to keep CI fast.
+    for id in ["e10", "a2"] {
+        let result = run_by_id(id).expect("known id");
+        let json = result.to_json();
+        let back: ExperimentResult = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(back, result, "{id}");
+        assert_eq!(back.verdict, Verdict::Reproduced, "{id}");
+        // The JSON carries the full table, not a summary.
+        assert_eq!(back.rows.len(), result.rows.len());
+        assert!(!back.paper_claim.is_empty());
+    }
+}
+
+#[test]
+fn experiment_results_are_deterministic() {
+    // Same seeds everywhere ⇒ byte-identical reruns. This is what makes
+    // EXPERIMENTS.md quotable: the numbers cannot drift between runs.
+    let a = e10_tradeoff();
+    let b = e10_tradeoff();
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn tables_render_for_humans() {
+    let result = run_by_id("a2").expect("known id");
+    let text = result.to_string();
+    assert!(text.contains("== A2"));
+    assert!(text.contains("verdict: REPRODUCED"));
+    // Every data row appears in the rendering.
+    for row in &result.rows {
+        for cell in row {
+            assert!(text.contains(cell.as_str()), "missing cell {cell:?}");
+        }
+    }
+}

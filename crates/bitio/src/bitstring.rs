@@ -1,0 +1,352 @@
+//! A compact, ordered sequence of bits — the wire format of every message.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable-by-convention, append-friendly sequence of bits.
+///
+/// `BitString` is the payload type of every message exchanged in the ring
+/// simulator. Its [`len`](BitString::len) is the quantity the bit-complexity
+/// accounting sums up, so the representation is exact: pushing one bit grows
+/// the logical length by exactly one.
+///
+/// Bits are stored packed, eight to a byte, least-significant-bit first
+/// within each byte. Bit `0` is the first bit written and the first bit a
+/// [`BitReader`](crate::BitReader) yields.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_bitio::BitString;
+/// let mut s = BitString::new();
+/// s.push(true);
+/// s.push(false);
+/// s.push(true);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.get(0), Some(true));
+/// assert_eq!(s.get(1), Some(false));
+/// assert_eq!(s.to_string(), "101");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitString {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitString {
+    /// Creates an empty bit string.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// # use ringleader_bitio::BitString;
+    /// let s = BitString::new();
+    /// assert!(s.is_empty());
+    /// ```
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit string with capacity for `bits` bits.
+    #[must_use]
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            len: 0,
+        }
+    }
+
+    /// Builds a bit string from an iterator of bools, first bit first.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// # use ringleader_bitio::BitString;
+    /// let s = BitString::from_bits([true, true, false]);
+    /// assert_eq!(s.to_string(), "110");
+    /// ```
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = Self::new();
+        for b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Parses a bit string from ASCII `'0'`/`'1'` characters.
+    ///
+    /// Returns `None` if any character is not `0` or `1`.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// # use ringleader_bitio::BitString;
+    /// let s = BitString::parse("0110").unwrap();
+    /// assert_eq!(s.len(), 4);
+    /// assert!(BitString::parse("01x0").is_none());
+    /// ```
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut s = Self::with_capacity(text.len());
+        for c in text.chars() {
+            match c {
+                '0' => s.push(false),
+                '1' => s.push(true),
+                _ => return None,
+            }
+        }
+        Some(s)
+    }
+
+    /// Number of bits in the string. This is the wire cost of a message.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the string contains no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: bool) {
+        let byte_idx = self.len / 8;
+        let bit_idx = self.len % 8;
+        if bit_idx == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << bit_idx;
+        }
+        self.len += 1;
+    }
+
+    /// Returns bit `index`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        Some((self.bytes[index / 8] >> (index % 8)) & 1 == 1)
+    }
+
+    /// Appends all bits of `other` after the bits of `self`.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// # use ringleader_bitio::BitString;
+    /// let mut a = BitString::parse("10").unwrap();
+    /// let b = BitString::parse("011").unwrap();
+    /// a.extend_from(&b);
+    /// assert_eq!(a.to_string(), "10011");
+    /// ```
+    pub fn extend_from(&mut self, other: &BitString) {
+        for bit in other.iter() {
+            self.push(bit);
+        }
+    }
+
+    /// Returns a new string holding bits `range.start..range.end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitString {
+        assert!(range.start <= range.end && range.end <= self.len, "slice out of bounds");
+        let mut out = BitString::with_capacity(range.len());
+        for i in range {
+            out.push(self.get(i).expect("index checked above"));
+        }
+        out
+    }
+
+    /// Iterates over the bits, first bit first.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { s: self, idx: 0 }
+    }
+
+    /// Counts the `true` bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.iter().filter(|&b| b).count()
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for bit in self.iter() {
+            f.write_str(if bit { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(\"{self}\")")
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+impl Extend<bool> for BitString {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitString {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the bits of a [`BitString`], first bit first.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    s: &'a BitString,
+    idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let bit = self.s.get(self.idx)?;
+        self.idx += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.s.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string() {
+        let s = BitString::new();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.to_string(), "");
+        assert_eq!(format!("{s:?}"), "BitString(\"\")");
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut s = BitString::new();
+        let pattern = [true, false, false, true, true, false, true, false, true, true];
+        for &b in &pattern {
+            s.push(b);
+        }
+        assert_eq!(s.len(), pattern.len());
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(s.get(i), Some(b), "bit {i}");
+        }
+        assert_eq!(s.get(pattern.len()), None);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in ["", "0", "1", "0101", "11110000", "101010101010101"] {
+            let s = BitString::parse(text).unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+        assert!(BitString::parse("012").is_none());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = BitString::parse("101").unwrap();
+        let b = BitString::parse("0011").unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.to_string(), "1010011");
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn slice_extracts_subrange() {
+        let s = BitString::parse("1100110011").unwrap();
+        assert_eq!(s.slice(0..4).to_string(), "1100");
+        assert_eq!(s.slice(4..8).to_string(), "1100");
+        assert_eq!(s.slice(2..2).to_string(), "");
+        assert_eq!(s.slice(0..10).to_string(), "1100110011");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_end_panics() {
+        let s = BitString::parse("10").unwrap();
+        let _ = s.slice(0..3);
+    }
+
+    #[test]
+    fn iterator_matches_gets() {
+        let s = BitString::parse("100101110").unwrap();
+        let collected: Vec<bool> = s.iter().collect();
+        assert_eq!(collected.len(), s.len());
+        for (i, &b) in collected.iter().enumerate() {
+            assert_eq!(Some(b), s.get(i));
+        }
+        assert_eq!(s.iter().len(), 9);
+    }
+
+    #[test]
+    fn count_ones_counts() {
+        assert_eq!(BitString::parse("").unwrap().count_ones(), 0);
+        assert_eq!(BitString::parse("0000").unwrap().count_ones(), 0);
+        assert_eq!(BitString::parse("1111").unwrap().count_ones(), 4);
+        assert_eq!(BitString::parse("1010100").unwrap().count_ones(), 3);
+    }
+
+    #[test]
+    fn from_iterator_and_extend_trait() {
+        let s: BitString = [true, false, true].into_iter().collect();
+        assert_eq!(s.to_string(), "101");
+        let mut t = s.clone();
+        t.extend([false, false]);
+        assert_eq!(t.to_string(), "10100");
+    }
+
+    #[test]
+    fn equality_and_hash_are_value_based() {
+        use std::collections::HashSet;
+        let a = BitString::parse("1010").unwrap();
+        let b = BitString::from_bits([true, false, true, false]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn long_strings_cross_byte_boundaries() {
+        let text: String = (0..1000).map(|i| if i % 3 == 0 { '1' } else { '0' }).collect();
+        let s = BitString::parse(&text).unwrap();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.to_string(), text);
+        assert_eq!(s.count_ones(), 334);
+    }
+}

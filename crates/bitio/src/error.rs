@@ -1,0 +1,75 @@
+//! Decoding errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while decoding a [`BitString`](crate::BitString).
+///
+/// All variants indicate a malformed or truncated message; in the paper's
+/// model a correct algorithm never produces these, so protocols in this
+/// workspace treat a `DecodeError` as a protocol bug and surface it loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The reader ran past the end of the bit string.
+    UnexpectedEnd {
+        /// Bit position at which the read was attempted.
+        at: usize,
+        /// Number of additional bits the read needed.
+        needed: usize,
+    },
+    /// A decoded value does not fit the decoder's integer type.
+    Overflow {
+        /// Bit position at which decoding started.
+        at: usize,
+        /// Human-readable name of the code being decoded.
+        code: &'static str,
+    },
+    /// A code-specific structural violation (e.g. a gamma code whose
+    /// payload claims more than 64 bits).
+    Malformed {
+        /// Bit position at which decoding started.
+        at: usize,
+        /// Human-readable name of the code being decoded.
+        code: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { at, needed } => {
+                write!(f, "unexpected end of bit string at bit {at} (needed {needed} more)")
+            }
+            DecodeError::Overflow { at, code } => {
+                write!(f, "{code} value at bit {at} overflows u64")
+            }
+            DecodeError::Malformed { at, code } => {
+                write!(f, "malformed {code} code at bit {at}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DecodeError::UnexpectedEnd { at: 7, needed: 3 };
+        assert_eq!(e.to_string(), "unexpected end of bit string at bit 7 (needed 3 more)");
+        let e = DecodeError::Overflow { at: 0, code: "elias-delta" };
+        assert!(e.to_string().contains("elias-delta"));
+        let e = DecodeError::Malformed { at: 2, code: "elias-gamma" };
+        assert!(e.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+    }
+}

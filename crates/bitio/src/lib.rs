@@ -1,0 +1,117 @@
+//! Bit-exact message encodings for distributed bit-complexity experiments.
+//!
+//! The cost measure of Mansour & Zaks (PODC 1986) is the **bit complexity**
+//! `BIT_A(n)`: the total number of message *bits* an algorithm sends on a
+//! ring of `n` processors. Reproducing the paper's results therefore
+//! requires messages that are genuine bit strings, where a counter holding
+//! the value `i` really costs `Θ(log i)` bits on the wire — not a `u64`
+//! struct field that always costs 64.
+//!
+//! This crate provides:
+//!
+//! * [`BitString`] — a compact, append-only sequence of bits; the wire
+//!   format of every message in the simulator.
+//! * [`BitWriter`] / [`BitReader`] — cursor-style encoding and decoding.
+//! * [`codes`] — self-delimiting universal integer codes (unary,
+//!   Elias gamma, Elias delta) and fixed-width fields. Self-delimiting
+//!   codes are what make multi-field messages honest: a decoder can always
+//!   tell where one field ends and the next begins without out-of-band
+//!   length information.
+//! * [`varint`] — a chunked LEB128-style alternative, also `Θ(log v)`.
+//!
+//! # Examples
+//!
+//! Encode a small protocol message (a 2-bit phase tag followed by an
+//! Elias-delta counter) and decode it back:
+//!
+//! ```rust
+//! # use ringleader_bitio::{BitWriter, BitReader, DecodeError};
+//! # fn main() -> Result<(), DecodeError> {
+//! let mut w = BitWriter::new();
+//! w.write_bits(0b10, 2); // phase tag
+//! w.write_elias_delta(1234); // counter
+//! let msg = w.finish();
+//! assert_eq!(msg.len(), 2 + 17); // delta(1234) takes 17 bits
+//!
+//! let mut r = BitReader::new(&msg);
+//! assert_eq!(r.read_bits(2)?, 0b10);
+//! assert_eq!(r.read_elias_delta()?, 1234);
+//! assert!(r.is_at_end());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstring;
+pub mod codes;
+mod error;
+mod reader;
+pub mod varint;
+mod writer;
+
+pub use bitstring::BitString;
+pub use error::DecodeError;
+pub use reader::BitReader;
+pub use writer::BitWriter;
+
+/// Number of bits needed to store any value in `0..count` with a
+/// fixed-width code, i.e. `ceil(log2(count))` (and 0 when `count <= 1`).
+///
+/// This is the `⌈log |Q|⌉` of the paper's Theorem 1: forwarding one of
+/// `|Q|` automaton states costs `bits_for(|Q|)` bits per message.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_bitio::bits_for;
+/// assert_eq!(bits_for(1), 0);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(5), 3);
+/// assert_eq!(bits_for(256), 8);
+/// ```
+#[must_use]
+pub fn bits_for(count: usize) -> u32 {
+    if count <= 1 {
+        0
+    } else {
+        usize::BITS - (count - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+    }
+
+    #[test]
+    fn bits_for_powers_of_two() {
+        for k in 1..40u32 {
+            let n = 1usize << k;
+            assert_eq!(bits_for(n), k, "2^{k}");
+            assert_eq!(bits_for(n + 1), k + 1, "2^{k}+1");
+        }
+    }
+
+    #[test]
+    fn bits_for_covers_all_values() {
+        // Every value in 0..count must fit in bits_for(count) bits.
+        for count in 2..200usize {
+            let width = bits_for(count) as u64;
+            let max = 1u64.checked_shl(width as u32).unwrap();
+            assert!((count as u64 - 1) < max, "count={count} width={width}");
+        }
+    }
+}

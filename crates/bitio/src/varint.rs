@@ -1,0 +1,160 @@
+//! Bit-granular LEB128-style varint — an alternative self-delimiting code.
+//!
+//! Elias codes are optimal for the paper's counters, but some protocol
+//! sketches are easier to read with a chunked code: `chunk_bits` payload
+//! bits per group, one continuation bit each. The cost for `v` is
+//! `(⌊log₂(v+1)/c⌋ + 1)·(c + 1)` bits with chunk size `c` — still
+//! `Θ(log v)`, so counters written this way stay in the paper's
+//! complexity class (the A1 ablation's lesson in reverse).
+
+use crate::{BitReader, BitWriter, DecodeError};
+
+/// Writes `value` as a bit-granular varint with `chunk_bits` payload bits
+/// per group (low chunks first), each preceded by a continuation bit.
+///
+/// # Panics
+///
+/// Panics if `chunk_bits` is 0 or greater than 32.
+pub fn write_varint(w: &mut BitWriter, mut value: u64, chunk_bits: u32) {
+    assert!(chunk_bits >= 1 && chunk_bits <= 32, "chunk_bits must be 1..=32");
+    let mask = if chunk_bits == 64 { u64::MAX } else { (1u64 << chunk_bits) - 1 };
+    loop {
+        let chunk = value & mask;
+        value >>= chunk_bits;
+        let more = value != 0;
+        w.write_bit(more);
+        w.write_bits(chunk, chunk_bits);
+        if !more {
+            break;
+        }
+    }
+}
+
+/// Reads a varint written by [`write_varint`] with the same `chunk_bits`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEnd`] on truncation and
+/// [`DecodeError::Overflow`] if the value exceeds 64 bits.
+///
+/// # Panics
+///
+/// Panics if `chunk_bits` is 0 or greater than 32.
+pub fn read_varint(r: &mut BitReader<'_>, chunk_bits: u32) -> Result<u64, DecodeError> {
+    assert!(chunk_bits >= 1 && chunk_bits <= 32, "chunk_bits must be 1..=32");
+    let at = r.position();
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let more = r.read_bit()?;
+        let chunk = r.read_bits(chunk_bits)?;
+        if shift >= 64 || (shift > 0 && chunk != 0 && chunk.leading_zeros() < shift) {
+            return Err(DecodeError::Overflow { at, code: "varint" });
+        }
+        value |= chunk << shift;
+        if !more {
+            return Ok(value);
+        }
+        shift += chunk_bits;
+        if shift >= 64 {
+            return Err(DecodeError::Overflow { at, code: "varint" });
+        }
+    }
+}
+
+/// Cost in bits of [`write_varint`] for `value` with `chunk_bits`.
+///
+/// # Panics
+///
+/// Panics if `chunk_bits` is 0 or greater than 32.
+#[must_use]
+pub fn varint_len(value: u64, chunk_bits: u32) -> usize {
+    assert!(chunk_bits >= 1 && chunk_bits <= 32, "chunk_bits must be 1..=32");
+    let mut groups = 1usize;
+    let mut v = value >> chunk_bits;
+    while v != 0 {
+        groups += 1;
+        v >>= chunk_bits;
+    }
+    groups * (chunk_bits as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_across_chunk_sizes() {
+        for chunk in [1u32, 3, 4, 7, 8, 16, 32] {
+            for v in (0..2000u64).chain([u64::MAX, u64::MAX - 1, 1 << 40]) {
+                let mut w = BitWriter::new();
+                write_varint(&mut w, v, chunk);
+                let s = w.finish();
+                assert_eq!(s.len(), varint_len(v, chunk), "len chunk={chunk} v={v}");
+                let mut r = BitReader::new(&s);
+                assert_eq!(read_varint(&mut r, chunk).unwrap(), v, "chunk={chunk} v={v}");
+                assert!(r.is_at_end());
+            }
+        }
+    }
+
+    #[test]
+    fn self_delimits_in_sequence() {
+        let values = [0u64, 1, 127, 128, 300_000, 7];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            write_varint(&mut w, v, 4);
+        }
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for &v in &values {
+            assert_eq!(read_varint(&mut r, 4).unwrap(), v);
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let mut w = BitWriter::new();
+        write_varint(&mut w, 300, 4);
+        let s = w.finish();
+        let cut = s.slice(0..s.len() - 2);
+        let mut r = BitReader::new(&cut);
+        assert!(read_varint(&mut r, 4).is_err());
+    }
+
+    #[test]
+    fn oversized_input_overflows_cleanly() {
+        // 12 all-ones continuation groups of 6+1 bits = value way past u64.
+        let mut w = BitWriter::new();
+        for _ in 0..12 {
+            w.write_bit(true);
+            w.write_bits(0b111111, 6);
+        }
+        w.write_bit(false);
+        w.write_bits(1, 6);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        let err = read_varint(&mut r, 6).unwrap_err();
+        assert!(matches!(err, DecodeError::Overflow { code: "varint", .. }));
+    }
+
+    #[test]
+    fn cost_is_logarithmic() {
+        // Θ(log v): quadrupling the value adds at most two chunks.
+        for chunk in [4u32, 8] {
+            for shift in 4..50u32 {
+                let a = varint_len(1 << shift, chunk);
+                let b = varint_len(1 << (shift + 2), chunk);
+                assert!(b <= a + 3 * (chunk as usize + 1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_bits must be 1..=32")]
+    fn zero_chunk_panics() {
+        let mut w = BitWriter::new();
+        write_varint(&mut w, 5, 0);
+    }
+}

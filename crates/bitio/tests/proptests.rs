@@ -1,0 +1,138 @@
+//! Property-based tests for the bit encoding substrate.
+//!
+//! These pin down the invariants every protocol in the workspace relies on:
+//! lossless roundtrips, exact advertised lengths, and self-delimiting
+//! concatenation.
+
+use proptest::prelude::*;
+use ringleader_bitio::{bits_for, codes, BitReader, BitString, BitWriter};
+
+proptest! {
+    #[test]
+    fn bitstring_display_parse_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+        let s = BitString::from_bits(bits.iter().copied());
+        let text = s.to_string();
+        let parsed = BitString::parse(&text).expect("display output always parses");
+        prop_assert_eq!(&parsed, &s);
+        prop_assert_eq!(parsed.len(), bits.len());
+    }
+
+    #[test]
+    fn bitstring_get_matches_source(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+        let s = BitString::from_bits(bits.iter().copied());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(s.get(i), Some(b));
+        }
+        prop_assert_eq!(s.get(bits.len()), None);
+    }
+
+    #[test]
+    fn slice_then_concat_is_identity(
+        bits in proptest::collection::vec(any::<bool>(), 1..256),
+        cut in 0usize..256,
+    ) {
+        let s = BitString::from_bits(bits.iter().copied());
+        let cut = cut % (s.len() + 1);
+        let mut rebuilt = s.slice(0..cut);
+        rebuilt.extend_from(&s.slice(cut..s.len()));
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn fixed_width_roundtrip(value: u64, width in 0u32..=64) {
+        let value = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let mut w = BitWriter::new();
+        w.write_bits(value, width);
+        let s = w.finish();
+        prop_assert_eq!(s.len(), width as usize);
+        let mut r = BitReader::new(&s);
+        prop_assert_eq!(r.read_bits(width).unwrap(), value);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn unary_roundtrip_and_len(v in 0u64..4096) {
+        let mut w = BitWriter::new();
+        w.write_unary(v);
+        let s = w.finish();
+        prop_assert_eq!(s.len(), codes::unary_len(v));
+        let mut r = BitReader::new(&s);
+        prop_assert_eq!(r.read_unary().unwrap(), v);
+    }
+
+    #[test]
+    fn gamma_roundtrip_and_len(v in 1u64..u64::MAX) {
+        let mut w = BitWriter::new();
+        w.write_elias_gamma(v);
+        let s = w.finish();
+        prop_assert_eq!(s.len(), codes::elias_gamma_len(v));
+        let mut r = BitReader::new(&s);
+        prop_assert_eq!(r.read_elias_gamma().unwrap(), v);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn delta_roundtrip_and_len(v in 1u64..u64::MAX) {
+        let mut w = BitWriter::new();
+        w.write_elias_delta(v);
+        let s = w.finish();
+        prop_assert_eq!(s.len(), codes::elias_delta_len(v));
+        let mut r = BitReader::new(&s);
+        prop_assert_eq!(r.read_elias_delta().unwrap(), v);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn mixed_field_sequences_self_delimit(
+        fields in proptest::collection::vec(
+            prop_oneof![
+                (1u64..1_000_000).prop_map(|v| ("gamma", v)),
+                (1u64..1_000_000).prop_map(|v| ("delta", v)),
+                (0u64..64).prop_map(|v| ("unary", v)),
+                (0u64..256).prop_map(|v| ("fixed8", v)),
+            ],
+            0..40,
+        )
+    ) {
+        let mut w = BitWriter::new();
+        for (kind, v) in &fields {
+            match *kind {
+                "gamma" => { w.write_elias_gamma(*v); }
+                "delta" => { w.write_elias_delta(*v); }
+                "unary" => { w.write_unary(*v); }
+                _ => { w.write_bits(*v, 8); }
+            }
+        }
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for (kind, v) in &fields {
+            let got = match *kind {
+                "gamma" => r.read_elias_gamma().unwrap(),
+                "delta" => r.read_elias_delta().unwrap(),
+                "unary" => r.read_unary().unwrap(),
+                _ => r.read_bits(8).unwrap(),
+            };
+            prop_assert_eq!(got, *v);
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn bits_for_is_minimal(count in 2usize..1_000_000) {
+        let width = bits_for(count);
+        // Wide enough for every value in 0..count...
+        prop_assert!(((count - 1) as u128) < (1u128 << width));
+        // ...and one bit narrower is not.
+        prop_assert!(((count - 1) as u128) >= (1u128 << (width - 1)));
+    }
+
+    #[test]
+    fn decoding_random_noise_never_panics(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
+        // Robustness: arbitrary bit strings must decode to Ok or Err, never panic.
+        let s = BitString::from_bits(bits);
+        let _ = BitReader::new(&s).read_unary();
+        let _ = BitReader::new(&s).read_elias_gamma();
+        let _ = BitReader::new(&s).read_elias_delta();
+        let _ = BitReader::new(&s).read_bits(17);
+    }
+}

@@ -1,0 +1,216 @@
+//! The trivial `O(n²)` upper bound: collect everything at the leader.
+//!
+//! "The leader can obtain all the information about all the processors in
+//! `O(n²)` bits, giving a trivial upper bound for the computation of every
+//! function" (§1). The message grows by one letter per hop, so the total is
+//! `⌈log|Σ|⌉·(1 + 2 + … + n) = Θ(n²)` bits. This protocol is the baseline
+//! every specialized algorithm is benchmarked against.
+
+use std::sync::Arc;
+
+use ringleader_automata::{Symbol, Word};
+use ringleader_bitio::{bits_for, BitReader, BitString, BitWriter};
+use ringleader_langs::Language;
+use ringleader_sim::{Context, Direction, Process, ProcessResult, Protocol, Topology};
+
+/// The collect-all protocol: one pass, message `i` carries the first `i`
+/// letters; the leader reconstructs `w` and decides membership locally.
+///
+/// Works for **any** language (the decision is a local membership check),
+/// at the paper's trivial `Θ(n²)` bit cost.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_core::CollectAll;
+/// # use ringleader_langs::Language;
+/// # use ringleader_langs::AnBn;
+/// # use ringleader_automata::Word;
+/// # use ringleader_sim::RingRunner;
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lang = Arc::new(AnBn::new());
+/// let proto = CollectAll::new(lang.clone());
+/// let w = Word::from_str("aabb", lang.alphabet())?;
+/// let outcome = RingRunner::new().run(&proto, &w)?;
+/// assert!(outcome.accepted());
+/// // 1 bit/letter × (1+2+3+4) letters shipped = 10 bits.
+/// assert_eq!(outcome.stats.total_bits, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct CollectAll {
+    language: Arc<dyn Language>,
+    letter_bits: u32,
+}
+
+impl CollectAll {
+    /// Builds the baseline recognizer for `language`.
+    #[must_use]
+    pub fn new(language: Arc<dyn Language>) -> Self {
+        let letter_bits = bits_for(language.alphabet().len());
+        Self { language, letter_bits }
+    }
+
+    /// The exact bit complexity on a ring of `n` processors:
+    /// `⌈log|Σ|⌉ · n(n+1)/2`.
+    #[must_use]
+    pub fn predicted_bits(&self, n: usize) -> usize {
+        self.letter_bits as usize * n * (n + 1) / 2
+    }
+
+    fn append(&self, prefix: &BitString, letter: Symbol) -> BitString {
+        let mut w = BitWriter::new();
+        w.write_bitstring(prefix);
+        w.write_bits(letter.index() as u64, self.letter_bits);
+        w.finish()
+    }
+
+    fn decode(&self, msg: &BitString) -> Result<Word, ringleader_bitio::DecodeError> {
+        let mut r = BitReader::new(msg);
+        let mut word = Word::new();
+        while !r.is_at_end() {
+            let v = r.read_bits(self.letter_bits)?;
+            word.push(Symbol(v as u16));
+        }
+        Ok(word)
+    }
+}
+
+impl std::fmt::Debug for CollectAll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectAll")
+            .field("language", &self.language.name())
+            .field("letter_bits", &self.letter_bits)
+            .finish()
+    }
+}
+
+impl Protocol for CollectAll {
+    fn name(&self) -> &'static str {
+        "collect-all"
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+
+    fn leader(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(LeaderProcess { proto: self.clone(), input })
+    }
+
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(FollowerProcess { proto: self.clone(), input })
+    }
+}
+
+struct LeaderProcess {
+    proto: CollectAll,
+    input: Symbol,
+}
+
+impl Process for LeaderProcess {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        ctx.send(Direction::Clockwise, self.proto.append(&BitString::new(), self.input));
+        Ok(())
+    }
+
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let word = self.proto.decode(msg)?;
+        ctx.decide(self.proto.language.contains(&word));
+        Ok(())
+    }
+}
+
+struct FollowerProcess {
+    proto: CollectAll,
+    input: Symbol,
+}
+
+impl Process for FollowerProcess {
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        ctx.send(Direction::Clockwise, self.proto.append(msg, self.input));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ringleader_langs::{AnBn, AnBnCn, Palindrome, WcW};
+    use ringleader_sim::RingRunner;
+
+    fn check_language(lang: Arc<dyn Language>, lengths: &[usize]) {
+        let proto = CollectAll::new(lang.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for &n in lengths {
+            for want in [true, false] {
+                let Some(w) = (if want {
+                    lang.positive_example(n, &mut rng)
+                } else {
+                    lang.negative_example(n, &mut rng)
+                }) else {
+                    continue;
+                };
+                let outcome = RingRunner::new().run(&proto, &w).unwrap();
+                assert_eq!(outcome.accepted(), want, "{} n={n}", lang.name());
+                assert_eq!(outcome.stats.total_bits, proto.predicted_bits(n), "{} n={n}", lang.name());
+            }
+        }
+    }
+
+    #[test]
+    fn recognizes_anbn() {
+        check_language(Arc::new(AnBn::new()), &[2, 4, 9, 16]);
+    }
+
+    #[test]
+    fn recognizes_anbncn() {
+        check_language(Arc::new(AnBnCn::new()), &[3, 7, 12, 30]);
+    }
+
+    #[test]
+    fn recognizes_wcw() {
+        check_language(Arc::new(WcW::new()), &[1, 3, 9, 21]);
+    }
+
+    #[test]
+    fn recognizes_palindromes() {
+        check_language(Arc::new(Palindrome::new()), &[2, 5, 8, 20]);
+    }
+
+    #[test]
+    fn growth_is_quadratic() {
+        let lang = Arc::new(AnBn::new());
+        let proto = CollectAll::new(lang.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let b10 = {
+            let w = lang.positive_example(10, &mut rng).unwrap();
+            RingRunner::new().run(&proto, &w).unwrap().stats.total_bits
+        };
+        let b40 = {
+            let w = lang.positive_example(40, &mut rng).unwrap();
+            RingRunner::new().run(&proto, &w).unwrap().stats.total_bits
+        };
+        // Quadrupling n should ~16× the bits (here exactly, by formula).
+        assert_eq!(b10, proto.predicted_bits(10));
+        assert_eq!(b40, proto.predicted_bits(40));
+        assert!(b40 > 14 * b10 && b40 < 18 * b10);
+    }
+
+    #[test]
+    fn message_sizes_grow_linearly() {
+        let lang = Arc::new(AnBn::new());
+        let proto = CollectAll::new(lang);
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let w = Word::from_str("aaabbb", &sigma).unwrap();
+        let outcome = RingRunner::new().run(&proto, &w).unwrap();
+        // Largest message carries all 6 letters at 1 bit each.
+        assert_eq!(outcome.stats.max_message_bits, 6);
+    }
+
+    use ringleader_automata::Alphabet;
+}

@@ -1,0 +1,258 @@
+//! A one-counter protocol for the Dyck language — the context-free
+//! resident of the `Θ(n log n)` tier.
+//!
+//! Note 7.2 places the context-sensitive `0ⁿ1ⁿ2ⁿ` at `O(n log n)` bits;
+//! the same counter technique handles the context-free Dyck language of
+//! balanced parentheses with a *single* counter: the token carries the
+//! current nesting depth (Elias delta) plus a 1-bit "went negative" flag.
+//! The leader accepts iff the depth returns to zero and never dipped
+//! below. Messages are `O(log n)` bits ⇒ `O(n log n)` total — filling in
+//! the picture that the `n log n` tier hosts *every* Chomsky class above
+//! regular, which is exactly the paper's point that the bit hierarchy and
+//! the Chomsky hierarchy are unrelated.
+
+use ringleader_automata::Symbol;
+use ringleader_bitio::{BitReader, BitString, BitWriter};
+use ringleader_langs::{Dyck, Language};
+use ringleader_sim::{
+    Context, Direction, Process, ProcessError, ProcessResult, Protocol, Topology,
+};
+
+/// The one-counter recognizer for balanced parentheses.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_core::DyckCounter;
+/// # use ringleader_langs::Language;
+/// # use ringleader_automata::Word;
+/// # use ringleader_sim::RingRunner;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let proto = DyckCounter::new();
+/// let w = Word::from_str("(()())", proto.language().alphabet())?;
+/// assert!(RingRunner::new().run(&proto, &w)?.accepted());
+/// let w = Word::from_str(")(", proto.language().alphabet())?;
+/// assert!(!RingRunner::new().run(&proto, &w)?.accepted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DyckCounter {
+    language: Dyck,
+}
+
+/// The circulating token: current depth and a sticky underflow flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Token {
+    depth: u64,
+    underflowed: bool,
+}
+
+impl Token {
+    fn encode(&self) -> BitString {
+        let mut w = BitWriter::new();
+        w.write_bit(self.underflowed);
+        w.write_elias_delta(self.depth + 1);
+        w.finish()
+    }
+
+    fn decode(msg: &BitString) -> Result<Self, ProcessError> {
+        let mut r = BitReader::new(msg);
+        let underflowed = r.read_bit()?;
+        let depth = r.read_elias_delta()? - 1;
+        Ok(Self { depth, underflowed })
+    }
+
+    fn absorb(mut self, letter: Symbol) -> Self {
+        if letter.index() == 0 {
+            self.depth += 1;
+        } else if self.depth == 0 {
+            self.underflowed = true;
+        } else {
+            self.depth -= 1;
+        }
+        self
+    }
+
+    fn accepts(&self) -> bool {
+        !self.underflowed && self.depth == 0
+    }
+}
+
+impl DyckCounter {
+    /// Creates the protocol over the `{(, )}` alphabet of [`Dyck`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The language being recognized.
+    #[must_use]
+    pub fn language(&self) -> &Dyck {
+        &self.language
+    }
+}
+
+impl crate::graph::OnePassRule for DyckCounter {
+    fn alphabet(&self) -> ringleader_automata::Alphabet {
+        self.language.alphabet().clone()
+    }
+
+    fn initial(&self, letter: Symbol) -> BitString {
+        Token { depth: 0, underflowed: false }.absorb(letter).encode()
+    }
+
+    fn next(&self, incoming: &BitString, letter: Symbol) -> BitString {
+        Token::decode(incoming)
+            .expect("explorer feeds back our own encodings")
+            .absorb(letter)
+            .encode()
+    }
+
+    fn accept(&self, final_message: &BitString) -> bool {
+        Token::decode(final_message)
+            .expect("explorer feeds back our own encodings")
+            .accepts()
+    }
+
+    fn accept_empty(&self) -> bool {
+        true // ε is balanced
+    }
+}
+
+impl Protocol for DyckCounter {
+    fn name(&self) -> &'static str {
+        "dyck-counter"
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+
+    fn leader(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(LeaderProcess { input })
+    }
+
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(FollowerProcess { input })
+    }
+}
+
+struct LeaderProcess {
+    input: Symbol,
+}
+
+impl Process for LeaderProcess {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        let token = Token { depth: 0, underflowed: false }.absorb(self.input);
+        ctx.send(Direction::Clockwise, token.encode());
+        Ok(())
+    }
+
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        ctx.decide(Token::decode(msg)?.accepts());
+        Ok(())
+    }
+}
+
+struct FollowerProcess {
+    input: Symbol,
+}
+
+impl Process for FollowerProcess {
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let token = Token::decode(msg)?.absorb(self.input);
+        ctx.send(Direction::Clockwise, token.encode());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ringleader_automata::Word;
+    use ringleader_sim::RingRunner;
+
+    fn run(text: &str) -> bool {
+        let proto = DyckCounter::new();
+        let w = Word::from_str(text, proto.language().alphabet()).unwrap();
+        RingRunner::new().run(&proto, &w).unwrap().accepted()
+    }
+
+    #[test]
+    fn accepts_balanced() {
+        assert!(run("()"));
+        assert!(run("(())"));
+        assert!(run("()()"));
+        assert!(run("(()(()))"));
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!(!run("("));
+        assert!(!run(")"));
+        assert!(!run(")("));
+        assert!(!run("(()"));
+        assert!(!run("())"));
+        assert!(!run("())(")); // must catch underflow even if depth recovers
+    }
+
+    #[test]
+    fn exhaustive_small_n_matches_language() {
+        let proto = DyckCounter::new();
+        let lang = proto.language().clone();
+        let sigma = lang.alphabet().clone();
+        for len in 1..=10usize {
+            for idx in 0..(1usize << len) {
+                let symbols: Vec<Symbol> =
+                    (0..len).map(|i| Symbol(((idx >> i) & 1) as u16)).collect();
+                let w = Word::from_symbols(symbols);
+                let outcome = RingRunner::new().run(&proto, &w).unwrap();
+                assert_eq!(
+                    outcome.accepted(),
+                    lang.contains(&w),
+                    "{}",
+                    w.render(&sigma)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complexity_is_n_log_n() {
+        let proto = DyckCounter::new();
+        let lang = proto.language().clone();
+        let mut rng = StdRng::seed_from_u64(6);
+        // Deep nesting maximizes the counter, hence worst-case bits.
+        let deep = |n: usize| {
+            let text = "(".repeat(n / 2) + &")".repeat(n / 2);
+            Word::from_str(&text, lang.alphabet()).unwrap()
+        };
+        let b256 = RingRunner::new().run(&proto, &deep(256)).unwrap().stats.total_bits;
+        let b1024 = RingRunner::new().run(&proto, &deep(1024)).unwrap().stats.total_bits;
+        let ratio = b1024 as f64 / b256 as f64;
+        assert!(ratio > 4.05 && ratio < 6.0, "{ratio}");
+        // Random balanced words decide correctly too.
+        for n in [2usize, 10, 100] {
+            let w = lang.positive_example(n, &mut rng).unwrap();
+            assert!(RingRunner::new().run(&proto, &w).unwrap().accepted());
+            let w = lang.negative_example(n, &mut rng).unwrap();
+            assert!(!RingRunner::new().run(&proto, &w).unwrap().accepted());
+        }
+    }
+
+    #[test]
+    fn message_graph_diverges() {
+        // One counter still means infinitely many messages (Corollary 1).
+        use crate::{GraphOutcome, MessageGraphExplorer};
+        match MessageGraphExplorer::new(600).explore(&DyckCounter::new()) {
+            GraphOutcome::Exceeded { growth, .. } => {
+                // Depth d is reachable at BFS depth d: linear-ish growth.
+                assert!(growth.last().unwrap() > &600);
+            }
+            GraphOutcome::Finite { .. } => panic!("dyck counter is unbounded"),
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Theorem 2: the message graph of an `O(n)`-bit one-pass algorithm *is*
+//! a finite automaton.
+//!
+//! The proof of Theorem 2 builds a directed edge-labelled graph `G` whose
+//! vertices are the algorithm's messages, with an edge `mᵢ --σ--> mⱼ`
+//! whenever a processor holding `σ` that receives `mᵢ` sends `mⱼ`. If the
+//! algorithm uses `O(n)` bits the reachable graph must be finite (else
+//! Kőnig's lemma yields an infinite simple path = rings forcing
+//! `Ω(n log n)` bits), and the finite graph "clearly represents a state
+//! diagram of a finite automaton that recognizes L".
+//!
+//! [`MessageGraphExplorer`] runs that construction mechanically on any
+//! [`OnePassRule`]: breadth-first exploration of reachable messages,
+//! emitting either the extracted [`Dfa`] (finite case — Theorem 1-style
+//! algorithms) or the discovery-per-depth growth profile (budget-exceeded
+//! case — counter algorithms, whose message set is infinite exactly as the
+//! theorem predicts).
+
+use std::collections::HashMap;
+
+use ringleader_automata::{Alphabet, Dfa, StateId, Symbol};
+use ringleader_bitio::BitString;
+
+/// A one-pass unidirectional algorithm in look-up-table form: what the
+/// leader sends first, what a follower holding `σ` sends on receiving `m`,
+/// and how the leader decides on the message that returns.
+///
+/// This is the paper's abstraction of a one-pass algorithm (§2: "we assume
+/// that A is implemented by a look-up table"); the ring protocols in this
+/// crate implement it alongside [`Protocol`](ringleader_sim::Protocol) so
+/// the Theorem 2 construction can inspect them.
+pub trait OnePassRule: Send + Sync {
+    /// The input alphabet.
+    fn alphabet(&self) -> Alphabet;
+
+    /// The message the leader sends given its letter (the edge `v₀ --σ--> m`).
+    fn initial(&self, letter: Symbol) -> BitString;
+
+    /// The message a follower holding `letter` sends upon receiving
+    /// `incoming` (the edge `mᵢ --σ--> mⱼ`).
+    fn next(&self, incoming: &BitString, letter: Symbol) -> BitString;
+
+    /// The leader's decision on the message completing the pass.
+    fn accept(&self, final_message: &BitString) -> bool;
+
+    /// Whether the empty word is in the language (used only to complete
+    /// the extracted DFA; a ring always has `n ≥ 1`).
+    fn accept_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Result of exploring a one-pass algorithm's message graph.
+#[derive(Debug, Clone)]
+pub enum GraphOutcome {
+    /// The reachable message graph closed within budget: the algorithm
+    /// uses finitely many messages and this automaton recognizes its
+    /// language (Theorem 2's conclusion).
+    Finite {
+        /// The extracted automaton. State 0 is the virtual start `v₀`;
+        /// the remaining states are the distinct messages.
+        dfa: Dfa,
+        /// Number of distinct messages discovered.
+        distinct_messages: usize,
+    },
+    /// Exploration exceeded the budget: evidence of an infinite message
+    /// set (the non-regular case — Corollary 1(a)).
+    Exceeded {
+        /// The exploration budget that was exhausted.
+        budget: usize,
+        /// Cumulative distinct messages after each BFS depth — the growth
+        /// trajectory (e.g. linear for a counting pass).
+        growth: Vec<usize>,
+    },
+}
+
+/// Runs the Theorem 2 construction on a [`OnePassRule`].
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_core::{DfaOnePass, MessageGraphExplorer, GraphOutcome};
+/// # use ringleader_langs::DfaLanguage;
+/// # use ringleader_automata::Alphabet;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma)?;
+/// let proto = DfaOnePass::new(&lang);
+/// match MessageGraphExplorer::new(10_000).explore(&proto) {
+///     GraphOutcome::Finite { dfa, .. } => {
+///         assert!(dfa.equivalent(lang.dfa())?); // the graph IS the language
+///     }
+///     GraphOutcome::Exceeded { .. } => unreachable!("DFA protocols are finite"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MessageGraphExplorer {
+    budget: usize,
+}
+
+impl MessageGraphExplorer {
+    /// Creates an explorer that gives up after discovering `budget`
+    /// distinct messages.
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        Self { budget }
+    }
+
+    /// Explores the reachable message graph of `rule`.
+    #[must_use]
+    pub fn explore(&self, rule: &dyn OnePassRule) -> GraphOutcome {
+        let alphabet = rule.alphabet();
+        let k = alphabet.len();
+
+        // State 0 is v0; messages get states 1.. in discovery order.
+        let mut index: HashMap<BitString, usize> = HashMap::new();
+        let mut messages: Vec<BitString> = Vec::new();
+        let mut transitions: Vec<Vec<usize>> = vec![Vec::with_capacity(k)];
+        let mut growth = Vec::new();
+
+        // Depth 0 frontier: v0's successors.
+        let mut frontier: Vec<usize> = Vec::new();
+        for s in alphabet.symbols() {
+            let m = rule.initial(s);
+            let id = intern(&mut index, &mut messages, &mut transitions, k, m, &mut frontier);
+            transitions[0].push(id);
+        }
+        growth.push(messages.len());
+
+        let mut current = std::mem::take(&mut frontier);
+        while !current.is_empty() {
+            if messages.len() > self.budget {
+                return GraphOutcome::Exceeded { budget: self.budget, growth };
+            }
+            for &id in &current {
+                for s in alphabet.symbols() {
+                    let m = rule.next(&messages[id - 1], s);
+                    let to = intern(&mut index, &mut messages, &mut transitions, k, m, &mut frontier);
+                    transitions[id].push(to);
+                }
+            }
+            growth.push(messages.len());
+            current = std::mem::take(&mut frontier);
+        }
+
+        // Assemble the DFA: v0 + one state per message.
+        let count = messages.len() + 1;
+        let accepting: Vec<bool> = std::iter::once(rule.accept_empty())
+            .chain(messages.iter().map(|m| rule.accept(m)))
+            .collect();
+        let dfa = Dfa::from_fn(alphabet, count, 0, |q| accepting[q], |q, s| {
+            transitions[q][s.index()]
+        })
+        .expect("graph indices are dense and in range");
+        GraphOutcome::Finite { dfa, distinct_messages: messages.len() }
+    }
+}
+
+/// Interns a message, enqueueing it on first sight. Returns its state id.
+fn intern(
+    index: &mut HashMap<BitString, usize>,
+    messages: &mut Vec<BitString>,
+    transitions: &mut Vec<Vec<usize>>,
+    k: usize,
+    message: BitString,
+    frontier: &mut Vec<usize>,
+) -> usize {
+    if let Some(&id) = index.get(&message) {
+        return id;
+    }
+    messages.push(message.clone());
+    let id = messages.len(); // v0 occupies 0
+    index.insert(message, id);
+    transitions.push(Vec::with_capacity(k));
+    frontier.push(id);
+    id
+}
+
+/// Extracts the [`StateId`]-typed transition target (helper for rule
+/// implementations).
+#[doc(hidden)]
+pub fn state_target(dfa: &Dfa, q: StateId, s: Symbol) -> StateId {
+    dfa.step(q, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountRingSize, DfaOnePass, OnePassParity, ThreeCounters, WcWPrefixForward};
+    use ringleader_langs::{regular_corpus, DfaLanguage, Language};
+
+    #[test]
+    fn dfa_protocols_close_and_reproduce_their_language() {
+        for lang in regular_corpus() {
+            let proto = DfaOnePass::new(&lang);
+            match MessageGraphExplorer::new(1000).explore(&proto) {
+                GraphOutcome::Finite { dfa, distinct_messages } => {
+                    assert!(
+                        dfa.equivalent(lang.dfa()).unwrap(),
+                        "extracted automaton differs for {}",
+                        lang.name()
+                    );
+                    // The message set is the reachable state set.
+                    assert!(distinct_messages <= lang.dfa().state_count());
+                }
+                GraphOutcome::Exceeded { .. } => {
+                    panic!("{} has a finite message graph", lang.name())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extracted_dfa_minimizes_to_the_minimal_automaton() {
+        let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+        let proto = DfaOnePass::new(&lang);
+        let GraphOutcome::Finite { dfa, .. } = MessageGraphExplorer::new(100).explore(&proto)
+        else {
+            panic!("finite expected");
+        };
+        assert_eq!(dfa.minimized().state_count(), lang.dfa().state_count());
+    }
+
+    #[test]
+    fn one_pass_parity_closes_with_exponential_message_count() {
+        // k=2: count mod 3 × 8 parity vectors... reachable subset; finite
+        // but visibly larger than the two-pass protocol's per-pass tables.
+        let proto = OnePassParity::new(2);
+        match MessageGraphExplorer::new(100_000).explore(&proto) {
+            GraphOutcome::Finite { dfa, distinct_messages } => {
+                assert!(distinct_messages >= 12, "got {distinct_messages}");
+                assert!(dfa.state_count() > 12);
+            }
+            GraphOutcome::Exceeded { .. } => panic!("one-pass parity is a finite automaton"),
+        }
+    }
+
+    #[test]
+    fn counting_protocol_graph_diverges_linearly() {
+        let proto = CountRingSize::probe();
+        match MessageGraphExplorer::new(500).explore(&proto) {
+            GraphOutcome::Finite { .. } => panic!("counting uses infinitely many messages"),
+            GraphOutcome::Exceeded { budget, growth } => {
+                assert_eq!(budget, 500);
+                // Discoveries per depth are constant (one new counter value
+                // per depth): cumulative growth is linear.
+                let deltas: Vec<usize> = growth.windows(2).map(|w| w[1] - w[0]).collect();
+                assert!(deltas.iter().all(|&d| d == 1), "{deltas:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_counters_graph_diverges_polynomially() {
+        let proto = ThreeCounters::new();
+        match MessageGraphExplorer::new(2000).explore(&proto) {
+            GraphOutcome::Finite { .. } => panic!("three-counters uses unbounded counters"),
+            GraphOutcome::Exceeded { growth, .. } => {
+                // Messages at depth d encode count-triples summing to d+1:
+                // discoveries grow with depth (superlinear cumulative).
+                let deltas: Vec<usize> = growth.windows(2).map(|w| w[1] - w[0]).collect();
+                assert!(deltas.last().unwrap() > deltas.first().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn wcw_graph_diverges_exponentially() {
+        let proto = WcWPrefixForward::new();
+        match MessageGraphExplorer::new(5000).explore(&proto) {
+            GraphOutcome::Finite { .. } => panic!("wcw carries unbounded prefixes"),
+            GraphOutcome::Exceeded { growth, .. } => {
+                // Prefix-carrying messages double per depth before the
+                // separator: growth must be clearly superlinear.
+                let n = growth.len();
+                assert!(n >= 3);
+                assert!(growth[n - 1] - growth[n - 2] > growth[1] - growth[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Theorem 4/5 empirics: the information-state census.
+//!
+//! The `Ω(n log n)` lower bound works by counting **information states** —
+//! a processor's letter plus its ordered send/receive history. The paper
+//! shows that over the shortest witness word `wᵢ` for each state `ISᵢ`, at
+//! most **two** processors (three, bidirectionally) can share an
+//! information state; otherwise a cut-and-splice of the ring between the
+//! duplicates yields a shorter witness, contradiction. Distinct states
+//! then number `Ω(n)`, and telling `⌈n/2⌉` states apart takes `Ω(log n)`
+//! bits somewhere on the wire.
+//!
+//! [`analyze_info_states`] measures all of this on real executions:
+//! distinct-state counts, the multiplicity bound on shortest-witness
+//! words, and the message-width growth the bound forces.
+
+use std::collections::HashMap;
+
+use ringleader_automata::{Alphabet, Symbol, Word};
+use ringleader_sim::{InfoState, Protocol, RingRunner, SimError};
+
+/// Census results over a set of words (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoStateReport {
+    /// Number of words executed.
+    pub words_tested: usize,
+    /// Number of distinct information states observed across all
+    /// executions and processors.
+    pub distinct_states: usize,
+    /// Over the shortest-witness words only: the largest number of
+    /// processors sharing one information state in a single execution.
+    /// Theorem 4 predicts ≤ 2 for unidirectional algorithms.
+    pub max_multiplicity_on_shortest_witness: usize,
+    /// Largest single message, in bits, across all executions.
+    pub max_message_bits: usize,
+    /// `⌈log₂ distinct_states⌉` — the information-theoretic number of bits
+    /// needed to name a state.
+    pub bits_to_distinguish: u32,
+}
+
+/// Runs `protocol` on every word in `words` (traced), extracts the
+/// information states, and reports the census.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the underlying runs.
+pub fn analyze_info_states(
+    protocol: &dyn Protocol,
+    words: &[Word],
+) -> Result<InfoStateReport, SimError> {
+    let mut runner = RingRunner::new();
+    runner.record_trace(true);
+    // state → index of the shortest word that witnessed it.
+    let mut witness: HashMap<InfoState, usize> = HashMap::new();
+    let mut per_word_states: Vec<Vec<InfoState>> = Vec::with_capacity(words.len());
+    let mut max_message_bits = 0usize;
+
+    for (idx, word) in words.iter().enumerate() {
+        let outcome = runner.run(protocol, word)?;
+        max_message_bits = max_message_bits.max(outcome.stats.max_message_bits);
+        let trace = outcome.trace.expect("tracing enabled above");
+        let states = trace.info_states(word.symbols());
+        for state in &states {
+            match witness.get(state) {
+                Some(&w) if words[w].len() <= word.len() => {}
+                _ => {
+                    witness.insert(state.clone(), idx);
+                }
+            }
+        }
+        per_word_states.push(states);
+    }
+
+    // Multiplicity check on shortest-witness words.
+    let witness_words: std::collections::HashSet<usize> = witness.values().copied().collect();
+    let mut max_multiplicity = 0usize;
+    for &w in &witness_words {
+        let mut counts: HashMap<&InfoState, usize> = HashMap::new();
+        for state in &per_word_states[w] {
+            *counts.entry(state).or_insert(0) += 1;
+        }
+        if let Some(&m) = counts.values().max() {
+            max_multiplicity = max_multiplicity.max(m);
+        }
+    }
+
+    let distinct_states = witness.len();
+    Ok(InfoStateReport {
+        words_tested: words.len(),
+        distinct_states,
+        max_multiplicity_on_shortest_witness: max_multiplicity,
+        max_message_bits,
+        bits_to_distinguish: ringleader_bitio::bits_for(distinct_states),
+    })
+}
+
+/// All words of exactly length `len` over `alphabet`, in symbol order.
+///
+/// Gate on `alphabet.len().pow(len)` before calling — the output is the
+/// full cartesian product.
+#[must_use]
+pub fn exhaustive_words(alphabet: &Alphabet, len: usize) -> Vec<Word> {
+    let k = alphabet.len();
+    let total = k.pow(len as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut symbols = Vec::with_capacity(len);
+        for _ in 0..len {
+            symbols.push(Symbol((idx % k) as u16));
+            idx /= k;
+        }
+        out.push(Word::from_symbols(symbols));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountRingSize, DfaOnePass, ThreeCounters};
+    use ringleader_langs::{DfaLanguage, Language};
+
+    #[test]
+    fn exhaustive_words_cover_the_space() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let words = exhaustive_words(&sigma, 3);
+        assert_eq!(words.len(), 8);
+        let set: std::collections::HashSet<String> =
+            words.iter().map(|w| w.render(&sigma)).collect();
+        assert_eq!(set.len(), 8);
+        assert!(set.contains("aba"));
+    }
+
+    #[test]
+    fn counting_protocol_has_n_distinct_states_per_ring() {
+        // Every processor of the counting pass sees a different counter, so
+        // a single n-ring contributes n distinct states.
+        let proto = CountRingSize::probe();
+        let sigma = Alphabet::from_chars("a").unwrap();
+        let words: Vec<Word> = (1..=8)
+            .map(|n| Word::from_str(&"a".repeat(n), &sigma).unwrap())
+            .collect();
+        let report = analyze_info_states(&proto, &words).unwrap();
+        // States: leader(n) distinct per n + followers with distinct counters.
+        assert!(report.distinct_states >= 8 + 7, "{report:?}");
+        assert!(report.max_multiplicity_on_shortest_witness <= 2, "{report:?}");
+    }
+
+    #[test]
+    fn regular_protocol_reuses_finitely_many_message_types() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+        let proto = DfaOnePass::new(&lang);
+        // All words of lengths 1..=6.
+        let mut words = Vec::new();
+        for len in 1..=6usize {
+            words.extend(exhaustive_words(&sigma, len));
+        }
+        let report = analyze_info_states(&proto, &words).unwrap();
+        // Message width must NOT grow with n for an O(n) protocol.
+        assert_eq!(report.max_message_bits, proto.state_bits() as usize);
+    }
+
+    #[test]
+    fn nonregular_protocol_message_width_grows() {
+        let proto = ThreeCounters::new();
+        let sigma = proto.language().alphabet().clone();
+        let small: Vec<Word> = vec![Word::from_str("012", &sigma).unwrap()];
+        let large: Vec<Word> =
+            vec![Word::from_str(&("0".repeat(40) + &"1".repeat(40) + &"2".repeat(40)), &sigma)
+                .unwrap()];
+        let small_report = analyze_info_states(&proto, &small).unwrap();
+        let large_report = analyze_info_states(&proto, &large).unwrap();
+        assert!(
+            large_report.max_message_bits > small_report.max_message_bits,
+            "small {small_report:?} large {large_report:?}"
+        );
+    }
+
+    #[test]
+    fn multiplicity_bound_holds_exhaustively_for_anbncn() {
+        // The Theorem 4 statement, verified over every word of length ≤ 6
+        // on the three-letter alphabet (3^6 = 729 executions).
+        let proto = ThreeCounters::new();
+        let sigma = proto.language().alphabet().clone();
+        let mut words = Vec::new();
+        for len in 1..=6usize {
+            words.extend(exhaustive_words(&sigma, len));
+        }
+        let report = analyze_info_states(&proto, &words).unwrap();
+        assert!(
+            report.max_multiplicity_on_shortest_witness <= 2,
+            "cut-and-splice bound violated: {report:?}"
+        );
+        // Distinct states must outnumber what constant-width messages
+        // could distinguish.
+        assert!(report.bits_to_distinguish >= 4, "{report:?}");
+    }
+}

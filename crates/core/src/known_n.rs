@@ -1,0 +1,216 @@
+//! Note 7.4: when `n` is known, the `Ω(n log n)` barrier falls.
+//!
+//! "From our results it follows that only regular languages can be
+//! recognized without the knowledge of `n` [in `O(n)` bits] … If `n` is
+//! known then no gap exists … there are in this case non-regular languages
+//! that can be recognized in `O(n)` bits."
+//!
+//! [`LengthPredicateKnownN`] is the witness: for a language
+//! `{ σᵐ : P(m) }` (a "length language" such as `{a^{2^k}}`, non-regular
+//! whenever `P` is not eventually periodic), the leader — knowing `n` —
+//! evaluates `P(n)` locally and spends exactly one 1-bit-per-hop validity
+//! pass confirming every processor holds `σ`. Total: exactly `n` bits for
+//! a non-regular language. With `n` unknown the same language costs
+//! `Θ(n log n)` via [`CountRingSize`](crate::CountRingSize) — the tests
+//! measure both sides of the gap.
+
+use std::sync::Arc;
+
+use ringleader_automata::Symbol;
+use ringleader_bitio::{BitReader, BitString, BitWriter};
+use ringleader_sim::{
+    Context, Direction, Process, ProcessError, ProcessResult, Protocol, Topology,
+};
+
+use crate::counting::LengthPredicate;
+
+/// Known-`n` recognizer for length languages `{ σⁿ : P(n) }` in exactly
+/// `n` bits.
+///
+/// Must be run with [`RingRunner::known_ring_size`] enabled; it returns
+/// [`ProcessError::InvalidState`] otherwise.
+///
+/// [`RingRunner::known_ring_size`]: ringleader_sim::RingRunner::known_ring_size
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_core::LengthPredicateKnownN;
+/// # use ringleader_automata::{Alphabet, Symbol, Word};
+/// # use ringleader_sim::RingRunner;
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let proto = LengthPredicateKnownN::new(Symbol(0), Arc::new(|n| n.is_power_of_two()));
+/// let sigma = Alphabet::from_chars("a")?;
+/// let mut runner = RingRunner::new();
+/// runner.known_ring_size(true);
+/// let w = Word::from_str(&"a".repeat(16), &sigma)?;
+/// let outcome = runner.run(&proto, &w)?;
+/// assert!(outcome.accepted());
+/// assert_eq!(outcome.stats.total_bits, 16); // exactly n bits
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct LengthPredicateKnownN {
+    expected: Symbol,
+    predicate: LengthPredicate,
+}
+
+impl LengthPredicateKnownN {
+    /// Builds the recognizer: every processor must hold `expected`, and
+    /// the ring size must satisfy `predicate`.
+    #[must_use]
+    pub fn new(expected: Symbol, predicate: LengthPredicate) -> Self {
+        Self { expected, predicate }
+    }
+
+    /// Exact bit complexity: `n` (one validity bit per hop).
+    #[must_use]
+    pub fn predicted_bits(n: usize) -> usize {
+        n
+    }
+}
+
+impl std::fmt::Debug for LengthPredicateKnownN {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LengthPredicateKnownN")
+            .field("expected", &self.expected)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Protocol for LengthPredicateKnownN {
+    fn name(&self) -> &'static str {
+        "length-predicate-known-n"
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+
+    fn leader(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(LeaderProcess {
+            expected: self.expected,
+            predicate: Arc::clone(&self.predicate),
+            input,
+        })
+    }
+
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(FollowerProcess { expected: self.expected, input })
+    }
+}
+
+struct LeaderProcess {
+    expected: Symbol,
+    predicate: LengthPredicate,
+    input: Symbol,
+}
+
+impl Process for LeaderProcess {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        if ctx.known_ring_size().is_none() {
+            return Err(ProcessError::InvalidState(
+                "LengthPredicateKnownN requires the known-ring-size mode".into(),
+            ));
+        }
+        let mut w = BitWriter::new();
+        w.write_bit(self.input == self.expected);
+        ctx.send(Direction::Clockwise, w.finish());
+        Ok(())
+    }
+
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let valid = BitReader::new(msg).read_bit()?;
+        let n = ctx
+            .known_ring_size()
+            .ok_or_else(|| ProcessError::InvalidState("ring size vanished".into()))?;
+        ctx.decide(valid && (self.predicate)(n));
+        Ok(())
+    }
+}
+
+struct FollowerProcess {
+    expected: Symbol,
+    input: Symbol,
+}
+
+impl Process for FollowerProcess {
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let valid = BitReader::new(msg).read_bit()? && self.input == self.expected;
+        let mut w = BitWriter::new();
+        w.write_bit(valid);
+        ctx.send(Direction::Clockwise, w.finish());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountRingSize;
+    use ringleader_automata::{Alphabet, Word};
+    use ringleader_sim::{RingRunner, SimError};
+
+    fn unary(n: usize) -> Word {
+        Word::from_str(&"a".repeat(n), &Alphabet::from_chars("a").unwrap()).unwrap()
+    }
+
+    fn known_runner() -> RingRunner {
+        let mut r = RingRunner::new();
+        r.known_ring_size(true);
+        r
+    }
+
+    #[test]
+    fn recognizes_powers_of_two_in_exactly_n_bits() {
+        let proto = LengthPredicateKnownN::new(Symbol(0), Arc::new(|n| n.is_power_of_two()));
+        for n in 1..=33usize {
+            let outcome = known_runner().run(&proto, &unary(n)).unwrap();
+            assert_eq!(outcome.accepted(), n.is_power_of_two(), "n={n}");
+            assert_eq!(outcome.stats.total_bits, n, "n={n}");
+            assert_eq!(outcome.stats.message_count, n);
+            assert_eq!(outcome.stats.max_message_bits, 1);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_letters() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let proto = LengthPredicateKnownN::new(
+            sigma.symbol('a').unwrap(),
+            Arc::new(|n| n.is_power_of_two()),
+        );
+        let w = Word::from_str("aaba", &sigma).unwrap();
+        assert!(!known_runner().run(&proto, &w).unwrap().accepted());
+        let w = Word::from_str("aaaa", &sigma).unwrap();
+        assert!(known_runner().run(&proto, &w).unwrap().accepted());
+    }
+
+    #[test]
+    fn refuses_to_run_without_known_n() {
+        let proto = LengthPredicateKnownN::new(Symbol(0), Arc::new(|_| true));
+        let err = RingRunner::new().run(&proto, &unary(4)).unwrap_err();
+        assert!(matches!(err, SimError::Process { position: 0, .. }));
+    }
+
+    #[test]
+    fn gap_versus_unknown_n() {
+        // The same language with n unknown costs Θ(n log n) via counting;
+        // with n known it costs exactly n — the Note 7.4 gap, measured.
+        let n = 1024usize;
+        let known = LengthPredicateKnownN::new(Symbol(0), Arc::new(|n| n.is_power_of_two()));
+        let unknown = CountRingSize::new(Arc::new(|n| n.is_power_of_two()));
+        let known_bits = known_runner().run(&known, &unary(n)).unwrap().stats.total_bits;
+        let unknown_bits = RingRunner::new().run(&unknown, &unary(n)).unwrap().stats.total_bits;
+        assert_eq!(known_bits, n);
+        assert!(
+            unknown_bits as f64 > 5.0 * known_bits as f64,
+            "expected a large gap: known {known_bits}, unknown {unknown_bits}"
+        );
+        // Both decide correctly.
+        assert!(known_runner().run(&known, &unary(n)).unwrap().accepted());
+        assert!(RingRunner::new().run(&unknown, &unary(n)).unwrap().accepted());
+    }
+}

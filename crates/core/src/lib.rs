@@ -1,0 +1,75 @@
+//! The Mansour & Zaks algorithms: distributed pattern recognition on a
+//! ring with a leader, measured in bits.
+//!
+//! This crate is the paper's primary contribution, implemented as runnable
+//! protocols for the [`ringleader_sim`] ring:
+//!
+//! | module | paper | algorithm |
+//! |--------|-------|-----------|
+//! | [`onepass`] | Thm 1 | [`DfaOnePass`]: forward the DFA state, `⌈log│Q│⌉` bits/hop, `O(n)` total |
+//! | [`collect`] | §1 | [`CollectAll`]: the universal `O(n²)` baseline — ship the whole prefix |
+//! | [`counting`] | §7, §8 | [`CountRingSize`]: leader learns `n` in `Θ(n log n)` bits |
+//! | [`anbncn`] | Note 7.2 | [`ThreeCounters`]: `0ⁿ1ⁿ2ⁿ` in `Θ(n log n)` bits |
+//! | [`wcw`] | Note 7.1 | [`WcWPrefixForward`]: `wcw` in `Θ(n²)` bits (matching its lower bound) |
+//! | [`hierarchy`] | Note 7.3 | [`LgRecognizer`]: `L_g` in `Θ(g(n))` bits |
+//! | [`multipass`] | Note 7.5 | [`TwoPassParity`] vs [`OnePassParity`]: the pass/bit trade-off, exact |
+//! | [`known_n`] | Note 7.4 | [`LengthPredicateKnownN`]: non-regular in `O(n)` bits when `n` is known |
+//! | [`bidir`] | Thm 6/7 | [`BidirMeetInMiddle`]: genuinely bidirectional `O(n)` regular recognition |
+//! | [`reroute`] | Thm 5 | [`CutLinkAdapter`]: ring→line rerouting with the ≤4× bit bound |
+//! | [`graph`] | Thm 2 | [`MessageGraphExplorer`]: extract the DFA hiding inside any `O(n)` one-pass algorithm |
+//! | [`infostate`] | Thm 4/5 | information-state census behind the `Ω(n log n)` lower bound |
+//!
+//! # Examples
+//!
+//! Theorem 1 end to end — regular recognition in `⌈log│Q│⌉` bits per hop:
+//!
+//! ```rust
+//! # use ringleader_core::DfaOnePass;
+//! # use ringleader_langs::DfaLanguage;
+//! # use ringleader_automata::{Alphabet, Word};
+//! # use ringleader_sim::RingRunner;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sigma = Alphabet::from_chars("ab")?;
+//! let lang = DfaLanguage::from_regex("(ab)*", &sigma)?;
+//! let protocol = DfaOnePass::new(&lang);
+//! let word = Word::from_str("abababab", &sigma)?;
+//! let outcome = RingRunner::new().run(&protocol, &word)?;
+//! assert!(outcome.accepted());
+//! // 3 minimized states → 2 bits per message, 8 messages.
+//! assert_eq!(outcome.stats.total_bits, 16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anbncn;
+pub mod bidir;
+pub mod collect;
+pub mod counting;
+pub mod dyck;
+pub mod graph;
+pub mod hierarchy;
+pub mod infostate;
+pub mod known_n;
+pub mod multipass;
+pub mod onepass;
+pub mod reroute;
+pub mod stateless;
+pub mod wcw;
+
+pub use anbncn::ThreeCounters;
+pub use bidir::BidirMeetInMiddle;
+pub use collect::CollectAll;
+pub use counting::{CountRingSize, CounterEncoding, LengthPredicate};
+pub use dyck::DyckCounter;
+pub use graph::{GraphOutcome, MessageGraphExplorer, OnePassRule};
+pub use hierarchy::LgRecognizer;
+pub use infostate::{analyze_info_states, InfoStateReport};
+pub use known_n::LengthPredicateKnownN;
+pub use multipass::{OnePassParity, TwoPassParity};
+pub use onepass::DfaOnePass;
+pub use reroute::CutLinkAdapter;
+pub use stateless::StatelessTwoPass;
+pub use wcw::WcWPrefixForward;

@@ -1,0 +1,454 @@
+//! Note 7.5: the pass/bit trade-off for regular languages.
+//!
+//! Over `Σ = {σ₀, …, σ_{2^k−1}}` take
+//! `L = { w : σ_{|w| mod (2^k−1)} appears an even number of times in w }`.
+//!
+//! * **Two passes** ([`TwoPassParity`]): pass 1 computes `|w| mod (2^k−1)`
+//!   with `k`-bit messages; pass 2 broadcasts the designated letter and
+//!   threads a single parity bit — `k+1` bits per message. Total exactly
+//!   `(2k+1)·n` bits.
+//! * **One pass** ([`OnePassParity`]): without knowing the designated
+//!   letter in advance, the single message must track the parity of
+//!   *every* candidate letter concurrently plus the running length:
+//!   `k + 2^k − 1` bits per message, total `(k + 2^k − 1)·n`.
+//!
+//! The gap is exponential in `k` — the paper's point that collapsing
+//! passes can square the message alphabet ("if a regular language can be
+//! recognized with `cn` bits in any number of passes, one pass suffices
+//! with `2^c·n` bits").
+//!
+//! Both protocols recognize exactly
+//! [`TradeoffLanguage`], which the
+//! tests verify against each other and against ground truth.
+
+use ringleader_automata::Symbol;
+use ringleader_bitio::{BitReader, BitString, BitWriter};
+use ringleader_langs::{Language, TradeoffLanguage};
+use ringleader_sim::{Context, Direction, Process, ProcessResult, Protocol, Topology};
+
+/// The two-pass recognizer: `(2k+1)·n` bits.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_core::TwoPassParity;
+/// # use ringleader_langs::Language;
+/// # use ringleader_automata::Word;
+/// # use ringleader_sim::RingRunner;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let proto = TwoPassParity::new(2);
+/// // |w| = 4 → designated letter index 4 mod 3 = 1 ('B'); "ABBA" has two.
+/// let w = Word::from_str("ABBA", proto.language().alphabet())?;
+/// let outcome = RingRunner::new().run(&proto, &w)?;
+/// assert!(outcome.accepted());
+/// assert_eq!(outcome.stats.total_bits, proto.predicted_bits(4)); // (2k+1)n = 20
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoPassParity {
+    language: TradeoffLanguage,
+    k: u32,
+}
+
+impl TwoPassParity {
+    /// Builds the protocol for the family member `k` (alphabet `2^k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=5` (see [`TradeoffLanguage::new`]).
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        Self { language: TradeoffLanguage::new(k), k }
+    }
+
+    /// The language being recognized.
+    #[must_use]
+    pub fn language(&self) -> &TradeoffLanguage {
+        &self.language
+    }
+
+    /// Exact bit complexity: `(2k+1)·n`.
+    #[must_use]
+    pub fn predicted_bits(&self, n: usize) -> usize {
+        (2 * self.k as usize + 1) * n
+    }
+}
+
+impl Protocol for TwoPassParity {
+    fn name(&self) -> &'static str {
+        "two-pass-parity"
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+
+    fn leader(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(TwoPassLeader { k: self.k, modulus: self.language.modulus() as u64, input, pass: 0 })
+    }
+
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(TwoPassFollower { k: self.k, modulus: self.language.modulus() as u64, input, seen: 0 })
+    }
+}
+
+struct TwoPassLeader {
+    k: u32,
+    modulus: u64,
+    input: Symbol,
+    pass: u8,
+}
+
+impl Process for TwoPassLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        // Pass 1: length counter mod (2^k − 1), k bits. Counts this
+        // processor, so it starts at 1 mod M.
+        let mut w = BitWriter::new();
+        w.write_bits(1 % self.modulus, self.k);
+        ctx.send(Direction::Clockwise, w.finish());
+        self.pass = 1;
+        Ok(())
+    }
+
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let mut r = BitReader::new(msg);
+        if self.pass == 1 {
+            // Counter returned: designated letter is n mod (2^k − 1).
+            let designated = r.read_bits(self.k)?;
+            let parity = u64::from(self.input.index() as u64 == designated);
+            let mut w = BitWriter::new();
+            w.write_bits(designated, self.k);
+            w.write_bits(parity, 1);
+            ctx.send(Direction::Clockwise, w.finish());
+            self.pass = 2;
+        } else {
+            let _designated = r.read_bits(self.k)?;
+            let parity = r.read_bits(1)?;
+            ctx.decide(parity == 0);
+        }
+        Ok(())
+    }
+}
+
+struct TwoPassFollower {
+    k: u32,
+    modulus: u64,
+    input: Symbol,
+    seen: u32,
+}
+
+impl Process for TwoPassFollower {
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        self.seen += 1;
+        let mut r = BitReader::new(msg);
+        let out = if self.seen == 1 {
+            // Pass 1: bump the length counter mod M.
+            let count = r.read_bits(self.k)?;
+            let mut w = BitWriter::new();
+            w.write_bits((count + 1) % self.modulus, self.k);
+            w.finish()
+        } else {
+            // Pass 2: thread the designated letter's parity.
+            let designated = r.read_bits(self.k)?;
+            let parity = r.read_bits(1)?;
+            let parity = parity ^ u64::from(self.input.index() as u64 == designated);
+            let mut w = BitWriter::new();
+            w.write_bits(designated, self.k);
+            w.write_bits(parity, 1);
+            w.finish()
+        };
+        ctx.send(Direction::Clockwise, out);
+        Ok(())
+    }
+}
+
+/// The one-pass recognizer: `(k + 2^k − 1)·n` bits.
+///
+/// Tracks the running length mod `2^k − 1` (`k` bits) and the parity of
+/// every letter that could end up designated (`2^k − 1` bits — letter
+/// `σ_{2^k−1}` can never be designated, so it needs no parity).
+#[derive(Debug, Clone)]
+pub struct OnePassParity {
+    language: TradeoffLanguage,
+    k: u32,
+}
+
+impl OnePassParity {
+    /// Builds the protocol for the family member `k` (alphabet `2^k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=5` (see [`TradeoffLanguage::new`]).
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        Self { language: TradeoffLanguage::new(k), k }
+    }
+
+    /// The language being recognized.
+    #[must_use]
+    pub fn language(&self) -> &TradeoffLanguage {
+        &self.language
+    }
+
+    /// Exact bit complexity: `(k + 2^k − 1)·n`.
+    #[must_use]
+    pub fn predicted_bits(&self, n: usize) -> usize {
+        (self.k as usize + self.language.modulus()) * n
+    }
+
+    fn modulus(&self) -> u64 {
+        self.language.modulus() as u64
+    }
+}
+
+/// Shared token logic: `count` mod M plus one parity bit per candidate.
+fn one_pass_absorb(
+    k: u32,
+    modulus: u64,
+    count: u64,
+    parities: u64,
+    letter: Symbol,
+) -> (u64, u64) {
+    let count = (count + 1) % modulus;
+    let parities = if (letter.index() as u64) < modulus {
+        parities ^ (1 << letter.index())
+    } else {
+        parities
+    };
+    let _ = k;
+    (count, parities)
+}
+
+impl crate::graph::OnePassRule for OnePassParity {
+    fn alphabet(&self) -> ringleader_automata::Alphabet {
+        self.language.alphabet().clone()
+    }
+
+    fn initial(&self, letter: Symbol) -> BitString {
+        let (count, parities) = one_pass_absorb(self.k, self.modulus(), 0, 0, letter);
+        let mut w = BitWriter::new();
+        w.write_bits(count, self.k);
+        w.write_bits(parities, self.modulus() as u32);
+        w.finish()
+    }
+
+    fn next(&self, incoming: &BitString, letter: Symbol) -> BitString {
+        let mut r = BitReader::new(incoming);
+        let count = r.read_bits(self.k).expect("explorer feeds back our own encodings");
+        let parities = r
+            .read_bits(self.modulus() as u32)
+            .expect("explorer feeds back our own encodings");
+        let (count, parities) = one_pass_absorb(self.k, self.modulus(), count, parities, letter);
+        let mut w = BitWriter::new();
+        w.write_bits(count, self.k);
+        w.write_bits(parities, self.modulus() as u32);
+        w.finish()
+    }
+
+    fn accept(&self, final_message: &BitString) -> bool {
+        let mut r = BitReader::new(final_message);
+        let count = r.read_bits(self.k).expect("explorer feeds back our own encodings");
+        let parities = r
+            .read_bits(self.modulus() as u32)
+            .expect("explorer feeds back our own encodings");
+        (parities >> count) & 1 == 0
+    }
+
+    fn accept_empty(&self) -> bool {
+        true // zero occurrences of the designated letter is even
+    }
+}
+
+impl Protocol for OnePassParity {
+    fn name(&self) -> &'static str {
+        "one-pass-parity"
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+
+    fn leader(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(OnePassLeader { k: self.k, modulus: self.modulus(), input })
+    }
+
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(OnePassFollower { k: self.k, modulus: self.modulus(), input })
+    }
+}
+
+struct OnePassLeader {
+    k: u32,
+    modulus: u64,
+    input: Symbol,
+}
+
+impl Process for OnePassLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        let (count, parities) = one_pass_absorb(self.k, self.modulus, 0, 0, self.input);
+        let mut w = BitWriter::new();
+        w.write_bits(count, self.k);
+        w.write_bits(parities, self.modulus as u32);
+        ctx.send(Direction::Clockwise, w.finish());
+        Ok(())
+    }
+
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let mut r = BitReader::new(msg);
+        let count = r.read_bits(self.k)?;
+        let parities = r.read_bits(self.modulus as u32)?;
+        // count has gone around once: it equals n mod M = designated index.
+        let designated = count;
+        ctx.decide((parities >> designated) & 1 == 0);
+        Ok(())
+    }
+}
+
+struct OnePassFollower {
+    k: u32,
+    modulus: u64,
+    input: Symbol,
+}
+
+impl Process for OnePassFollower {
+    fn on_message(&mut self, _dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let mut r = BitReader::new(msg);
+        let count = r.read_bits(self.k)?;
+        let parities = r.read_bits(self.modulus as u32)?;
+        let (count, parities) = one_pass_absorb(self.k, self.modulus, count, parities, self.input);
+        let mut w = BitWriter::new();
+        w.write_bits(count, self.k);
+        w.write_bits(parities, self.modulus as u32);
+        ctx.send(Direction::Clockwise, w.finish());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ringleader_automata::Word;
+    use ringleader_sim::RingRunner;
+
+    #[test]
+    fn both_protocols_match_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for k in 1..=4u32 {
+            let two = TwoPassParity::new(k);
+            let one = OnePassParity::new(k);
+            let lang = two.language().clone();
+            for n in [1usize, 2, 3, 7, 15, 16, 40] {
+                for want in [true, false] {
+                    let Some(w) = (if want {
+                        lang.positive_example(n, &mut rng)
+                    } else {
+                        lang.negative_example(n, &mut rng)
+                    }) else {
+                        continue;
+                    };
+                    let d2 = RingRunner::new().run(&two, &w).unwrap().accepted();
+                    let d1 = RingRunner::new().run(&one, &w).unwrap().accepted();
+                    assert_eq!(d2, want, "two-pass k={k} n={n}");
+                    assert_eq!(d1, want, "one-pass k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_agreement_small_k() {
+        // k = 2: alphabet {A,B,C,D}; exhaust all words up to length 5.
+        let two = TwoPassParity::new(2);
+        let one = OnePassParity::new(2);
+        let lang = two.language().clone();
+        let sigma = lang.alphabet().clone();
+        for len in 1..=5usize {
+            for idx in 0..4usize.pow(len as u32) {
+                let mut x = idx;
+                let symbols: Vec<_> = (0..len)
+                    .map(|_| {
+                        let s = ringleader_automata::Symbol((x % 4) as u16);
+                        x /= 4;
+                        s
+                    })
+                    .collect();
+                let w = Word::from_symbols(symbols);
+                let expect = lang.contains(&w);
+                assert_eq!(
+                    RingRunner::new().run(&two, &w).unwrap().accepted(),
+                    expect,
+                    "two-pass on {}",
+                    w.render(&sigma)
+                );
+                assert_eq!(
+                    RingRunner::new().run(&one, &w).unwrap().accepted(),
+                    expect,
+                    "one-pass on {}",
+                    w.render(&sigma)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_counts_match_paper_formulas_exactly() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for k in 1..=5u32 {
+            let two = TwoPassParity::new(k);
+            let one = OnePassParity::new(k);
+            let lang = two.language().clone();
+            for n in [1usize, 5, 32, 100] {
+                let w = lang
+                    .positive_example(n, &mut rng)
+                    .expect("positives exist at every length");
+                let o2 = RingRunner::new().run(&two, &w).unwrap();
+                assert_eq!(o2.stats.total_bits, (2 * k as usize + 1) * n, "two-pass k={k} n={n}");
+                assert_eq!(o2.stats.message_count, 2 * n);
+                let o1 = RingRunner::new().run(&one, &w).unwrap();
+                assert_eq!(
+                    o1.stats.total_bits,
+                    (k as usize + (1 << k) - 1) * n,
+                    "one-pass k={k} n={n}"
+                );
+                assert_eq!(o1.stats.message_count, n);
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_two_pass_wins_from_k3() {
+        // (2k+1) vs (k + 2^k − 1) per processor: equal at k ≤ 2, two-pass
+        // strictly cheaper from k = 3 on, exponentially so.
+        for k in 1..=5u32 {
+            let two_bits = 2 * k + 1;
+            let one_bits = k + (1 << k) - 1;
+            match k {
+                1 => assert!(two_bits > one_bits), // 3 vs 2
+                2 => assert_eq!(two_bits, one_bits), // 5 vs 5
+                _ => assert!(two_bits < one_bits, "k={k}"),
+            }
+        }
+        // And the measured protocols exhibit the same crossover.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 60usize;
+        for k in 3..=5u32 {
+            let two = TwoPassParity::new(k);
+            let one = OnePassParity::new(k);
+            let w = two.language().positive_example(n, &mut rng).unwrap();
+            let b2 = RingRunner::new().run(&two, &w).unwrap().stats.total_bits;
+            let b1 = RingRunner::new().run(&one, &w).unwrap().stats.total_bits;
+            assert!(b2 < b1, "k={k}: {b2} !< {b1}");
+        }
+    }
+
+    #[test]
+    fn predicted_bits_match_formulas() {
+        let two = TwoPassParity::new(3);
+        assert_eq!(two.predicted_bits(10), 70);
+        let one = OnePassParity::new(3);
+        assert_eq!(one.predicted_bits(10), 100);
+    }
+}

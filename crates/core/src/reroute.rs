@@ -1,0 +1,383 @@
+//! Theorem 5's transformation: reroute one link's traffic the long way.
+//!
+//! The bidirectional lower bound works by turning any (token) ring
+//! algorithm into a **line** algorithm: pick the link `l` carrying the
+//! fewest bits, add a leading 0-bit to every original message, and replace
+//! every message on `l` by a 1-tagged message travelling the other way
+//! around (`n−1` hops). Since `l` carries at most `β/n` of the `β` total
+//! bits, the transformed execution costs at most ~4× the original — the
+//! constant the whole Theorem 5 argument rests on.
+//!
+//! [`CutLinkAdapter`] implements the transformation as a runnable protocol
+//! wrapper. The cut is the `pₙ ↔ p₁` link (for the uniform-traffic token
+//! protocols measured in experiment E4 every link carries the same load,
+//! so this *is* a minimum-traffic link). Setup mirrors the paper's
+//! Theorem 7 Stage 1: the leader sends `pₙ` an "end of line" marker which
+//! is "not considered part of A′" — here it is a **0-bit message** (plus a
+//! 0-bit ack), so it is literally free and unambiguous (every data message
+//! carries at least its 1-bit tag).
+//!
+//! After setup, no data bit ever crosses the cut link — the tests assert
+//! `link_bits(cut) == 0` — and the measured blow-up stays within the
+//! paper's bound.
+
+use ringleader_automata::Symbol;
+use ringleader_bitio::{BitReader, BitString, BitWriter};
+use ringleader_sim::{
+    Context, Direction, Process, ProcessError, ProcessResult, Protocol, Topology,
+};
+
+/// Wraps an inner ring protocol, rerouting all cut-link traffic the long
+/// way (Theorem 5 / Theorem 7 Stage 1).
+///
+/// Requires rings of `n ≥ 2` (with one processor there is no second path).
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_core::{CutLinkAdapter, DfaOnePass};
+/// # use ringleader_langs::DfaLanguage;
+/// # use ringleader_automata::{Alphabet, Word};
+/// # use ringleader_sim::RingRunner;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let lang = DfaLanguage::from_regex("(ab)*", &sigma)?;
+/// let inner = DfaOnePass::new(&lang);
+/// let adapted = CutLinkAdapter::new(inner.clone());
+/// let w = Word::from_str("abab", &sigma)?;
+/// let plain = RingRunner::new().run(&inner, &w)?;
+/// let rerouted = RingRunner::new().run(&adapted, &w)?;
+/// assert_eq!(plain.decision, rerouted.decision);
+/// // The transformation at most quadruples the bits (Theorem 5's bound).
+/// assert!(rerouted.stats.total_bits <= 4 * plain.stats.total_bits);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CutLinkAdapter<P> {
+    inner: P,
+}
+
+impl<P: Protocol> CutLinkAdapter<P> {
+    /// Wraps `inner`. The inner protocol may be unidirectional or
+    /// bidirectional; its messages are re-tagged and rerouted
+    /// transparently.
+    #[must_use]
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped protocol.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+fn tag(bit: bool, payload: &BitString) -> BitString {
+    let mut w = BitWriter::new();
+    w.write_bit(bit);
+    w.write_bitstring(payload);
+    w.finish()
+}
+
+fn untag(msg: &BitString) -> Result<(bool, BitString), ProcessError> {
+    let mut r = BitReader::new(msg);
+    let bit = r.read_bit()?;
+    Ok((bit, r.read_rest()))
+}
+
+/// Translates inner-process effects into tagged physical sends.
+///
+/// `cut_clockwise` — this node's clockwise send crosses the cut (End);
+/// `cut_counter_clockwise` — its counter-clockwise send does (Leader).
+fn relay_effects(
+    inner_ctx: Context,
+    ctx: &mut Context,
+    cut_clockwise: bool,
+    cut_counter_clockwise: bool,
+) {
+    let (sends, decision) = inner_ctx.into_effects();
+    for (dir, payload) in sends {
+        match dir {
+            Direction::Clockwise if cut_clockwise => {
+                // Reroute: travel the long way, counter-clockwise.
+                ctx.send(Direction::CounterClockwise, tag(true, &payload));
+            }
+            Direction::CounterClockwise if cut_counter_clockwise => {
+                ctx.send(Direction::Clockwise, tag(true, &payload));
+            }
+            dir => ctx.send(dir, tag(false, &payload)),
+        }
+    }
+    if let Some(d) = decision {
+        ctx.decide(d);
+    }
+}
+
+impl<P: Protocol> Protocol for CutLinkAdapter<P> {
+    fn name(&self) -> &'static str {
+        "cut-link-adapter"
+    }
+
+    fn topology(&self) -> Topology {
+        // The 0-bit setup marker/ack use the cut link; every data message
+        // avoids it (asserted by the tests via link_bits == 0).
+        Topology::Bidirectional
+    }
+
+    fn leader(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(AdapterLeader { inner: self.inner.leader(input), started: false })
+    }
+
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        Box::new(AdapterFollower { inner: self.inner.follower(input), role: Role::Pending })
+    }
+}
+
+struct AdapterLeader {
+    inner: Box<dyn Process>,
+    started: bool,
+}
+
+impl Process for AdapterLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        // "End of line" marker to p_n: 0 bits, one hop counter-clockwise.
+        ctx.send(Direction::CounterClockwise, BitString::new());
+        Ok(())
+    }
+
+    fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        if msg.is_empty() {
+            if dir == Direction::CounterClockwise {
+                // Our own marker came straight back: the ring has n = 1 and
+                // there is no second path to reroute over.
+                return Err(ProcessError::InvalidState(
+                    "cut-link adapter requires a ring of at least 2 processors".into(),
+                ));
+            }
+            if self.started {
+                return Err(ProcessError::InvalidState("duplicate setup ack".into()));
+            }
+            // Ack from the end of the line: start the inner protocol.
+            self.started = true;
+            let mut inner_ctx = Context::detached(true, ctx.known_ring_size());
+            self.inner.on_start(&mut inner_ctx)?;
+            relay_effects(inner_ctx, ctx, false, true);
+            return Ok(());
+        }
+        let (rerouted, payload) = untag(msg)?;
+        // Post-setup the leader only receives counter-clockwise-travelling
+        // physical messages (its other incoming link is the cut). A
+        // rerouted message is semantically an inner message that crossed
+        // the cut clockwise.
+        let inner_dir = if rerouted { Direction::Clockwise } else { Direction::CounterClockwise };
+        let mut inner_ctx = Context::detached(true, ctx.known_ring_size());
+        self.inner.on_message(inner_dir, &payload, &mut inner_ctx)?;
+        relay_effects(inner_ctx, ctx, false, true);
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// No message received yet; the first one reveals the role.
+    Pending,
+    /// An interior processor of the line.
+    Middle,
+    /// The end of the line (`pₙ`): its clockwise link is the cut.
+    End,
+}
+
+struct AdapterFollower {
+    inner: Box<dyn Process>,
+    role: Role,
+}
+
+impl AdapterFollower {
+    fn handle(
+        &mut self,
+        dir: Direction,
+        msg: &BitString,
+        ctx: &mut Context,
+    ) -> ProcessResult {
+        let (rerouted, payload) = untag(msg)?;
+        match self.role {
+            Role::Pending => Err(ProcessError::InvalidState("role not assigned".into())),
+            Role::Middle => {
+                if rerouted {
+                    // In transit around the long way: pass through intact.
+                    ctx.send(dir, msg.clone());
+                    Ok(())
+                } else {
+                    let mut inner_ctx = Context::detached(false, ctx.known_ring_size());
+                    self.inner.on_message(dir, &payload, &mut inner_ctx)?;
+                    relay_effects(inner_ctx, ctx, false, false);
+                    Ok(())
+                }
+            }
+            Role::End => {
+                // Rerouted messages arriving here crossed the cut
+                // counter-clockwise (sent by the leader).
+                let inner_dir = if rerouted { Direction::CounterClockwise } else { dir };
+                let mut inner_ctx = Context::detached(false, ctx.known_ring_size());
+                self.inner.on_message(inner_dir, &payload, &mut inner_ctx)?;
+                relay_effects(inner_ctx, ctx, true, false);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Process for AdapterFollower {
+    fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        if self.role == Role::Pending {
+            if msg.is_empty() {
+                // The end-of-line marker: only p_n ever receives it.
+                self.role = Role::End;
+                ctx.send(Direction::Clockwise, BitString::new()); // 0-bit ack
+                return Ok(());
+            }
+            self.role = Role::Middle;
+        }
+        if msg.is_empty() {
+            return Err(ProcessError::InvalidState("unexpected 0-bit message".into()));
+        }
+        self.handle(dir, msg, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountRingSize, DfaOnePass, ThreeCounters};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ringleader_automata::{Alphabet, Word};
+    use ringleader_langs::{DfaLanguage, Language};
+    use ringleader_sim::{validate_token_discipline, RingRunner, Scheduler, SimError};
+
+    fn compare(inner: &dyn Protocol, adapted: &dyn Protocol, w: &Word) -> (usize, usize) {
+        let plain = RingRunner::new().run(inner, w).unwrap();
+        let rerouted = RingRunner::new().run(adapted, w).unwrap();
+        assert_eq!(plain.decision, rerouted.decision, "decision changed by transformation");
+        (plain.stats.total_bits, rerouted.stats.total_bits)
+    }
+
+    #[test]
+    fn preserves_decisions_for_dfa_protocol() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+        let inner = DfaOnePass::new(&lang);
+        let adapted = CutLinkAdapter::new(inner.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2usize, 3, 5, 16, 64] {
+            for want in [true, false] {
+                let Some(w) = (if want {
+                    lang.positive_example(n, &mut rng)
+                } else {
+                    lang.negative_example(n, &mut rng)
+                }) else {
+                    continue;
+                };
+                let (_, _) = compare(&inner, &adapted, &w);
+            }
+        }
+    }
+
+    #[test]
+    fn blowup_is_within_paper_bound() {
+        // For uniform-traffic one-pass protocols the fixed cut IS a
+        // minimum-traffic link, so the paper's ≤4× applies (asymptotically;
+        // tiny rings get a +2-message slack from framing).
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap(); // 2-bit states
+        let inner = DfaOnePass::new(&lang);
+        let adapted = CutLinkAdapter::new(inner.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [8usize, 32, 128] {
+            let w = lang
+                .positive_example(n, &mut rng)
+                .or_else(|| lang.negative_example(n, &mut rng))
+                .unwrap();
+            let (plain, rerouted) = compare(&inner, &adapted, &w);
+            let ratio = rerouted as f64 / plain as f64;
+            assert!(ratio <= 4.0, "n={n}: ratio {ratio} exceeds the Theorem 5 bound");
+        }
+    }
+
+    #[test]
+    fn no_data_bits_cross_the_cut() {
+        let inner = CountRingSize::probe();
+        let adapted = CutLinkAdapter::new(inner);
+        let sigma = Alphabet::from_chars("a").unwrap();
+        for n in [2usize, 5, 20] {
+            let w = Word::from_str(&"a".repeat(n), &sigma).unwrap();
+            let outcome = RingRunner::new().run(&adapted, &w).unwrap();
+            assert!(outcome.accepted());
+            assert_eq!(
+                outcome.stats.link_bits(n - 1),
+                0,
+                "n={n}: data crossed the cut link"
+            );
+        }
+    }
+
+    #[test]
+    fn transformed_execution_is_still_token() {
+        // [TL] gives token algorithms; the cut transformation must not
+        // break the discipline.
+        let inner = ThreeCounters::new();
+        let adapted = CutLinkAdapter::new(inner);
+        let sigma = Alphabet::from_chars("012").unwrap();
+        let w = Word::from_str("001122", &sigma).unwrap();
+        let mut runner = RingRunner::new();
+        runner.record_trace(true);
+        let outcome = runner.run(&adapted, &w).unwrap();
+        assert!(outcome.accepted());
+        assert!(validate_token_discipline(&outcome.trace.unwrap()));
+    }
+
+    #[test]
+    fn works_under_adversarial_schedulers() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+        let adapted = CutLinkAdapter::new(DfaOnePass::new(&lang));
+        let w = Word::from_str("abab", &sigma).unwrap();
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LongestQueue,
+            Scheduler::Random { seed: 0 },
+            Scheduler::Random { seed: 99 },
+        ] {
+            let mut runner = RingRunner::new();
+            runner.scheduler(sched);
+            assert!(runner.run(&adapted, &w).unwrap().accepted());
+        }
+    }
+
+    #[test]
+    fn single_processor_ring_is_rejected() {
+        let sigma = Alphabet::from_chars("a").unwrap();
+        let adapted = CutLinkAdapter::new(CountRingSize::probe());
+        let w = Word::from_str("a", &sigma).unwrap();
+        let err = RingRunner::new().run(&adapted, &w).unwrap_err();
+        assert!(matches!(err, SimError::Process { position: 0, .. }));
+    }
+
+    #[test]
+    fn counting_protocol_roundtrip_bits() {
+        // Counting sends ~log n bits over the cut; rerouting multiplies
+        // that one message by n−1 hops. The blow-up must stay ≤ ~4×:
+        // original Θ(n log n), reroute adds (n−2)·(log n + 1) ≤ original.
+        let inner = CountRingSize::probe();
+        let adapted = CutLinkAdapter::new(inner.clone());
+        let sigma = Alphabet::from_chars("a").unwrap();
+        for n in [16usize, 64, 256] {
+            let w = Word::from_str(&"a".repeat(n), &sigma).unwrap();
+            let (plain, rerouted) = compare(&inner, &adapted, &w);
+            let ratio = rerouted as f64 / plain as f64;
+            assert!(ratio <= 4.0, "n={n}: {ratio}");
+        }
+    }
+}

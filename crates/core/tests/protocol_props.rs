@@ -1,0 +1,163 @@
+//! Property-based tests: every protocol against its language's ground
+//! truth, on randomized workloads and schedules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use ringleader_automata::{Symbol, Word};
+use ringleader_core::{
+    analyze_info_states, BidirMeetInMiddle, CollectAll, CountRingSize, DyckCounter,
+    LgRecognizer, OnePassParity, StatelessTwoPass, ThreeCounters, TwoPassParity,
+    WcWPrefixForward,
+};
+use ringleader_langs::{
+    AnBnCn, DfaLanguage, Dyck, GrowthFunction, Language, LgLanguage, TradeoffLanguage, WcW,
+};
+use ringleader_sim::{Protocol, RingRunner, Scheduler};
+
+/// Draws a word of length `len` from the language (side chosen by
+/// `positive`), if one exists.
+fn draw(lang: &dyn Language, len: usize, positive: bool, seed: u64) -> Option<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if positive {
+        lang.positive_example(len, &mut rng)
+    } else {
+        lang.negative_example(len, &mut rng)
+    }
+}
+
+fn check(proto: &dyn Protocol, lang: &dyn Language, len: usize, positive: bool, seed: u64) -> Result<(), TestCaseError> {
+    if let Some(word) = draw(lang, len, positive, seed) {
+        let outcome = RingRunner::new().run(proto, &word).unwrap();
+        prop_assert_eq!(
+            outcome.accepted(),
+            positive,
+            "{} on {} (n={}, positive={})",
+            proto.name(),
+            lang.name(),
+            len,
+            positive
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn three_counters_sound(len in 1usize..60, positive: bool, seed: u64) {
+        check(&ThreeCounters::new(), &AnBnCn::new(), len, positive, seed)?;
+    }
+
+    #[test]
+    fn dyck_counter_sound(len in 1usize..60, positive: bool, seed: u64) {
+        check(&DyckCounter::new(), &Dyck::new(), len, positive, seed)?;
+    }
+
+    #[test]
+    fn wcw_sound(len in 1usize..40, positive: bool, seed: u64) {
+        check(&WcWPrefixForward::new(), &WcW::new(), len, positive, seed)?;
+    }
+
+    #[test]
+    fn lg_recognizer_sound(len in 1usize..64, positive: bool, seed: u64, periodic: bool) {
+        for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN, GrowthFunction::NSquaredHalf] {
+            let lang = if periodic {
+                LgLanguage::fully_periodic(g)
+            } else {
+                LgLanguage::new(g)
+            };
+            check(&LgRecognizer::new(&lang), &lang, len, positive, seed)?;
+        }
+    }
+
+    #[test]
+    fn parity_family_sound(len in 1usize..40, positive: bool, seed: u64, k in 1u32..=4) {
+        let lang = TradeoffLanguage::new(k);
+        check(&TwoPassParity::new(k), &lang, len, positive, seed)?;
+        check(&OnePassParity::new(k), &lang, len, positive, seed)?;
+        check(&StatelessTwoPass::new(k), &lang, len, positive, seed)?;
+    }
+
+    #[test]
+    fn counting_predicates_sound(n in 1usize..80, modulus in 2usize..9) {
+        let expected = n % modulus;
+        let proto = CountRingSize::new(Arc::new(move |got| got % modulus == expected));
+        let word = Word::from_symbols(vec![Symbol(0); n]);
+        // The unary alphabet word "a"*n: protocol ignores letters anyway.
+        let outcome = RingRunner::new().run(&proto, &word).unwrap();
+        prop_assert!(outcome.accepted());
+    }
+
+    /// Worst-case quantifier: for the deterministic protocols, the bits on
+    /// accepting vs rejecting runs of the same length never differ by more
+    /// than the counter-framing jitter (same complexity class per length).
+    #[test]
+    fn accept_and_reject_cost_the_same_class(len in 3usize..60, seed: u64) {
+        let lang = AnBnCn::new();
+        let proto = ThreeCounters::new();
+        let (Some(pos), Some(neg)) = (
+            draw(&lang, len - len % 3, true, seed),
+            draw(&lang, len, false, seed),
+        ) else {
+            return Ok(());
+        };
+        let pb = RingRunner::new().run(&proto, &pos).unwrap().stats.total_bits;
+        let nb = RingRunner::new().run(&proto, &neg).unwrap().stats.total_bits;
+        // Both are Θ(n log n); allow a 4x band for framing and the length
+        // rounding above.
+        let ratio = pb.max(nb) as f64 / pb.min(nb).max(1) as f64;
+        prop_assert!(ratio < 4.0, "{pb} vs {nb}");
+    }
+
+    /// Theorem 5's bidirectional info-state bound: at most THREE
+    /// processors share an information state on shortest-witness words —
+    /// checked on the genuinely bidirectional protocol.
+    #[test]
+    fn bidirectional_census_respects_theorem5(seed in 0u64..20) {
+        let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+        let proto = BidirMeetInMiddle::new(&lang);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = Vec::new();
+        for len in 1..=7usize {
+            if let Some(w) = lang.positive_example(len, &mut rng) {
+                words.push(w);
+            }
+            if let Some(w) = lang.negative_example(len, &mut rng) {
+                words.push(w);
+            }
+        }
+        let report = analyze_info_states(&proto, &words).unwrap();
+        prop_assert!(
+            report.max_multiplicity_on_shortest_witness <= 3,
+            "{:?}",
+            report
+        );
+    }
+
+    /// Decisions are schedule-independent for every protocol in the suite
+    /// (bits too, for the unidirectional ones — covered elsewhere).
+    #[test]
+    fn decisions_are_schedule_independent(len in 2usize..30, positive: bool, seed: u64, sched_seed: u64) {
+        let protos: Vec<(Box<dyn Protocol>, Box<dyn Language>)> = vec![
+            (Box::new(ThreeCounters::new()), Box::new(AnBnCn::new())),
+            (Box::new(DyckCounter::new()), Box::new(Dyck::new())),
+            (
+                Box::new(CollectAll::new(Arc::new(WcW::new()))),
+                Box::new(WcW::new()),
+            ),
+        ];
+        for (proto, lang) in &protos {
+            let Some(word) = draw(lang.as_ref(), len, positive, seed) else { continue };
+            let fifo = RingRunner::new().run(proto.as_ref(), &word).unwrap();
+            let mut runner = RingRunner::new();
+            runner.scheduler(Scheduler::Random { seed: sched_seed });
+            let random = runner.run(proto.as_ref(), &word).unwrap();
+            prop_assert_eq!(fifo.decision, random.decision, "{}", proto.name());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The `Language` abstraction.
+
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use ringleader_automata::{Alphabet, Word};
+
+/// Where a language sits in the Chomsky hierarchy.
+///
+/// The paper's punchline for Section 7 is that the *bit-complexity*
+/// hierarchy does **not** follow this one: a linear (context-free) language
+/// can cost `Θ(n²)` bits while a context-sensitive one costs `O(n log n)`.
+/// Carrying the class alongside each language lets the experiments print
+/// that contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LanguageClass {
+    /// Recognizable by a finite automaton.
+    Regular,
+    /// Context-free but not regular.
+    ContextFree,
+    /// Context-sensitive but not context-free.
+    ContextSensitive,
+}
+
+impl fmt::Display for LanguageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LanguageClass::Regular => f.write_str("regular"),
+            LanguageClass::ContextFree => f.write_str("context-free"),
+            LanguageClass::ContextSensitive => f.write_str("context-sensitive"),
+        }
+    }
+}
+
+/// A formal language with exact membership and workload generation.
+///
+/// Implementations are the experiments' ground truth: a protocol "works"
+/// iff its leader decision equals [`contains`](Language::contains) on every
+/// tested word. The example generators produce the per-length workloads;
+/// they return `None` when no word of that length exists on the requested
+/// side (e.g. no word of odd length is in `aⁿbⁿ`, and no word at all is
+/// outside `Σ*`).
+pub trait Language: Send + Sync {
+    /// Short descriptive name, used in reports.
+    fn name(&self) -> String;
+
+    /// The alphabet `Σ`.
+    fn alphabet(&self) -> &Alphabet;
+
+    /// Chomsky classification (see [`LanguageClass`]).
+    fn class(&self) -> LanguageClass;
+
+    /// Exact membership: whether `word ∈ L`.
+    fn contains(&self, word: &Word) -> bool;
+
+    /// Some member of `L` with exactly `len` letters, or `None` if none
+    /// exists. Randomized implementations draw from `rng`; deterministic
+    /// ones may ignore it.
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word>;
+
+    /// Some word of length `len` *not* in `L`, or `None` if every word of
+    /// that length is a member.
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word>;
+}
+
+/// Draws a uniformly random word of length `len` over `alphabet`.
+pub(crate) fn random_word(alphabet: &Alphabet, len: usize, rng: &mut dyn RngCore) -> Word {
+    let k = alphabet.len() as u32;
+    let symbols = (0..len)
+        .map(|_| {
+            let r = rng.next_u32() % k;
+            ringleader_automata::Symbol(r as u16)
+        })
+        .collect();
+    Word::from_symbols(symbols)
+}
+
+/// Rejection-samples up to `attempts` random words matching `want` under
+/// `lang`. Fine for dense target sets; sparse languages implement their
+/// generators directly.
+pub(crate) fn rejection_sample(
+    lang: &dyn Language,
+    len: usize,
+    want: bool,
+    attempts: usize,
+    rng: &mut dyn RngCore,
+) -> Option<Word> {
+    for _ in 0..attempts {
+        let w = random_word(lang.alphabet(), len, rng);
+        if lang.contains(&w) == want {
+            return Some(w);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_display() {
+        assert_eq!(LanguageClass::Regular.to_string(), "regular");
+        assert_eq!(LanguageClass::ContextFree.to_string(), "context-free");
+        assert_eq!(LanguageClass::ContextSensitive.to_string(), "context-sensitive");
+    }
+
+    #[test]
+    fn random_word_has_requested_length_and_alphabet() {
+        let sigma = Alphabet::from_chars("abc").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 7, 100] {
+            let w = random_word(&sigma, len, &mut rng);
+            assert_eq!(w.len(), len);
+            for &s in w.symbols() {
+                assert!(s.index() < 3);
+            }
+        }
+    }
+}

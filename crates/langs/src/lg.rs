@@ -1,0 +1,384 @@
+//! The `L_g` hierarchy family (Note 7.3).
+//!
+//! For any function `g` with `n log n ≤ g(n) ≤ n²`, the paper defines
+//!
+//! ```text
+//! L_g = { w | ∃ x, y ∈ Σ*, i > 0 : w = xⁱy, |x| > |y|, |x| = ⌊g(|w|)/|w|⌋ }
+//! ```
+//!
+//! i.e. the words whose first `⌊n/m⌋·m` letters repeat a block `x` of
+//! length `m(n) = ⌊g(n)/n⌋`, followed by an *arbitrary* tail `y` shorter
+//! than the block. The paper proves `L_g` needs `Θ(g(n))` bits on the ring
+//! — the family realizes every growth rate in the `n log n … n²` band, so
+//! the bit-complexity hierarchy between the two theorems' bounds is
+//! *dense*.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use ringleader_automata::{Alphabet, Word};
+
+use crate::language::{random_word, Language, LanguageClass};
+
+/// A growth function `g(n)` in the admissible band
+/// `Ω(n log n) ≤ g ≤ O(n²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GrowthFunction {
+    /// `g(n) = n·⌈log₂ n⌉` — the bottom of the band.
+    NLogN,
+    /// `g(n) = n·⌈√n⌉ ≈ n^{3/2}` — strictly between the endpoints.
+    NSqrtN,
+    /// `g(n) = n²` — the literal top of the band. Degenerate as a
+    /// workload: the period is `m = n`, so a single copy of `x` covers the
+    /// word, the constraint is vacuous, and `L_g = Σ⁺`. Kept for
+    /// completeness; quadratic-tier experiments use
+    /// [`NSquaredHalf`](GrowthFunction::NSquaredHalf).
+    NSquared,
+    /// `g(n) = n·⌊n/2⌋ = Θ(n²)` — the *effective* top of the band: the
+    /// period `m = ⌊n/2⌋` leaves `n − m` constrained positions, so the
+    /// paper's `(n − |x| − |y|)·|x|` lower bound is `Θ(n²)` as intended.
+    NSquaredHalf,
+    /// `g(n) = n·⌈n^{1/4}⌉·⌈log₂ n⌉` — a second interior point, closer to
+    /// the bottom.
+    NQuarterLog,
+}
+
+impl GrowthFunction {
+    /// Evaluates `g(n)`.
+    #[must_use]
+    pub fn eval(self, n: u64) -> u64 {
+        let log2 = |v: u64| -> u64 {
+            if v <= 1 {
+                1
+            } else {
+                u64::from(64 - (v - 1).leading_zeros()) // ceil(log2 v)
+            }
+        };
+        let ceil_sqrt = |v: u64| -> u64 {
+            let mut r = (v as f64).sqrt() as u64;
+            while r * r < v {
+                r += 1;
+            }
+            while r > 0 && (r - 1) * (r - 1) >= v {
+                r -= 1;
+            }
+            r.max(1)
+        };
+        match self {
+            GrowthFunction::NLogN => n * log2(n),
+            GrowthFunction::NSqrtN => n * ceil_sqrt(n),
+            GrowthFunction::NSquared => n * n,
+            GrowthFunction::NSquaredHalf => n * (n / 2).max(1),
+            GrowthFunction::NQuarterLog => n * ceil_sqrt(ceil_sqrt(n)) * log2(n),
+        }
+    }
+
+    /// The period `m(n) = ⌊g(n)/n⌋` (clamped to at least 1).
+    #[must_use]
+    pub fn period(self, n: u64) -> u64 {
+        if n == 0 {
+            return 1;
+        }
+        (self.eval(n) / n).max(1)
+    }
+
+    /// Human-readable form of the function.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GrowthFunction::NLogN => "n log n",
+            GrowthFunction::NSqrtN => "n^1.5",
+            GrowthFunction::NSquared => "n^2",
+            GrowthFunction::NSquaredHalf => "n^2/2",
+            GrowthFunction::NQuarterLog => "n^1.25 log n",
+        }
+    }
+}
+
+/// Note 7.3's language `L_g` for a chosen [`GrowthFunction`].
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_langs::{GrowthFunction, Language, LgLanguage};
+/// # use ringleader_automata::Word;
+/// let lang = LgLanguage::new(GrowthFunction::NSquared);
+/// // With g(n) = n², the period is m = n: every word is x¹ (y = ε)...
+/// let w = Word::from_str("abab", lang.alphabet()).unwrap();
+/// assert!(lang.contains(&w));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LgLanguage {
+    growth: GrowthFunction,
+    alphabet: Alphabet,
+    periodic_tail: bool,
+}
+
+impl LgLanguage {
+    /// Creates `L_g` over `{a, b}` with the paper's literal definition:
+    /// the tail `y` after the last full copy of `x` is arbitrary.
+    #[must_use]
+    pub fn new(growth: GrowthFunction) -> Self {
+        Self {
+            growth,
+            alphabet: Alphabet::from_chars("ab").expect("valid alphabet"),
+            periodic_tail: false,
+        }
+    }
+
+    /// The fully-periodic variant: the tail must *continue* the period
+    /// (`w[j] = w[j+m]` for every `j < n−m`).
+    ///
+    /// Used by the known-`n` experiments: recognizing this variant needs no
+    /// position counters in the messages, so its protocol hits `Θ(g(n))`
+    /// bits for every `g` down to `g(n) = n` — Note 7.4's "no gap" claim.
+    /// The two variants have identical asymptotic bit complexity.
+    #[must_use]
+    pub fn fully_periodic(growth: GrowthFunction) -> Self {
+        Self { periodic_tail: true, ..Self::new(growth) }
+    }
+
+    /// Whether the tail must continue the period (see
+    /// [`fully_periodic`](LgLanguage::fully_periodic)).
+    #[must_use]
+    pub fn has_periodic_tail(&self) -> bool {
+        self.periodic_tail
+    }
+
+    /// The growth function `g`.
+    #[must_use]
+    pub fn growth(&self) -> GrowthFunction {
+        self.growth
+    }
+
+    /// The period `m(n) = ⌊g(n)/n⌋` a word of length `n` must have.
+    #[must_use]
+    pub fn period(&self, n: usize) -> usize {
+        usize::try_from(self.growth.period(n as u64)).expect("period fits usize")
+    }
+}
+
+impl Language for LgLanguage {
+    fn name(&self) -> String {
+        if self.periodic_tail {
+            format!("L_g-periodic ({})", self.growth.label())
+        } else {
+            format!("L_g ({})", self.growth.label())
+        }
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        // For any unbounded m(n) the language is non-regular (and not
+        // context-free): periodicity with a length-dependent period.
+        LanguageClass::ContextSensitive
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let n = word.len();
+        if n == 0 {
+            return false; // i > 0 requires at least one copy of x ⇒ n ≥ m ≥ 1.
+        }
+        let m = self.period(n);
+        if n < m {
+            return false; // cannot fit even one copy of x
+        }
+        // w = xⁱy with |x| = m, i = ⌊n/m⌋ ≥ 1 and |y| = n mod m < m.
+        // Equivalent check: the first i·m letters are m-periodic; the tail
+        // y is unconstrained by the paper's definition (or must continue
+        // the period in the fully-periodic variant).
+        let s = word.symbols();
+        let checked = if self.periodic_tail { n - m } else { (n / m - 1) * m };
+        (0..checked).all(|j| s[j] == s[j + m])
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None;
+        }
+        let m = self.period(len);
+        if len < m {
+            return None;
+        }
+        let x = random_word(&self.alphabet, m, rng);
+        let tail = random_word(&self.alphabet, len % m, rng);
+        let mut out = Word::new();
+        for j in 0..(len / m) * m {
+            out.push(x.get(j % m).expect("index < m"));
+        }
+        if self.periodic_tail {
+            for j in (len / m) * m..len {
+                out.push(x.get(j % m).expect("index < m"));
+            }
+        } else {
+            for &s in tail.symbols() {
+                out.push(s);
+            }
+        }
+        debug_assert!(self.contains(&out));
+        Some(out)
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None; // ε is out, but there is no word to return either.
+        }
+        let m = self.period(len);
+        if len < m {
+            // Every word of this length is out (cannot happen for in-band g,
+            // kept for robustness).
+            return Some(random_word(&self.alphabet, len, rng));
+        }
+        let i = len / m;
+        let breakable = if self.periodic_tail { len - m } else { (i - 1) * m };
+        if breakable == 0 {
+            // Every word of this length satisfies the (vacuous) constraint.
+            return None;
+        }
+        // Take a positive and break one periodic position: the hard
+        // near-miss case a recognizer must catch.
+        let pos = self.positive_example(len, rng)?;
+        let mut symbols = pos.symbols().to_vec();
+        let j = (rng.next_u64() as usize) % breakable;
+        symbols[j + m] = ringleader_automata::Symbol(1 - symbols[j + m].0);
+        let out = Word::from_symbols(symbols);
+        debug_assert!(!self.contains(&out));
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn growth_values() {
+        assert_eq!(GrowthFunction::NSquared.eval(10), 100);
+        assert_eq!(GrowthFunction::NLogN.eval(8), 24); // 8 * 3
+        assert_eq!(GrowthFunction::NLogN.eval(9), 36); // 9 * 4
+        assert_eq!(GrowthFunction::NSqrtN.eval(16), 64); // 16 * 4
+        assert_eq!(GrowthFunction::NSqrtN.eval(17), 85); // 17 * 5
+    }
+
+    #[test]
+    fn growth_band_is_respected() {
+        // n log n ≤ g(n) ≤ n² for all functions once n is past the tiny
+        // prefix where the ceilings dominate (e.g. n^{1/4}·log n > n at n=3).
+        for n in 16..2000u64 {
+            let lo = GrowthFunction::NLogN.eval(n);
+            let hi = GrowthFunction::NSquared.eval(n);
+            for g in [GrowthFunction::NSqrtN, GrowthFunction::NQuarterLog] {
+                let v = g.eval(n);
+                assert!(v >= lo / 2 && v <= hi, "{:?} at n={n}: {v} not in [{lo}, {hi}]", g);
+            }
+        }
+    }
+
+    #[test]
+    fn period_is_g_over_n() {
+        let lang = LgLanguage::new(GrowthFunction::NSqrtN);
+        assert_eq!(lang.period(16), 4);
+        assert_eq!(lang.period(100), 10);
+        let lang = LgLanguage::new(GrowthFunction::NSquared);
+        assert_eq!(lang.period(7), 7);
+    }
+
+    #[test]
+    fn membership_is_periodicity() {
+        let lang = LgLanguage::new(GrowthFunction::NSqrtN);
+        let sigma = lang.alphabet().clone();
+        // n = 16 → m = 4: "abba" repeated 4 times is in.
+        let w = Word::from_str(&"abba".repeat(4), &sigma).unwrap();
+        assert!(lang.contains(&w));
+        // Break position 7 (mirror of 3).
+        let mut symbols = w.symbols().to_vec();
+        symbols[7] = ringleader_automata::Symbol(1 - symbols[7].0);
+        assert!(!lang.contains(&Word::from_symbols(symbols)));
+        // n = 18 → m = ⌊ 18*5 / 18 ⌋ = 5: period 5 with a 3-letter tail.
+        assert_eq!(lang.period(18), 5);
+        let base = "babab";
+        let text: String = base.chars().cycle().take(18).collect();
+        let w = Word::from_str(&text, &sigma).unwrap();
+        assert!(lang.contains(&w));
+    }
+
+    #[test]
+    fn empty_word_is_out() {
+        for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN, GrowthFunction::NSquared] {
+            assert!(!LgLanguage::new(g).contains(&Word::new()));
+        }
+    }
+
+    #[test]
+    fn examples_are_correct_across_band() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for g in [
+            GrowthFunction::NLogN,
+            GrowthFunction::NSqrtN,
+            GrowthFunction::NSquared,
+            GrowthFunction::NQuarterLog,
+        ] {
+            let lang = LgLanguage::new(g);
+            for len in [2usize, 5, 16, 64, 256] {
+                if let Some(pos) = lang.positive_example(len, &mut rng) {
+                    assert!(lang.contains(&pos), "{:?} len={len}", g);
+                    assert_eq!(pos.len(), len);
+                }
+                if let Some(neg) = lang.negative_example(len, &mut rng) {
+                    assert!(!lang.contains(&neg), "{:?} len={len}", g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nsquared_every_word_is_member() {
+        // g(n) = n² ⇒ m = n ⇒ w = x¹ for any w: all words are in L_g, so
+        // no negative example exists at any length.
+        let lang = LgLanguage::new(GrowthFunction::NSquared);
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [1usize, 4, 9] {
+            assert!(lang.contains(&random_word(lang.alphabet(), len, &mut rng)));
+            assert!(lang.negative_example(len, &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn paper_membership_definition_equivalence() {
+        // Cross-check the periodicity formulation against a literal
+        // implementation of "∃ x,y: w = xⁱy, i ≥ 1, |x| = m > |y|".
+        let lang = LgLanguage::new(GrowthFunction::NSqrtN);
+        let sigma = lang.alphabet().clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in 1..=24usize {
+            for _ in 0..40 {
+                let w = random_word(&sigma, len, &mut rng);
+                let m = lang.period(len);
+                let literal = {
+                    if len < m {
+                        false
+                    } else {
+                        // w = x^i y, x = first m letters, i = ⌊len/m⌋ ≥ 1,
+                        // y = the remaining tail (arbitrary, |y| < m).
+                        let x: Vec<_> = w.symbols()[..m].to_vec();
+                        let i = len / m;
+                        let mut ok = i >= 1;
+                        for copy in 0..i {
+                            for j in 0..m {
+                                ok &= w.get(copy * m + j) == Some(x[j]);
+                            }
+                        }
+                        ok
+                    }
+                };
+                assert_eq!(lang.contains(&w), literal, "len={len}");
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Language corpus for the ring pattern-recognition experiments.
+//!
+//! Every experiment in the Mansour & Zaks reproduction measures the bit
+//! complexity of recognizing some language on a ring; this crate supplies
+//! those languages with exact membership predicates (the ground truth every
+//! protocol decision is checked against) and per-length positive/negative
+//! word generators (the workloads).
+//!
+//! The corpus follows the paper's cast of characters:
+//!
+//! * **Regular languages** ([`DfaLanguage`]) — the `O(n)`-bit class of
+//!   Theorems 1–3 and 6–7, built from regexes or explicit DFAs.
+//! * **The trade-off family** ([`TradeoffLanguage`]) — Note 7.5's regular
+//!   language over `2^k` letters whose one-pass cost is exponentially
+//!   worse than its two-pass cost.
+//! * **Classic non-regular languages** — `aⁿbⁿ`, `0ⁿ1ⁿ2ⁿ` (Note 7.2),
+//!   `wcw` (Note 7.1), palindromes, `#a = #b`, and the unary powers-of-two
+//!   language used in the known-`n` Note 7.4.
+//! * **The `L_g` hierarchy** ([`LgLanguage`]) — Note 7.3's periodic-word
+//!   family realizing every bit complexity between `n log n` and `n²`.
+//!
+//! # Examples
+//!
+//! ```rust
+//! # use ringleader_langs::{Language, AnBnCn};
+//! # use ringleader_automata::Word;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lang = AnBnCn::new();
+//! let yes = Word::from_str("001122", lang.alphabet())?;
+//! let no = Word::from_str("001212", lang.alphabet())?;
+//! assert!(lang.contains(&yes));
+//! assert!(!lang.contains(&no));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod language;
+mod lg;
+mod nonregular;
+mod regular;
+
+pub use language::{Language, LanguageClass};
+pub use lg::{GrowthFunction, LgLanguage};
+pub use nonregular::{AnBn, AnBnCn, Dyck, EqualAB, Palindrome, PowerOfTwoLength, WcW};
+pub use regular::{regular_corpus, DfaLanguage, TradeoffLanguage};

@@ -1,0 +1,762 @@
+//! The paper's non-regular cast: `aⁿbⁿ`, `0ⁿ1ⁿ2ⁿ`, `wcw`, palindromes,
+//! `#a = #b`, and unary powers of two.
+
+use rand::RngCore;
+
+use ringleader_automata::{Alphabet, Symbol, Word};
+
+use crate::language::{random_word, Language, LanguageClass};
+
+/// `{ aⁿbⁿ : n ≥ 0 }` — the canonical context-free, non-regular language.
+///
+/// By Theorem 4 any ring algorithm for it needs `Ω(n log n)` bits; a
+/// counter protocol achieves `O(n log n)`.
+#[derive(Debug, Clone)]
+pub struct AnBn {
+    alphabet: Alphabet,
+}
+
+impl Default for AnBn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnBn {
+    /// Creates the language over `{a, b}`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("ab").expect("valid alphabet") }
+    }
+}
+
+impl Language for AnBn {
+    fn name(&self) -> String {
+        "a^n b^n".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextFree
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let n = word.len();
+        if n % 2 != 0 {
+            return false;
+        }
+        word.symbols()[..n / 2].iter().all(|s| s.index() == 0)
+            && word.symbols()[n / 2..].iter().all(|s| s.index() == 1)
+    }
+
+    fn positive_example(&self, len: usize, _rng: &mut dyn RngCore) -> Option<Word> {
+        (len % 2 == 0).then(|| {
+            let mut w = Word::new();
+            for _ in 0..len / 2 {
+                w.push(Symbol(0));
+            }
+            for _ in 0..len / 2 {
+                w.push(Symbol(1));
+            }
+            w
+        })
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None; // ε ∈ L
+        }
+        // Random words are almost surely not in this sparse language.
+        loop {
+            let w = random_word(&self.alphabet, len, rng);
+            if !self.contains(&w) {
+                return Some(w);
+            }
+        }
+    }
+}
+
+/// `{ 0ⁿ1ⁿ2ⁿ : n > 0 }` — Note 7.2's context-sensitive language (the
+/// paper's definition excludes the empty word).
+///
+/// Not context-free, yet recognizable in `O(n log n)` bits with three
+/// counters: the bit-complexity hierarchy defies the Chomsky hierarchy.
+#[derive(Debug, Clone)]
+pub struct AnBnCn {
+    alphabet: Alphabet,
+}
+
+impl Default for AnBnCn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnBnCn {
+    /// Creates the language over `{0, 1, 2}`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("012").expect("valid alphabet") }
+    }
+}
+
+impl Language for AnBnCn {
+    fn name(&self) -> String {
+        "0^n 1^n 2^n".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextSensitive
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let n = word.len();
+        if n == 0 || n % 3 != 0 {
+            return false;
+        }
+        let third = n / 3;
+        word.symbols().iter().enumerate().all(|(i, s)| s.index() == i / third)
+    }
+
+    fn positive_example(&self, len: usize, _rng: &mut dyn RngCore) -> Option<Word> {
+        (len % 3 == 0 && len > 0).then(|| {
+            let third = len / 3;
+            let mut w = Word::new();
+            for phase in 0..3u16 {
+                for _ in 0..third {
+                    w.push(Symbol(phase));
+                }
+            }
+            w
+        })
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None; // ε is out, but there is no word to hand back.
+        }
+        loop {
+            let w = random_word(&self.alphabet, len, rng);
+            if !self.contains(&w) {
+                return Some(w);
+            }
+        }
+    }
+}
+
+/// `{ wcw : w ∈ {a,b}* }` — Note 7.1's `Θ(n²)`-bit language.
+///
+/// Every letter of the first half must be compared against the
+/// corresponding letter across the ring, forcing `Ω(n²)` bits
+/// unidirectionally.
+///
+/// The paper labels this language "linear (see \[HU\])"; as stated
+/// (`wcw`, the copy language with a separator) it is actually
+/// context-sensitive — the textbook linear example is `wcwᴿ`, represented
+/// in this corpus by [`Palindrome`]. The ring lower bound is `Θ(n²)`
+/// either way, so the experiments run the language exactly as the paper
+/// wrote it.
+#[derive(Debug, Clone)]
+pub struct WcW {
+    alphabet: Alphabet,
+}
+
+impl Default for WcW {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WcW {
+    /// Creates the language over `{a, b, c}` (with `c` the separator).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("abc").expect("valid alphabet") }
+    }
+
+    /// The separator symbol `c`.
+    #[must_use]
+    pub fn separator(&self) -> Symbol {
+        Symbol(2)
+    }
+}
+
+impl Language for WcW {
+    fn name(&self) -> String {
+        "w c w".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextSensitive
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let n = word.len();
+        if n % 2 != 1 {
+            return false;
+        }
+        let half = n / 2;
+        if word.get(half) != Some(self.separator()) {
+            return false;
+        }
+        (0..half).all(|i| {
+            let front = word.get(i).expect("index < n");
+            front != self.separator() && word.get(half + 1 + i) == Some(front)
+        })
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len % 2 != 1 {
+            return None;
+        }
+        let half = len / 2;
+        let ab = Alphabet::from_chars("ab").expect("valid alphabet");
+        let w = random_word(&ab, half, rng);
+        let mut out = w.clone();
+        out.push(self.separator());
+        for &s in w.symbols() {
+            out.push(s);
+        }
+        Some(out)
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None;
+        }
+        // Half the negatives: perturb one mirrored letter of a positive
+        // (the adversarial case a recognizer must catch); otherwise a
+        // random word (virtually never in the language).
+        if len % 2 == 1 && len >= 3 && rng.next_u32() % 2 == 0 {
+            let pos = self.positive_example(len, rng)?;
+            let half = len / 2;
+            let flip = (rng.next_u32() as usize) % half;
+            let mut symbols = pos.symbols().to_vec();
+            symbols[half + 1 + flip] = Symbol(1 - symbols[half + 1 + flip].0);
+            return Some(Word::from_symbols(symbols));
+        }
+        loop {
+            let w = random_word(&self.alphabet, len, rng);
+            if !self.contains(&w) {
+                return Some(w);
+            }
+        }
+    }
+}
+
+/// Even-length palindromes over `{a, b}` — another `Θ(n²)`-bit language,
+/// used to diversify the quadratic tier of the hierarchy experiments.
+#[derive(Debug, Clone)]
+pub struct Palindrome {
+    alphabet: Alphabet,
+}
+
+impl Default for Palindrome {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Palindrome {
+    /// Creates the language over `{a, b}`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("ab").expect("valid alphabet") }
+    }
+}
+
+impl Language for Palindrome {
+    fn name(&self) -> String {
+        "even palindromes".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextFree
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        if word.len() % 2 != 0 {
+            return false;
+        }
+        let s = word.symbols();
+        (0..s.len() / 2).all(|i| s[i] == s[s.len() - 1 - i])
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len % 2 != 0 {
+            return None;
+        }
+        let half = random_word(&self.alphabet, len / 2, rng);
+        let mut out = half.clone();
+        for &s in half.reversed().symbols() {
+            out.push(s);
+        }
+        Some(out)
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len < 2 {
+            return None; // ε and single letters... ε ∈ L; len 1 is odd → all out? len 1 odd → not in L; wait len<2: len 0 is ε∈L (no negative), len 1: every word is a negative.
+        }
+        loop {
+            let w = random_word(&self.alphabet, len, rng);
+            if !self.contains(&w) {
+                return Some(w);
+            }
+        }
+    }
+}
+
+/// `{ w ∈ {a,b}* : #a(w) = #b(w) }` — context-free, non-regular, denser
+/// than `aⁿbⁿ`; exercises counter protocols on unordered inputs.
+#[derive(Debug, Clone)]
+pub struct EqualAB {
+    alphabet: Alphabet,
+}
+
+impl Default for EqualAB {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EqualAB {
+    /// Creates the language over `{a, b}`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("ab").expect("valid alphabet") }
+    }
+}
+
+impl Language for EqualAB {
+    fn name(&self) -> String {
+        "#a = #b".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextFree
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let a = word.symbols().iter().filter(|s| s.index() == 0).count();
+        2 * a == word.len()
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len % 2 != 0 {
+            return None;
+        }
+        // Random shuffle of len/2 a's and len/2 b's (Fisher-Yates).
+        let mut symbols: Vec<Symbol> = std::iter::repeat(Symbol(0))
+            .take(len / 2)
+            .chain(std::iter::repeat(Symbol(1)).take(len / 2))
+            .collect();
+        for i in (1..symbols.len()).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            symbols.swap(i, j);
+        }
+        Some(Word::from_symbols(symbols))
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None;
+        }
+        loop {
+            let w = random_word(&self.alphabet, len, rng);
+            if !self.contains(&w) {
+                return Some(w);
+            }
+        }
+    }
+}
+
+/// The Dyck language of balanced parentheses over `{(, )}` — context-free
+/// and non-regular.
+///
+/// Together with [`AnBnCn`] it populates the `Θ(n log n)` tier from two
+/// different Chomsky classes: a single counter (depth) suffices, so the
+/// one-counter ring protocol recognizes it in `O(n log n)` bits.
+#[derive(Debug, Clone)]
+pub struct Dyck {
+    alphabet: Alphabet,
+}
+
+impl Default for Dyck {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dyck {
+    /// Creates the language over `{(, )}`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("()").expect("valid alphabet") }
+    }
+
+    /// The opening-parenthesis symbol.
+    #[must_use]
+    pub fn open(&self) -> Symbol {
+        Symbol(0)
+    }
+
+    /// The closing-parenthesis symbol.
+    #[must_use]
+    pub fn close(&self) -> Symbol {
+        Symbol(1)
+    }
+}
+
+impl Language for Dyck {
+    fn name(&self) -> String {
+        "balanced parens".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextFree
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let mut depth: i64 = 0;
+        for &s in word.symbols() {
+            depth += if s.index() == 0 { 1 } else { -1 };
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len % 2 != 0 {
+            return None;
+        }
+        // Random balanced word: at each step, open with probability
+        // proportional to remaining capacity, never letting depth go
+        // negative or exceed what can still be closed.
+        let mut symbols = Vec::with_capacity(len);
+        let mut depth = 0usize;
+        for i in 0..len {
+            let remaining = len - i;
+            let must_close = depth == remaining; // all the rest must close
+            let must_open = depth == 0;
+            let open = if must_close {
+                false
+            } else if must_open {
+                true
+            } else {
+                rng.next_u32() % 2 == 0
+            };
+            if open {
+                depth += 1;
+                symbols.push(Symbol(0));
+            } else {
+                depth -= 1;
+                symbols.push(Symbol(1));
+            }
+        }
+        debug_assert_eq!(depth, 0);
+        Some(Word::from_symbols(symbols))
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None; // ε is balanced
+        }
+        loop {
+            let w = random_word(&self.alphabet, len, rng);
+            if !self.contains(&w) {
+                return Some(w);
+            }
+        }
+    }
+}
+
+/// `{ aⁿ : n is a power of two }` — a unary non-regular language.
+///
+/// The star of Note 7.4: when the ring size is *known*, the leader decides
+/// it with a single 1-bit-per-hop validity pass (`O(n)` bits) — a
+/// non-regular language below the `Ω(n log n)` bound, impossible when `n`
+/// is unknown.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoLength {
+    alphabet: Alphabet,
+}
+
+impl Default for PowerOfTwoLength {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowerOfTwoLength {
+    /// Creates the language over the unary alphabet `{a}`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { alphabet: Alphabet::from_chars("a").expect("valid alphabet") }
+    }
+}
+
+impl Language for PowerOfTwoLength {
+    fn name(&self) -> String {
+        "a^(2^k)".into()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::ContextSensitive
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        word.len().is_power_of_two()
+    }
+
+    fn positive_example(&self, len: usize, _rng: &mut dyn RngCore) -> Option<Word> {
+        len.is_power_of_two().then(|| {
+            Word::from_symbols(vec![Symbol(0); len])
+        })
+    }
+
+    fn negative_example(&self, len: usize, _rng: &mut dyn RngCore) -> Option<Word> {
+        (!len.is_power_of_two()).then(|| Word::from_symbols(vec![Symbol(0); len]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn anbn_membership() {
+        let l = AnBn::new();
+        let sigma = l.alphabet().clone();
+        for (text, expect) in [("", true), ("ab", true), ("aabb", true), ("aab", false), ("ba", false), ("abab", false), ("a", false)] {
+            let w = Word::from_str(text, &sigma).unwrap();
+            assert_eq!(l.contains(&w), expect, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn anbn_examples() {
+        let l = AnBn::new();
+        let mut r = rng();
+        assert_eq!(l.positive_example(6, &mut r).unwrap().render(l.alphabet()), "aaabbb");
+        assert!(l.positive_example(5, &mut r).is_none());
+        for len in [1usize, 2, 9, 20] {
+            let neg = l.negative_example(len, &mut r).unwrap();
+            assert!(!l.contains(&neg));
+        }
+        assert!(l.negative_example(0, &mut r).is_none());
+    }
+
+    #[test]
+    fn anbncn_membership() {
+        let l = AnBnCn::new();
+        let sigma = l.alphabet().clone();
+        for (text, expect) in [
+            ("", false), // the paper's definition requires n > 0
+            ("012", true),
+            ("001122", true),
+            ("010212", false),
+            ("0012", false),
+            ("00112", false),
+            ("2", false),
+        ] {
+            let w = Word::from_str(text, &sigma).unwrap();
+            assert_eq!(l.contains(&w), expect, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn anbncn_examples() {
+        let l = AnBnCn::new();
+        let mut r = rng();
+        assert_eq!(l.positive_example(9, &mut r).unwrap().render(l.alphabet()), "000111222");
+        assert!(l.positive_example(7, &mut r).is_none());
+        let neg = l.negative_example(9, &mut r).unwrap();
+        assert!(!l.contains(&neg));
+    }
+
+    #[test]
+    fn wcw_membership() {
+        let l = WcW::new();
+        let sigma = l.alphabet().clone();
+        for (text, expect) in [
+            ("c", true),
+            ("aca", true),
+            ("abcab", true),
+            ("acb", false),
+            ("abcba", false),
+            ("ab", false),
+            ("ccc", false), // 'c' inside w is not allowed
+            ("", false),
+        ] {
+            let w = Word::from_str(text, &sigma).unwrap();
+            assert_eq!(l.contains(&w), expect, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn wcw_examples_both_ways() {
+        let l = WcW::new();
+        let mut r = rng();
+        for len in [1usize, 3, 7, 21] {
+            let pos = l.positive_example(len, &mut r).unwrap();
+            assert!(l.contains(&pos), "len={len}");
+        }
+        assert!(l.positive_example(4, &mut r).is_none());
+        for len in [1usize, 3, 7, 20, 21] {
+            let neg = l.negative_example(len, &mut r).unwrap();
+            assert!(!l.contains(&neg), "len={len}");
+        }
+        // Mirror-perturbed negatives really occur (seed-dependent but the
+        // loop covers both branches over many draws).
+        let mut saw_near_miss = false;
+        for _ in 0..40 {
+            let neg = l.negative_example(9, &mut r).unwrap();
+            let has_c_middle = neg.get(4) == Some(l.separator());
+            if has_c_middle {
+                saw_near_miss = true;
+            }
+        }
+        assert!(saw_near_miss, "expected at least one mirrored near-miss negative");
+    }
+
+    #[test]
+    fn palindrome_membership() {
+        let l = Palindrome::new();
+        let sigma = l.alphabet().clone();
+        for (text, expect) in [("", true), ("aa", true), ("abba", true), ("ab", false), ("aba", false), ("aabb", false)] {
+            let w = Word::from_str(text, &sigma).unwrap();
+            assert_eq!(l.contains(&w), expect, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn palindrome_examples() {
+        let l = Palindrome::new();
+        let mut r = rng();
+        for len in [0usize, 2, 8, 20] {
+            let pos = l.positive_example(len, &mut r).unwrap();
+            assert!(l.contains(&pos), "len={len}");
+        }
+        assert!(l.positive_example(3, &mut r).is_none());
+        for len in [2usize, 5, 8] {
+            let neg = l.negative_example(len, &mut r).unwrap();
+            assert!(!l.contains(&neg), "len={len}");
+        }
+    }
+
+    #[test]
+    fn equal_ab_membership_and_examples() {
+        let l = EqualAB::new();
+        let sigma = l.alphabet().clone();
+        assert!(l.contains(&Word::from_str("ab", &sigma).unwrap()));
+        assert!(l.contains(&Word::from_str("baba", &sigma).unwrap()));
+        assert!(!l.contains(&Word::from_str("aab", &sigma).unwrap()));
+        let mut r = rng();
+        for len in [2usize, 10, 30] {
+            let pos = l.positive_example(len, &mut r).unwrap();
+            assert!(l.contains(&pos));
+            let neg = l.negative_example(len, &mut r).unwrap();
+            assert!(!l.contains(&neg));
+        }
+        assert!(l.positive_example(7, &mut r).is_none());
+    }
+
+    #[test]
+    fn dyck_membership() {
+        let l = Dyck::new();
+        let sigma = l.alphabet().clone();
+        for (text, expect) in [
+            ("", true),
+            ("()", true),
+            ("(())()", true),
+            ("(", false),
+            (")", false),
+            (")(", false),
+            ("(()", false),
+            ("())(", false),
+        ] {
+            let w = Word::from_str(text, &sigma).unwrap();
+            assert_eq!(l.contains(&w), expect, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn dyck_examples() {
+        let l = Dyck::new();
+        let mut r = rng();
+        for len in [2usize, 4, 10, 40] {
+            let pos = l.positive_example(len, &mut r).unwrap();
+            assert!(l.contains(&pos), "len={len}: {}", pos.render(l.alphabet()));
+            assert_eq!(pos.len(), len);
+            let neg = l.negative_example(len, &mut r).unwrap();
+            assert!(!l.contains(&neg), "len={len}");
+        }
+        assert!(l.positive_example(5, &mut r).is_none());
+        assert!(l.negative_example(0, &mut r).is_none());
+        // Positive generator produces varied words, not always ()()().
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..30 {
+            distinct.insert(l.positive_example(8, &mut r).unwrap());
+        }
+        assert!(distinct.len() > 3, "generator collapsed to {} shapes", distinct.len());
+    }
+
+    #[test]
+    fn power_of_two_membership_and_examples() {
+        let l = PowerOfTwoLength::new();
+        let mut r = rng();
+        for len in [1usize, 2, 4, 8, 1024] {
+            assert!(l.contains(&l.positive_example(len, &mut r).unwrap()));
+        }
+        for len in [3usize, 5, 6, 7, 100] {
+            assert!(!l.contains(&l.negative_example(len, &mut r).unwrap()));
+            assert!(l.positive_example(len, &mut r).is_none());
+        }
+        assert!(l.negative_example(8, &mut r).is_none());
+    }
+
+    #[test]
+    fn classes_are_as_documented() {
+        assert_eq!(AnBn::new().class(), LanguageClass::ContextFree);
+        assert_eq!(AnBnCn::new().class(), LanguageClass::ContextSensitive);
+        assert_eq!(WcW::new().class(), LanguageClass::ContextSensitive);
+        assert_eq!(Palindrome::new().class(), LanguageClass::ContextFree);
+        assert_eq!(EqualAB::new().class(), LanguageClass::ContextFree);
+    }
+}

@@ -1,0 +1,334 @@
+//! Regular workloads: DFA-backed languages and the Note 7.5 trade-off
+//! family.
+
+use rand::RngCore;
+
+use ringleader_automata::{Alphabet, Dfa, Regex, Word, WordSampler};
+
+use crate::language::{Language, LanguageClass};
+
+/// A regular language backed by an explicit [`Dfa`].
+///
+/// The Theorem 1 protocol runs the *minimized* automaton, so construction
+/// minimizes eagerly; [`dfa`](DfaLanguage::dfa) is what the ring forwards
+/// state ids of, and its size determines the `⌈log |Q|⌉` message width.
+///
+/// # Examples
+///
+/// ```rust
+/// # use ringleader_langs::{DfaLanguage, Language};
+/// # use ringleader_automata::{Alphabet, Word};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sigma = Alphabet::from_chars("ab")?;
+/// let lang = DfaLanguage::from_regex("(ab)*", &sigma)?;
+/// assert!(lang.contains(&Word::from_str("abab", &sigma)?));
+/// assert_eq!(lang.dfa().state_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfaLanguage {
+    name: String,
+    dfa: Dfa,
+}
+
+impl DfaLanguage {
+    /// Wraps (and minimizes) an explicit automaton.
+    #[must_use]
+    pub fn from_dfa(name: impl Into<String>, dfa: &Dfa) -> Self {
+        Self { name: name.into(), dfa: dfa.minimized() }
+    }
+
+    /// Compiles `pattern` over `alphabet` (then minimizes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ringleader_automata::AutomataError`] from parsing.
+    pub fn from_regex(
+        pattern: &str,
+        alphabet: &Alphabet,
+    ) -> Result<Self, ringleader_automata::AutomataError> {
+        let dfa = Regex::parse(pattern, alphabet)?.compile().minimized();
+        Ok(Self { name: format!("regex({pattern})"), dfa })
+    }
+
+    /// The minimal automaton for this language.
+    #[must_use]
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    fn sampler(&self, len: usize) -> WordSampler {
+        WordSampler::new(&self.dfa, len)
+    }
+}
+
+impl Language for DfaLanguage {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        self.dfa.alphabet()
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::Regular
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        self.dfa.accepts(word)
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        self.sampler(len).sample(len, rng)
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        WordSampler::new(&self.dfa.complement(), len).sample(len, rng)
+    }
+}
+
+/// Note 7.5's pass/bit trade-off family, parameterized by `k`.
+///
+/// Over the alphabet `Σ = {σ₀, …, σ_{2^k−1}}`,
+/// `L = { w : σ_{|w| mod (2^k−1)} appears an even number of times in w }`.
+///
+/// The language is regular, but its minimal DFA has on the order of
+/// `(2^k−1)·2^{2^k}` states (it must track `|w| mod (2^k−1)` *and* the
+/// parity of every letter simultaneously), which is why membership here is
+/// computed directly rather than via [`Dfa`]. The paper shows a two-pass
+/// ring algorithm needs only `(2k+1)n` bits while any one-pass algorithm
+/// needs `(k + 2^k − 1)n`.
+#[derive(Debug, Clone)]
+pub struct TradeoffLanguage {
+    k: u32,
+    alphabet: Alphabet,
+}
+
+impl TradeoffLanguage {
+    /// Builds the family member for `k` (alphabet size `2^k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or the alphabet would exceed 62 symbols
+    /// (`k > 5`).
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1 && k <= 5, "k must be in 1..=5 (alphabet 2^k letters)");
+        let alphabet = Alphabet::generated(1 << k).expect("2^k <= 32 fits the generated pool");
+        Self { k, alphabet }
+    }
+
+    /// The parameter `k`.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The modulus `2^k − 1` used on the word length.
+    #[must_use]
+    pub fn modulus(&self) -> usize {
+        (1usize << self.k) - 1
+    }
+
+    /// Index of the letter whose parity matters for a word of length `n`.
+    #[must_use]
+    pub fn designated_letter(&self, n: usize) -> usize {
+        n % self.modulus()
+    }
+}
+
+impl Language for TradeoffLanguage {
+    fn name(&self) -> String {
+        format!("tradeoff(k={})", self.k)
+    }
+
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn class(&self) -> LanguageClass {
+        LanguageClass::Regular
+    }
+
+    fn contains(&self, word: &Word) -> bool {
+        let designated = self.designated_letter(word.len());
+        let count = word.symbols().iter().filter(|s| s.index() == designated).count();
+        count % 2 == 0
+    }
+
+    fn positive_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        // Dense target (about half of all words): rejection sampling with
+        // a deterministic fallback fix-up.
+        crate::language::rejection_sample(self, len, true, 64, rng).or_else(|| {
+            let mut w = crate::language::random_word(&self.alphabet, len, rng);
+            fixup(self, &mut w, true).then_some(w)
+        })
+    }
+
+    fn negative_example(&self, len: usize, rng: &mut dyn RngCore) -> Option<Word> {
+        if len == 0 {
+            return None; // ε has zero (even) occurrences of everything.
+        }
+        crate::language::rejection_sample(self, len, false, 64, rng).or_else(|| {
+            let mut w = crate::language::random_word(&self.alphabet, len, rng);
+            fixup(self, &mut w, false).then_some(w)
+        })
+    }
+}
+
+/// Flips one letter to set the designated-letter parity; returns success.
+fn fixup(lang: &TradeoffLanguage, word: &mut Word, want_member: bool) -> bool {
+    if lang.contains(word) == want_member {
+        return true;
+    }
+    if word.is_empty() {
+        return false;
+    }
+    let designated = lang.designated_letter(word.len());
+    // Replace the first letter with/away-from the designated one to flip parity.
+    let first = word.get(0).expect("non-empty");
+    let replacement = if first.index() == designated {
+        // Change it to a different letter.
+        ringleader_automata::Symbol(u16::from(designated == 0))
+    } else {
+        ringleader_automata::Symbol(designated as u16)
+    };
+    let mut symbols = word.symbols().to_vec();
+    symbols[0] = replacement;
+    *word = Word::from_symbols(symbols);
+    lang.contains(word) == want_member
+}
+
+/// The fixed regular corpus used by experiments E1/E5: a spread of
+/// automaton sizes and structures over `{a, b}`.
+///
+/// # Panics
+///
+/// Panics only if the built-in patterns fail to compile (a bug caught by
+/// this crate's tests).
+#[must_use]
+pub fn regular_corpus() -> Vec<DfaLanguage> {
+    let sigma = Alphabet::from_chars("ab").expect("valid alphabet");
+    let patterns = [
+        "(ab)*",       // alternation, 3 states
+        "a*b*",        // two-phase, 3 states
+        "(a|b)*abb",   // suffix matching, 4 states
+        "(a|b)*a(a|b)(a|b)", // 3rd-from-end is 'a', 8 states
+        "((a|b)(a|b)(a|b))*", // length ≡ 0 mod 3
+    ];
+    let mut corpus: Vec<DfaLanguage> = patterns
+        .iter()
+        .map(|p| DfaLanguage::from_regex(p, &sigma).expect("corpus patterns compile"))
+        .collect();
+    // Parity of 'a's — the classic 2-state automaton, built explicitly.
+    let even_a = Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 0, |q, s| {
+        if s.index() == 0 {
+            1 - q
+        } else {
+            q
+        }
+    })
+    .expect("2-state parity automaton is well-formed");
+    corpus.push(DfaLanguage::from_dfa("even-#a", &even_a));
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dfa_language_membership_and_examples() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(lang.contains(&Word::from_str("", &sigma).unwrap()));
+        assert!(!lang.contains(&Word::from_str("ba", &sigma).unwrap()));
+        let pos = lang.positive_example(6, &mut rng).unwrap();
+        assert!(lang.contains(&pos));
+        assert_eq!(pos.render(&sigma), "ababab");
+        let neg = lang.negative_example(6, &mut rng).unwrap();
+        assert!(!lang.contains(&neg));
+        // No positive example of odd length.
+        assert!(lang.positive_example(5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn dfa_language_is_minimized_on_construction() {
+        let sigma = Alphabet::from_chars("ab").unwrap();
+        // Redundant pattern whose raw subset DFA is larger than minimal.
+        let lang = DfaLanguage::from_regex("(a|a)(b|b)", &sigma).unwrap();
+        assert_eq!(lang.dfa().state_count(), lang.dfa().minimized().state_count());
+    }
+
+    #[test]
+    fn tradeoff_membership_tracks_designated_letter() {
+        let lang = TradeoffLanguage::new(2); // Σ = {A,B,C,D}, modulus 3
+        let sigma = lang.alphabet().clone();
+        assert_eq!(lang.modulus(), 3);
+        // |w| = 4 → designated letter index 1 ('B').
+        let w = Word::from_str("AAAA", &sigma).unwrap();
+        assert!(lang.contains(&w), "zero B's is even");
+        let w = Word::from_str("ABAA", &sigma).unwrap();
+        assert!(!lang.contains(&w), "one B is odd");
+        let w = Word::from_str("ABBA", &sigma).unwrap();
+        assert!(lang.contains(&w), "two B's is even");
+    }
+
+    #[test]
+    fn tradeoff_examples_are_correct_both_ways() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for k in 1..=4u32 {
+            let lang = TradeoffLanguage::new(k);
+            for len in [1usize, 2, 5, 16, 63] {
+                let pos = lang.positive_example(len, &mut rng).unwrap();
+                assert!(lang.contains(&pos), "k={k} len={len}");
+                assert_eq!(pos.len(), len);
+                let neg = lang.negative_example(len, &mut rng).unwrap();
+                assert!(!lang.contains(&neg), "k={k} len={len}");
+            }
+            assert!(lang.negative_example(0, &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=5")]
+    fn tradeoff_k_zero_panics() {
+        let _ = TradeoffLanguage::new(0);
+    }
+
+    #[test]
+    fn corpus_members_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for lang in regular_corpus() {
+            assert_eq!(lang.class(), LanguageClass::Regular);
+            // Each language must produce an example on at least one length
+            // in 1..=12 on each side (sanity of the workload generators).
+            let mut pos_found = false;
+            let mut neg_found = false;
+            for len in 1..=12usize {
+                if let Some(w) = lang.positive_example(len, &mut rng) {
+                    assert!(lang.contains(&w), "{}", lang.name());
+                    pos_found = true;
+                }
+                if let Some(w) = lang.negative_example(len, &mut rng) {
+                    assert!(!lang.contains(&w), "{}", lang.name());
+                    neg_found = true;
+                }
+            }
+            assert!(pos_found && neg_found, "{} generated no examples", lang.name());
+        }
+    }
+
+    #[test]
+    fn corpus_has_spread_of_sizes() {
+        let sizes: Vec<usize> = regular_corpus().iter().map(|l| l.dfa().state_count()).collect();
+        assert!(sizes.len() >= 6);
+        assert!(sizes.iter().any(|&s| s <= 2));
+        assert!(sizes.iter().any(|&s| s >= 4));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the whole language corpus.
+//!
+//! The generators are the experiments' workload source, so their contract
+//! — positives are members, negatives are not, lengths are exact — is
+//! load-bearing for every measured number in EXPERIMENTS.md.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use ringleader_langs::{
+    regular_corpus, AnBn, AnBnCn, Dyck, EqualAB, GrowthFunction, Language, LgLanguage,
+    Palindrome, PowerOfTwoLength, TradeoffLanguage, WcW,
+};
+
+/// Every non-regular corpus language, boxed.
+fn corpus() -> Vec<Box<dyn Language>> {
+    let mut langs: Vec<Box<dyn Language>> = vec![
+        Box::new(AnBn::new()),
+        Box::new(AnBnCn::new()),
+        Box::new(WcW::new()),
+        Box::new(Palindrome::new()),
+        Box::new(EqualAB::new()),
+        Box::new(Dyck::new()),
+        Box::new(PowerOfTwoLength::new()),
+        Box::new(TradeoffLanguage::new(2)),
+        Box::new(LgLanguage::new(GrowthFunction::NSqrtN)),
+        Box::new(LgLanguage::fully_periodic(GrowthFunction::NLogN)),
+    ];
+    for lang in regular_corpus() {
+        langs.push(Box::new(lang));
+    }
+    langs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator contract, for every language, length, and seed.
+    #[test]
+    fn generators_respect_membership(len in 1usize..48, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for lang in corpus() {
+            if let Some(w) = lang.positive_example(len, &mut rng) {
+                prop_assert_eq!(w.len(), len, "{} length", lang.name());
+                prop_assert!(lang.contains(&w), "{} positive", lang.name());
+            }
+            if let Some(w) = lang.negative_example(len, &mut rng) {
+                prop_assert_eq!(w.len(), len, "{} length", lang.name());
+                prop_assert!(!lang.contains(&w), "{} negative", lang.name());
+            }
+        }
+    }
+
+    /// Membership is a pure function of the word (no hidden state).
+    #[test]
+    fn membership_is_deterministic(len in 0usize..32, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for lang in corpus() {
+            let k = lang.alphabet().len() as u32;
+            let symbols: Vec<_> = (0..len)
+                .map(|_| ringleader_automata::Symbol((rng.next_u32() % k) as u16))
+                .collect();
+            let w = ringleader_automata::Word::from_symbols(symbols);
+            let first = lang.contains(&w);
+            prop_assert_eq!(first, lang.contains(&w), "{}", lang.name());
+        }
+    }
+
+    /// The L_g variants agree wherever the tail is empty, and the
+    /// fully-periodic variant is a subset of the literal one.
+    #[test]
+    fn lg_variants_nest(len in 1usize..64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN, GrowthFunction::NSquaredHalf] {
+            let literal = LgLanguage::new(g);
+            let periodic = LgLanguage::fully_periodic(g);
+            // Subset: periodic-tail membership implies literal membership.
+            if let Some(w) = periodic.positive_example(len, &mut rng) {
+                prop_assert!(literal.contains(&w), "{} len={len}", literal.name());
+            }
+            // When m divides len the tail is empty: the variants coincide
+            // on every word.
+            let m = literal.period(len);
+            if m > 0 && len % m == 0 {
+                let k = literal.alphabet().len() as u32;
+                let symbols: Vec<_> = (0..len)
+                    .map(|_| ringleader_automata::Symbol((rng.next_u32() % k) as u16))
+                    .collect();
+                let w = ringleader_automata::Word::from_symbols(symbols);
+                prop_assert_eq!(literal.contains(&w), periodic.contains(&w));
+            }
+        }
+    }
+
+    /// The tradeoff language's designated letter is consistent with
+    /// membership under single-letter flips.
+    #[test]
+    fn tradeoff_flip_toggles_membership(len in 1usize..32, pos_seed: u64, k in 1u32..=4) {
+        let lang = TradeoffLanguage::new(k);
+        let mut rng = StdRng::seed_from_u64(pos_seed);
+        let Some(w) = lang.positive_example(len, &mut rng) else {
+            return Ok(());
+        };
+        let designated = lang.designated_letter(len);
+        // Replacing a non-designated letter with the designated one (or
+        // vice versa) flips parity ⇒ membership.
+        let flip_at = (rng.next_u32() as usize) % len;
+        let mut symbols = w.symbols().to_vec();
+        let old = symbols[flip_at].index();
+        symbols[flip_at] = if old == designated {
+            // designated -> something else: parity decreases by 1
+            ringleader_automata::Symbol(u16::from(designated == 0))
+        } else {
+            ringleader_automata::Symbol(designated as u16)
+        };
+        let flipped = ringleader_automata::Word::from_symbols(symbols);
+        prop_assert!(!lang.contains(&flipped), "k={k} len={len}");
+    }
+
+    /// Regular corpus languages agree with their own DFA on random words
+    /// (the `DfaLanguage` contract).
+    #[test]
+    fn dfa_language_contract(len in 0usize..24, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for lang in regular_corpus() {
+            let k = lang.alphabet().len() as u32;
+            let symbols: Vec<_> = (0..len)
+                .map(|_| ringleader_automata::Symbol((rng.next_u32() % k) as u16))
+                .collect();
+            let w = ringleader_automata::Word::from_symbols(symbols);
+            prop_assert_eq!(lang.contains(&w), lang.dfa().accepts(&w));
+        }
+    }
+}

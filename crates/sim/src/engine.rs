@@ -1,0 +1,573 @@
+//! The discrete-event execution engine.
+
+use std::collections::VecDeque;
+
+use ringleader_automata::Word;
+use ringleader_bitio::BitString;
+
+use crate::context::{Context, Process, Protocol};
+use crate::sched::LinkView;
+use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::{Direction, ExecStats, Scheduler, SimError, Topology};
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The leader's decision (`Some(true)` = accept). Always `Some` for a
+    /// successful run.
+    pub decision: Option<bool>,
+    /// Bit-complexity accounting.
+    pub stats: ExecStats,
+    /// Full event trace, when [`RingRunner::record_trace`] was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl Outcome {
+    /// The decision, treating the (unreachable for well-formed protocols)
+    /// missing case as reject.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        self.decision == Some(true)
+    }
+}
+
+/// Configures and runs protocol executions on a simulated ring.
+///
+/// A non-consuming builder: configure scheduling, tracing, the known-`n`
+/// mode, and an event budget, then call [`run`](RingRunner::run) any
+/// number of times.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct RingRunner {
+    scheduler: Scheduler,
+    record_trace: bool,
+    known_ring_size: bool,
+    max_events: usize,
+}
+
+impl Default for RingRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RingRunner {
+    /// A runner with FIFO scheduling, no tracing, unknown ring size, and a
+    /// generous event budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            scheduler: Scheduler::Fifo,
+            record_trace: false,
+            known_ring_size: false,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Chooses the delivery [`Scheduler`].
+    pub fn scheduler(&mut self, scheduler: Scheduler) -> &mut Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables or disables full event tracing (needed for information-state
+    /// extraction and token-discipline validation).
+    pub fn record_trace(&mut self, on: bool) -> &mut Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Switches the paper's Note 7.4 mode on: every processor learns `n`
+    /// via [`Context::known_ring_size`].
+    pub fn known_ring_size(&mut self, on: bool) -> &mut Self {
+        self.known_ring_size = on;
+        self
+    }
+
+    /// Caps the number of deliveries before the run aborts with
+    /// [`SimError::EventLimitExceeded`]. Guards against runaway protocols.
+    pub fn max_events(&mut self, limit: usize) -> &mut Self {
+        self.max_events = limit;
+        self
+    }
+
+    /// Executes `protocol` on the ring labelled with `word`.
+    ///
+    /// Processor `i` receives letter `word[i]`; processor 0 is the leader
+    /// and is started exactly once. The run ends when the leader decides.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyRing`] for an empty word.
+    /// * [`SimError::IllegalSend`] / [`SimError::FollowerDecided`] /
+    ///   [`SimError::Process`] on protocol bugs.
+    /// * [`SimError::Stalled`] if traffic dries up without a decision.
+    /// * [`SimError::EventLimitExceeded`] if the budget is exhausted.
+    pub fn run(&self, protocol: &dyn Protocol, word: &Word) -> Result<Outcome, SimError> {
+        let n = word.len();
+        if n == 0 {
+            return Err(SimError::EmptyRing);
+        }
+        let topology = protocol.topology();
+        let mut processes: Vec<Box<dyn Process>> = Vec::with_capacity(n);
+        for (i, &sym) in word.symbols().iter().enumerate() {
+            processes.push(if i == 0 {
+                protocol.leader(sym)
+            } else {
+                protocol.follower(sym)
+            });
+        }
+
+        // Link queues. Link ids: 0..n are clockwise links (i → i+1 mod n);
+        // n..2n are counter-clockwise links (i+1 → i, stored at n + i).
+        let mut queues: Vec<VecDeque<(u64, BitString)>> = vec![VecDeque::new(); 2 * n];
+        let mut stats = ExecStats::new(n);
+        let mut trace = if self.record_trace { Some(Trace::default()) } else { None };
+        let mut chooser = self.scheduler.build();
+        let mut seq: u64 = 0;
+        let mut deliveries: usize = 0;
+        let known = self.known_ring_size.then_some(n);
+
+        // Start the leader.
+        let mut ctx = Context::new(true, known);
+        processes[0]
+            .on_start(&mut ctx)
+            .map_err(|source| SimError::Process { position: 0, source })?;
+        let decision = apply_effects(
+            ctx, 0, n, topology, &mut queues, &mut stats, &mut trace, &mut seq,
+        )?;
+        if let Some(d) = decision {
+            return Ok(Outcome { decision: Some(d), stats, trace });
+        }
+
+        loop {
+            // Collect non-empty links for the scheduler.
+            let views: Vec<LinkView> = queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(id, q)| LinkView {
+                    id,
+                    backlog: q.len(),
+                    head_seq: q.front().expect("filtered non-empty").0,
+                })
+                .collect();
+            if views.is_empty() {
+                return Err(SimError::Stalled { deliveries });
+            }
+            if deliveries >= self.max_events {
+                return Err(SimError::EventLimitExceeded { limit: self.max_events });
+            }
+            let link = chooser.choose(&views);
+            let (_, payload) = queues[link].pop_front().expect("chosen link non-empty");
+            deliveries += 1;
+            stats.deliveries = deliveries;
+
+            // Decode link id back to (receiver, direction of travel).
+            let (receiver, direction) = if link < n {
+                ((link + 1) % n, Direction::Clockwise)
+            } else {
+                (link - n, Direction::CounterClockwise)
+            };
+            if let Some(t) = trace.as_mut() {
+                t.push(TraceEvent {
+                    seq,
+                    kind: EventKind::Deliver,
+                    position: receiver,
+                    direction,
+                    payload: payload.clone(),
+                });
+                seq += 1;
+            }
+
+            let mut ctx = Context::new(receiver == 0, known);
+            processes[receiver]
+                .on_message(direction, &payload, &mut ctx)
+                .map_err(|source| SimError::Process { position: receiver, source })?;
+            let decision = apply_effects(
+                ctx, receiver, n, topology, &mut queues, &mut stats, &mut trace, &mut seq,
+            )?;
+            if let Some(d) = decision {
+                return Ok(Outcome { decision: Some(d), stats, trace });
+            }
+        }
+    }
+}
+
+/// Applies a handler's buffered sends/decision. Returns the decision if the
+/// leader made one.
+#[allow(clippy::too_many_arguments)]
+fn apply_effects(
+    ctx: Context,
+    position: usize,
+    n: usize,
+    topology: Topology,
+    queues: &mut [VecDeque<(u64, BitString)>],
+    stats: &mut ExecStats,
+    trace: &mut Option<Trace>,
+    seq: &mut u64,
+) -> Result<Option<bool>, SimError> {
+    let (outbox, decision) = ctx.take();
+    if decision.is_some() && position != 0 {
+        return Err(SimError::FollowerDecided { position });
+    }
+    for (direction, payload) in outbox {
+        if !topology.allows(position, direction, n) {
+            return Err(SimError::IllegalSend { position, direction });
+        }
+        stats.record_send(position, direction, payload.len());
+        if let Some(t) = trace.as_mut() {
+            t.push(TraceEvent {
+                seq: *seq,
+                kind: EventKind::Send,
+                position,
+                direction,
+                payload: payload.clone(),
+            });
+        }
+        let link = match direction {
+            Direction::Clockwise => position,
+            // p_i sending counter-clockwise feeds the queue stored at n + (i-1 mod n).
+            Direction::CounterClockwise => n + (position + n - 1) % n,
+        };
+        queues[link].push_back((*seq, payload));
+        *seq += 1;
+    }
+    Ok(decision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ProcessResult, Protocol};
+    use ringleader_automata::{Alphabet, Symbol};
+
+    /// Forwards any message onward; used as the default follower.
+    struct Forwarder;
+    impl Process for Forwarder {
+        fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+            ctx.send(dir, msg.clone());
+            Ok(())
+        }
+    }
+
+    /// Leader sends one 3-bit message clockwise; accepts when it returns.
+    struct RoundTripLeader;
+    impl Process for RoundTripLeader {
+        fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+            ctx.send(Direction::Clockwise, BitString::parse("101").unwrap());
+            Ok(())
+        }
+        fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+            ctx.decide(true);
+            Ok(())
+        }
+    }
+
+    struct RoundTrip;
+    impl Protocol for RoundTrip {
+        fn name(&self) -> &'static str {
+            "round-trip"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Unidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(RoundTripLeader)
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(Forwarder)
+        }
+    }
+
+    fn word(n: usize) -> Word {
+        let sigma = Alphabet::binary();
+        Word::from_str(&"0".repeat(n), &sigma).unwrap()
+    }
+
+    #[test]
+    fn round_trip_counts_bits_per_hop() {
+        for n in [1usize, 2, 3, 10, 100] {
+            let outcome = RingRunner::new().run(&RoundTrip, &word(n)).unwrap();
+            assert_eq!(outcome.decision, Some(true), "n={n}");
+            assert_eq!(outcome.stats.total_bits, 3 * n, "n={n}");
+            assert_eq!(outcome.stats.message_count, n, "n={n}");
+            assert_eq!(outcome.stats.max_message_bits, 3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_ring_rejected() {
+        let w = Word::new();
+        assert!(matches!(RingRunner::new().run(&RoundTrip, &w), Err(SimError::EmptyRing)));
+    }
+
+    #[test]
+    fn trace_records_sends_and_deliveries() {
+        let mut runner = RingRunner::new();
+        runner.record_trace(true);
+        let outcome = runner.run(&RoundTrip, &word(3)).unwrap();
+        let trace = outcome.trace.unwrap();
+        // 3 sends + 3 deliveries.
+        assert_eq!(trace.events().len(), 6);
+        let sends = trace.events().iter().filter(|e| e.kind == EventKind::Send).count();
+        assert_eq!(sends, 3);
+        // Info states: every processor sent once and received once... except
+        // the leader ordering (send first, then receive).
+        let inputs = vec![Symbol(0); 3];
+        let states = trace.info_states(&inputs);
+        assert_eq!(states[0].entries.len(), 2);
+        assert_eq!(states[1].entries.len(), 2);
+    }
+
+    /// Protocol violating direction rules on a unidirectional ring.
+    struct BadDirection;
+    impl Protocol for BadDirection {
+        fn name(&self) -> &'static str {
+            "bad-direction"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Unidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            struct L;
+            impl Process for L {
+                fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                    ctx.send(Direction::CounterClockwise, BitString::parse("1").unwrap());
+                    Ok(())
+                }
+                fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                    Ok(())
+                }
+            }
+            Box::new(L)
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(Forwarder)
+        }
+    }
+
+    #[test]
+    fn illegal_direction_aborts() {
+        let err = RingRunner::new().run(&BadDirection, &word(3)).unwrap_err();
+        assert!(matches!(err, SimError::IllegalSend { position: 0, .. }));
+    }
+
+    /// A follower that (illegally) decides.
+    struct RogueFollower;
+    impl Protocol for RogueFollower {
+        fn name(&self) -> &'static str {
+            "rogue"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Unidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(RoundTripLeader)
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            struct F;
+            impl Process for F {
+                fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+                    ctx.decide(false);
+                    Ok(())
+                }
+            }
+            Box::new(F)
+        }
+    }
+
+    #[test]
+    fn follower_decision_aborts() {
+        let err = RingRunner::new().run(&RogueFollower, &word(3)).unwrap_err();
+        assert!(matches!(err, SimError::FollowerDecided { position: 1 }));
+    }
+
+    /// A leader that never decides and sends nothing.
+    struct Silent;
+    impl Protocol for Silent {
+        fn name(&self) -> &'static str {
+            "silent"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Unidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            struct L;
+            impl Process for L {
+                fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                    Ok(())
+                }
+            }
+            Box::new(L)
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(Forwarder)
+        }
+    }
+
+    #[test]
+    fn quiescence_without_decision_is_stalled() {
+        let err = RingRunner::new().run(&Silent, &word(3)).unwrap_err();
+        assert!(matches!(err, SimError::Stalled { deliveries: 0 }));
+    }
+
+    /// A two-processor ping-pong that never terminates.
+    struct Livelock;
+    impl Protocol for Livelock {
+        fn name(&self) -> &'static str {
+            "livelock"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Bidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            struct L;
+            impl Process for L {
+                fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                    ctx.send(Direction::Clockwise, BitString::parse("1").unwrap());
+                    Ok(())
+                }
+                fn on_message(&mut self, d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+                    ctx.send(d, m.clone());
+                    Ok(())
+                }
+            }
+            Box::new(L)
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(Forwarder)
+        }
+    }
+
+    #[test]
+    fn event_limit_stops_runaways() {
+        let mut runner = RingRunner::new();
+        runner.max_events(100);
+        let err = runner.run(&Livelock, &word(2)).unwrap_err();
+        assert!(matches!(err, SimError::EventLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn known_ring_size_mode_is_visible() {
+        struct NProtocol;
+        impl Protocol for NProtocol {
+            fn name(&self) -> &'static str {
+                "known-n"
+            }
+            fn topology(&self) -> Topology {
+                Topology::Unidirectional
+            }
+            fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+                struct L;
+                impl Process for L {
+                    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                        // Decide immediately based on n: accept even sizes.
+                        let n = ctx.known_ring_size().expect("runner set known_ring_size");
+                        ctx.decide(n % 2 == 0);
+                        Ok(())
+                    }
+                    fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                        Ok(())
+                    }
+                }
+                Box::new(L)
+            }
+            fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+                Box::new(Forwarder)
+            }
+        }
+        let mut runner = RingRunner::new();
+        runner.known_ring_size(true);
+        assert!(runner.run(&NProtocol, &word(4)).unwrap().accepted());
+        assert!(!runner.run(&NProtocol, &word(5)).unwrap().accepted());
+    }
+
+    #[test]
+    fn single_processor_ring_self_loop() {
+        // n = 1: the leader's clockwise neighbour is itself.
+        let outcome = RingRunner::new().run(&RoundTrip, &word(1)).unwrap();
+        assert!(outcome.accepted());
+        assert_eq!(outcome.stats.total_bits, 3);
+    }
+
+    #[test]
+    fn bidirectional_messages_cross() {
+        /// Leader probes both ways; accepts after both probes return.
+        struct BothWays;
+        impl Protocol for BothWays {
+            fn name(&self) -> &'static str {
+                "both-ways"
+            }
+            fn topology(&self) -> Topology {
+                Topology::Bidirectional
+            }
+            fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+                struct L {
+                    seen: usize,
+                }
+                impl Process for L {
+                    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                        ctx.send(Direction::Clockwise, BitString::parse("10").unwrap());
+                        ctx.send(Direction::CounterClockwise, BitString::parse("01").unwrap());
+                        Ok(())
+                    }
+                    fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+                        self.seen += 1;
+                        if self.seen == 2 {
+                            ctx.decide(true);
+                        }
+                        Ok(())
+                    }
+                }
+                Box::new(L { seen: 0 })
+            }
+            fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+                Box::new(Forwarder)
+            }
+        }
+        for scheduler in [Scheduler::Fifo, Scheduler::Random { seed: 3 }, Scheduler::LongestQueue] {
+            let mut runner = RingRunner::new();
+            runner.scheduler(scheduler);
+            let outcome = runner.run(&BothWays, &word(5)).unwrap();
+            assert!(outcome.accepted());
+            // Two probes, each crossing all 5 links once: 2 bits * 5 hops * 2 directions.
+            assert_eq!(outcome.stats.total_bits, 20);
+        }
+    }
+
+    #[test]
+    fn line_topology_blocks_wraparound() {
+        struct LineWrap;
+        impl Protocol for LineWrap {
+            fn name(&self) -> &'static str {
+                "line-wrap"
+            }
+            fn topology(&self) -> Topology {
+                Topology::Line
+            }
+            fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+                struct L;
+                impl Process for L {
+                    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                        // Illegal: leader's counter-clockwise link does not exist on a line.
+                        ctx.send(Direction::CounterClockwise, BitString::parse("1").unwrap());
+                        Ok(())
+                    }
+                    fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                        Ok(())
+                    }
+                }
+                Box::new(L)
+            }
+            fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+                Box::new(Forwarder)
+            }
+        }
+        let err = RingRunner::new().run(&LineWrap, &word(4)).unwrap_err();
+        assert!(matches!(err, SimError::IllegalSend { position: 0, direction: Direction::CounterClockwise }));
+    }
+}

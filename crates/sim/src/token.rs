@@ -1,0 +1,110 @@
+//! Token-discipline validation (Theorem 5 prerequisite).
+//!
+//! A **token algorithm** keeps at most one message in flight at any time.
+//! Theorem 5 reduces arbitrary bidirectional algorithms to token algorithms
+//! (via Tiwari–Loui, at a ≤3× bit cost) before applying the cut-link
+//! transformation. Our bidirectional protocols are written natively in
+//! token style; these validators check that claim against actual traces so
+//! the E4 experiment rests on verified ground.
+
+use crate::trace::{EventKind, Trace};
+
+/// Counts the moments at which more than one message was in flight.
+///
+/// Scans the trace in global order, incrementing on sends and decrementing
+/// on deliveries; every event after which the in-flight count exceeds 1 is
+/// a violation. A trailing in-flight message (sent but undelivered when the
+/// leader decided) is *not* a violation by itself.
+#[must_use]
+pub fn token_violations(trace: &Trace) -> usize {
+    let mut in_flight: isize = 0;
+    let mut violations = 0;
+    for e in trace.events() {
+        match e.kind {
+            EventKind::Send => in_flight += 1,
+            EventKind::Deliver => in_flight -= 1,
+        }
+        if in_flight > 1 {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// Whether the execution obeyed token discipline throughout.
+#[must_use]
+pub fn validate_token_discipline(trace: &Trace) -> bool {
+    token_violations(trace) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use crate::Direction;
+    use ringleader_bitio::BitString;
+
+    trait PushTest {
+        fn push_test(&mut self, seq: u64, kind: EventKind);
+    }
+
+    impl PushTest for Trace {
+        fn push_test(&mut self, seq: u64, kind: EventKind) {
+            self.push(TraceEvent {
+                seq,
+                kind,
+                position: 0,
+                direction: Direction::Clockwise,
+                payload: BitString::parse("1").unwrap(),
+            });
+        }
+    }
+
+    #[test]
+    fn alternating_send_deliver_is_token() {
+        let mut t = Trace::default();
+        for i in 0..10u64 {
+            t.push_test(2 * i, EventKind::Send);
+            t.push_test(2 * i + 1, EventKind::Deliver);
+        }
+        assert!(validate_token_discipline(&t));
+        assert_eq!(token_violations(&t), 0);
+    }
+
+    #[test]
+    fn double_send_violates() {
+        let mut t = Trace::default();
+        t.push_test(0, EventKind::Send);
+        t.push_test(1, EventKind::Send); // two in flight
+        t.push_test(2, EventKind::Deliver);
+        t.push_test(3, EventKind::Deliver);
+        assert!(!validate_token_discipline(&t));
+        assert_eq!(token_violations(&t), 1);
+    }
+
+    #[test]
+    fn trailing_in_flight_message_is_fine() {
+        let mut t = Trace::default();
+        t.push_test(0, EventKind::Send);
+        t.push_test(1, EventKind::Deliver);
+        t.push_test(2, EventKind::Send); // undelivered at decision time
+        assert!(validate_token_discipline(&t));
+    }
+
+    #[test]
+    fn empty_trace_is_token() {
+        assert!(validate_token_discipline(&Trace::default()));
+    }
+
+    #[test]
+    fn sustained_overlap_counts_every_event() {
+        let mut t = Trace::default();
+        t.push_test(0, EventKind::Send);
+        t.push_test(1, EventKind::Send);
+        t.push_test(2, EventKind::Send); // 3 in flight
+        t.push_test(3, EventKind::Deliver); // still 2
+        t.push_test(4, EventKind::Deliver);
+        t.push_test(5, EventKind::Deliver);
+        assert_eq!(token_violations(&t), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the simulator engine.
+//!
+//! A parameterized "relay" protocol family with arbitrary payload sizes
+//! and hop counts lets us pin the engine's accounting and scheduling
+//! invariants without depending on any specific paper protocol.
+
+use proptest::prelude::*;
+use ringleader_automata::{Alphabet, Symbol, Word};
+use ringleader_bitio::{BitReader, BitString, BitWriter};
+use ringleader_sim::{
+    Context, Direction, Process, ProcessResult, Protocol, RingRunner, Scheduler, Topology,
+};
+
+/// Leader sends a fixed payload that circles the ring `laps` times, then
+/// accepts. Every hop is one message of exactly `payload_bits` bits plus a
+/// delta-coded lap counter.
+#[derive(Clone)]
+struct Relay {
+    payload_bits: usize,
+    laps: u64,
+}
+
+impl Relay {
+    fn message(&self, lap: u64) -> BitString {
+        let mut w = BitWriter::new();
+        w.write_elias_delta(lap + 1);
+        for i in 0..self.payload_bits {
+            w.write_bit(i % 2 == 0);
+        }
+        w.finish()
+    }
+
+    fn lap_of(&self, msg: &BitString) -> u64 {
+        BitReader::new(msg).read_elias_delta().expect("own encoding") - 1
+    }
+
+    fn message_bits(&self, lap: u64) -> usize {
+        ringleader_bitio::codes::elias_delta_len(lap + 1) + self.payload_bits
+    }
+
+    /// Exact total for a ring of `n`: `laps` full circles.
+    fn predicted_bits(&self, n: usize) -> usize {
+        (0..self.laps).map(|lap| self.message_bits(lap) * n).sum()
+    }
+}
+
+struct RelayLeader {
+    proto: Relay,
+}
+
+impl Process for RelayLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        ctx.send(Direction::Clockwise, self.proto.message(0));
+        Ok(())
+    }
+
+    fn on_message(&mut self, _d: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let lap = self.proto.lap_of(msg) + 1;
+        if lap >= self.proto.laps {
+            ctx.decide(true);
+        } else {
+            ctx.send(Direction::Clockwise, self.proto.message(lap));
+        }
+        Ok(())
+    }
+}
+
+struct RelayFollower {
+    proto: Relay,
+}
+
+impl Process for RelayFollower {
+    fn on_message(&mut self, _d: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        let lap = self.proto.lap_of(msg);
+        ctx.send(Direction::Clockwise, self.proto.message(lap));
+        Ok(())
+    }
+}
+
+impl Protocol for Relay {
+    fn name(&self) -> &'static str {
+        "relay"
+    }
+
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(RelayLeader { proto: self.clone() })
+    }
+
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(RelayFollower { proto: self.clone() })
+    }
+}
+
+fn unary_word(n: usize) -> Word {
+    Word::from_str(&"a".repeat(n), &Alphabet::from_chars("a").unwrap()).unwrap()
+}
+
+proptest! {
+    /// Accounting is exact for arbitrary payload sizes, lap counts, and
+    /// ring sizes.
+    #[test]
+    fn accounting_is_exact(n in 1usize..40, payload_bits in 0usize..64, laps in 1u64..5) {
+        let proto = Relay { payload_bits, laps };
+        let outcome = RingRunner::new().run(&proto, &unary_word(n)).unwrap();
+        prop_assert!(outcome.accepted());
+        prop_assert_eq!(outcome.stats.total_bits, proto.predicted_bits(n));
+        prop_assert_eq!(outcome.stats.message_count, n * laps as usize);
+        prop_assert_eq!(outcome.stats.deliveries, n * laps as usize);
+        // Per-link accounting sums to the total.
+        let link_sum: usize = (0..n).map(|i| outcome.stats.link_bits(i)).sum();
+        prop_assert_eq!(link_sum, outcome.stats.total_bits);
+        // Unidirectional: nothing counter-clockwise.
+        prop_assert!(outcome.stats.counter_clockwise_link_bits.iter().all(|&b| b == 0));
+    }
+
+    /// Every scheduler produces the same measurement for token protocols.
+    #[test]
+    fn schedulers_agree_on_token_protocols(
+        n in 1usize..24,
+        payload_bits in 0usize..32,
+        laps in 1u64..4,
+        seed: u64,
+    ) {
+        let proto = Relay { payload_bits, laps };
+        let word = unary_word(n);
+        let fifo = RingRunner::new().run(&proto, &word).unwrap();
+        for sched in [Scheduler::Random { seed }, Scheduler::LongestQueue] {
+            let mut runner = RingRunner::new();
+            runner.scheduler(sched);
+            let other = runner.run(&proto, &word).unwrap();
+            prop_assert_eq!(fifo.decision, other.decision);
+            prop_assert_eq!(fifo.stats.total_bits, other.stats.total_bits);
+            prop_assert_eq!(fifo.stats.deliveries, other.stats.deliveries);
+        }
+    }
+
+    /// Traces, when recorded, reconcile with the statistics: the bits in
+    /// Send events sum to total_bits, and sends/deliveries balance.
+    #[test]
+    fn traces_reconcile_with_stats(n in 1usize..20, payload_bits in 0usize..16) {
+        let proto = Relay { payload_bits, laps: 2 };
+        let mut runner = RingRunner::new();
+        runner.record_trace(true);
+        let outcome = runner.run(&proto, &unary_word(n)).unwrap();
+        let trace = outcome.trace.unwrap();
+        let sent_bits: usize = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == ringleader_sim::EventKind::Send)
+            .map(|e| e.payload.len())
+            .sum();
+        prop_assert_eq!(sent_bits, outcome.stats.total_bits);
+        let sends = trace.events().iter().filter(|e| e.kind == ringleader_sim::EventKind::Send).count();
+        let delivers = trace.events().iter().filter(|e| e.kind == ringleader_sim::EventKind::Deliver).count();
+        prop_assert_eq!(sends, outcome.stats.message_count);
+        prop_assert_eq!(delivers, outcome.stats.deliveries);
+        // A single-token relay obeys token discipline by construction.
+        prop_assert!(ringleader_sim::validate_token_discipline(&trace));
+    }
+
+    /// Info states extracted from a trace assign each processor exactly
+    /// its own sends and receives.
+    #[test]
+    fn info_states_partition_the_trace(n in 1usize..16) {
+        let proto = Relay { payload_bits: 3, laps: 1 };
+        let mut runner = RingRunner::new();
+        runner.record_trace(true);
+        let word = unary_word(n);
+        let outcome = runner.run(&proto, &word).unwrap();
+        let trace = outcome.trace.unwrap();
+        let states = trace.info_states(word.symbols());
+        prop_assert_eq!(states.len(), n);
+        let total_entries: usize = states.iter().map(|s| s.entries.len()).sum();
+        prop_assert_eq!(total_entries, trace.events().len());
+        // Each processor sends once and receives once per lap (leader too).
+        for (i, s) in states.iter().enumerate() {
+            prop_assert_eq!(s.entries.len(), 2, "processor {}", i);
+        }
+    }
+
+    /// The event budget aborts exactly when deliveries would exceed it.
+    #[test]
+    fn event_budget_is_respected(n in 2usize..12, laps in 2u64..5) {
+        let proto = Relay { payload_bits: 1, laps };
+        let needed = n * laps as usize;
+        let mut runner = RingRunner::new();
+        runner.max_events(needed); // exactly enough
+        prop_assert!(runner.run(&proto, &unary_word(n)).is_ok());
+        let mut runner = RingRunner::new();
+        runner.max_events(needed - 1); // one short
+        let limited = runner.run(&proto, &unary_word(n));
+        let hit_limit = matches!(
+            limited,
+            Err(ringleader_sim::SimError::EventLimitExceeded { limit: _ })
+        );
+        prop_assert!(hit_limit);
+    }
+}

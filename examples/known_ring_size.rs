@@ -1,0 +1,52 @@
+//! Note 7.4: what knowing `n` buys you.
+//!
+//! ```text
+//! cargo run --example known_ring_size
+//! ```
+//!
+//! With the ring size unknown, every non-regular language costs
+//! `Ω(n log n)` bits. Give every processor the number `n` and the barrier
+//! disappears: `{aᵐ : m is a power of two}` — a non-regular language —
+//! drops to exactly `n` bits (one validity bit per hop; the leader checks
+//! the power-of-two predicate locally). This example measures both sides
+//! of the gap on the same rings.
+
+use std::sync::Arc;
+
+use ringleader::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lang = PowerOfTwoLength::new();
+    let known = LengthPredicateKnownN::new(Symbol(0), Arc::new(|n: usize| n.is_power_of_two()));
+    let unknown = CountRingSize::new(Arc::new(|n: usize| n.is_power_of_two()));
+
+    println!("language {{a^m : m = 2^k}} — non-regular — both modes:\n");
+    println!("  {:>5} | {:>12} | {:>14} | {:>6}", "n", "known-n bits", "unknown-n bits", "gap");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    for k in 4..=12u32 {
+        let n = 1usize << k;
+        let word = lang.positive_example(n, &mut rng).expect("powers of two are members");
+
+        let known_bits = {
+            let mut runner = RingRunner::new();
+            runner.known_ring_size(true);
+            let outcome = runner.run(&known, &word)?;
+            assert!(outcome.accepted());
+            outcome.stats.total_bits
+        };
+        let unknown_bits = {
+            let outcome = RingRunner::new().run(&unknown, &word)?;
+            assert!(outcome.accepted());
+            outcome.stats.total_bits
+        };
+        assert_eq!(known_bits, n, "known-n mode costs exactly n bits");
+        println!(
+            "  {n:>5} | {known_bits:>12} | {unknown_bits:>14} | {gap:>5.1}x",
+            gap = unknown_bits as f64 / known_bits as f64
+        );
+    }
+
+    println!("\nknown-n column is exactly n — O(n) bits for a non-regular language,");
+    println!("impossible when n is unknown (Theorem 4). The gap factor grows like log n.");
+    Ok(())
+}

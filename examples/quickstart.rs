@@ -1,0 +1,59 @@
+//! Quickstart: recognize a regular language on a ring and account for
+//! every bit.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Demonstrates the Theorem 1 pipeline end to end: regex → minimal DFA →
+//! one-pass state-forwarding protocol → exact bit counts matching the
+//! paper's `n·⌈log₂|Q|⌉` formula.
+
+use ringleader::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The language of words ending in "abb" — the dragon-book classic.
+    let sigma = Alphabet::from_chars("ab")?;
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma)?;
+    println!(
+        "language: {}   minimal DFA: {} states => {} bits per message",
+        lang.name(),
+        lang.dfa().state_count(),
+        DfaOnePass::new(&lang).state_bits(),
+    );
+
+    let proto = DfaOnePass::new(&lang);
+    for text in ["abb", "aabb", "ababab", "babba", "abbabb"] {
+        let word = Word::from_str(text, &sigma)?;
+        let outcome = RingRunner::new().run(&proto, &word)?;
+        println!(
+            "  ring {text:>8}  n={n:<2}  decision={dec:<6}  bits={bits:<3} (= n x {per})",
+            n = word.len(),
+            dec = if outcome.accepted() { "accept" } else { "reject" },
+            bits = outcome.stats.total_bits,
+            per = proto.state_bits(),
+        );
+        assert_eq!(outcome.accepted(), lang.contains(&word));
+        assert_eq!(outcome.stats.total_bits, proto.predicted_bits(word.len()));
+    }
+
+    // The same protocol scales linearly — the paper's Theorem 1.
+    println!("\nscaling (worst case over sampled words):");
+    let sweep = sweep_protocol(
+        &proto,
+        &lang,
+        &SweepConfig::with_sizes(vec![64, 256, 1024, 4096]),
+    )?;
+    for point in &sweep {
+        println!(
+            "  n={n:<5} bits={bits:<6} bits/n={ratio:.2}",
+            n = point.n,
+            bits = point.bits,
+            ratio = point.bits as f64 / point.n as f64
+        );
+    }
+    let series: Vec<(usize, f64)> = sweep.iter().map(|p| (p.n, p.bits as f64)).collect();
+    let fit = fit_series(&series);
+    println!("  fit: {} with constant {:.2}", fit.best_model, fit.constant);
+    Ok(())
+}

@@ -1,0 +1,204 @@
+//! `ringsim` — run any built-in protocol on a word, from the shell.
+//!
+//! ```text
+//! ringsim dfa '(ab)*' abababab          # Theorem 1 on a regex language
+//! ringsim anbncn 001122                 # three counters
+//! ringsim dyck '(()())'                 # one counter
+//! ringsim wcw abcab                     # quadratic copy check
+//! ringsim count aaaaaaaa                # ring-size probe
+//! ringsim lg nsqrtn abababab --known-n  # hierarchy tier, n known
+//! ringsim tradeoff2 ABBA --passes 1     # Note 7.5 (k=2), one-pass variant
+//!
+//! options: --trace     print the full send/deliver event log
+//!          --known-n   give every processor the ring size (Note 7.4)
+//!          --seed S    use the seeded random scheduler instead of FIFO
+//! ```
+//!
+//! Exit code: 0 = accepted, 1 = rejected, 2 = usage or simulation error.
+
+use std::process::ExitCode;
+
+use ringleader::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ringsim <protocol> [pattern] <word> [--trace] [--known-n] [--seed S]\n\
+         protocols:\n\
+         \u{20}  dfa <regex> <word over the regex's alphabet>\n\
+         \u{20}  bidir <regex> <word>          meet-in-the-middle (bidirectional)\n\
+         \u{20}  anbncn <word over 012>        three counters\n\
+         \u{20}  dyck <word over ()>           one counter\n\
+         \u{20}  wcw <word over abc>           prefix-forwarding copy check\n\
+         \u{20}  count <word>                  ring-size probe (always accepts)\n\
+         \u{20}  lg <nlogn|nsqrtn|nsq2> <word over ab>\n\
+         \u{20}  tradeoff<k> <word>            Note 7.5 two-pass (--passes 1 for one-pass)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace = false;
+    let mut known_n = false;
+    let mut seed: Option<u64> = None;
+    let mut passes = 2usize;
+
+    // Strip flags.
+    let mut positional = Vec::new();
+    let mut iter = args.drain(..);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--known-n" => known_n = true,
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => return usage(),
+            },
+            "--passes" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(p) => passes = p,
+                None => return usage(),
+            },
+            _ => positional.push(a),
+        }
+    }
+    drop(iter);
+
+    let Some(kind) = positional.first().cloned() else {
+        return usage();
+    };
+
+    let build = || -> Result<(Box<dyn Protocol>, Word), String> {
+        let parse_word = |text: &str, alphabet: &Alphabet| {
+            Word::from_str(text, alphabet).map_err(|e| e.to_string())
+        };
+        match kind.as_str() {
+            "dfa" | "bidir" => {
+                let [_, pattern, text] = positional.as_slice() else {
+                    return Err("dfa/bidir need <regex> <word>".into());
+                };
+                let sigma = Alphabet::from_chars("ab").map_err(|e| e.to_string())?;
+                let lang = DfaLanguage::from_regex(pattern, &sigma).map_err(|e| e.to_string())?;
+                let word = parse_word(text, &sigma)?;
+                let proto: Box<dyn Protocol> = if kind == "dfa" {
+                    Box::new(DfaOnePass::new(&lang))
+                } else {
+                    Box::new(BidirMeetInMiddle::new(&lang))
+                };
+                Ok((proto, word))
+            }
+            "anbncn" => {
+                let [_, text] = positional.as_slice() else {
+                    return Err("anbncn needs <word over 012>".into());
+                };
+                let proto = ThreeCounters::new();
+                let word = parse_word(text, proto.language().alphabet())?;
+                Ok((Box::new(proto), word))
+            }
+            "dyck" => {
+                let [_, text] = positional.as_slice() else {
+                    return Err("dyck needs <word over ()>".into());
+                };
+                let proto = DyckCounter::new();
+                let word = parse_word(text, proto.language().alphabet())?;
+                Ok((Box::new(proto), word))
+            }
+            "wcw" => {
+                let [_, text] = positional.as_slice() else {
+                    return Err("wcw needs <word over abc>".into());
+                };
+                let proto = WcWPrefixForward::new();
+                let word = parse_word(text, proto.language().alphabet())?;
+                Ok((Box::new(proto), word))
+            }
+            "count" => {
+                let [_, text] = positional.as_slice() else {
+                    return Err("count needs <word>".into());
+                };
+                let sigma = Alphabet::from_chars("a").map_err(|e| e.to_string())?;
+                let word = Word::from_symbols(vec![Symbol(0); text.chars().count()]);
+                let _ = sigma;
+                Ok((Box::new(CountRingSize::probe()), word))
+            }
+            "lg" => {
+                let [_, tier, text] = positional.as_slice() else {
+                    return Err("lg needs <nlogn|nsqrtn|nsq2> <word over ab>".into());
+                };
+                let growth = match tier.as_str() {
+                    "nlogn" => GrowthFunction::NLogN,
+                    "nsqrtn" => GrowthFunction::NSqrtN,
+                    "nsq2" => GrowthFunction::NSquaredHalf,
+                    other => return Err(format!("unknown tier {other:?}")),
+                };
+                let lang = LgLanguage::new(growth);
+                let word = parse_word(text, lang.alphabet())?;
+                Ok((Box::new(LgRecognizer::new(&lang)), word))
+            }
+            other if other.starts_with("tradeoff") => {
+                let k: u32 = other["tradeoff".len()..]
+                    .parse()
+                    .map_err(|_| "tradeoff needs a k suffix, e.g. tradeoff2".to_string())?;
+                let [_, text] = positional.as_slice() else {
+                    return Err("tradeoff<k> needs <word>".into());
+                };
+                let proto: Box<dyn Protocol> = match passes {
+                    1 => Box::new(OnePassParity::new(k)),
+                    2 => Box::new(TwoPassParity::new(k)),
+                    other => return Err(format!("--passes must be 1 or 2, got {other}")),
+                };
+                let lang = TradeoffLanguage::new(k);
+                let word = parse_word(text, lang.alphabet())?;
+                Ok((proto, word))
+            }
+            other => Err(format!("unknown protocol {other:?}")),
+        }
+    };
+
+    let (proto, word) = match build() {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return usage();
+        }
+    };
+
+    let mut runner = RingRunner::new();
+    runner.known_ring_size(known_n).record_trace(trace);
+    if let Some(s) = seed {
+        runner.scheduler(Scheduler::Random { seed: s });
+    }
+    let outcome = match runner.run(proto.as_ref(), &word) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "protocol={} n={} decision={} bits={} messages={} max_message_bits={}",
+        proto.name(),
+        word.len(),
+        if outcome.accepted() { "accept" } else { "reject" },
+        outcome.stats.total_bits,
+        outcome.stats.message_count,
+        outcome.stats.max_message_bits,
+    );
+    if let Some(t) = &outcome.trace {
+        for e in t.events() {
+            println!(
+                "  {:>4}  {:?}  p{}  {:?}  [{}] {}",
+                e.seq,
+                e.kind,
+                e.position,
+                e.direction,
+                e.payload.len(),
+                e.payload,
+            );
+        }
+    }
+    if outcome.accepted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,102 @@
+//! # ringleader
+//!
+//! A faithful, measurable implementation of
+//! **Mansour & Zaks, "On the Bit Complexity of Distributed Computations in
+//! a Ring with a Leader"** (PODC 1986 / Information & Computation 75,
+//! 1987): distributed pattern recognition on an asynchronous ring, with
+//! every theorem of the paper turned into runnable protocols, exact
+//! bit-accounting, and regenerable experiments.
+//!
+//! ## The model
+//!
+//! `n` processors form a ring; each holds one letter of a word `w`; a
+//! distinguished **leader** initiates a message-driven algorithm and must
+//! accept or reject `w`'s membership in a fixed language. Cost is the
+//! total number of message **bits**. The paper's landscape:
+//!
+//! * regular languages cost `Θ(n)` bits — and *only* they do;
+//! * every non-regular language costs `Ω(n log n)`;
+//! * the band `n log n … n²` is a dense hierarchy (`L_g` languages)
+//!   unrelated to the Chomsky hierarchy;
+//! * knowing `n` collapses the barrier; passes trade against bits
+//!   exponentially.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`bitio`] | bit strings, readers/writers, Elias codes |
+//! | [`automata`] | DFA/NFA/regex toolkit, minimization, sampling |
+//! | [`sim`] | the asynchronous ring simulator (event-driven + threaded) |
+//! | [`langs`] | the language corpus and workload generators |
+//! | [`core`] | the paper's algorithms (Theorems 1–7, Notes 7.1–7.5) |
+//! | [`analysis`] | sweeps, growth-model fits, experiment reports |
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use ringleader::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A regular language and its Theorem 1 protocol.
+//! let sigma = Alphabet::from_chars("ab")?;
+//! let lang = DfaLanguage::from_regex("(ab)*", &sigma)?;
+//! let proto = DfaOnePass::new(&lang);
+//!
+//! // Label a ring of 8 processors and run.
+//! let word = Word::from_str("abababab", &sigma)?;
+//! let outcome = RingRunner::new().run(&proto, &word)?;
+//!
+//! assert!(outcome.accepted());
+//! assert_eq!(outcome.stats.total_bits, proto.predicted_bits(8)); // n·⌈log|Q|⌉
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ringleader_analysis as analysis;
+pub use ringleader_automata as automata;
+pub use ringleader_bitio as bitio;
+pub use ringleader_core as core;
+pub use ringleader_langs as langs;
+pub use ringleader_sim as sim;
+
+/// The names almost every user of this workspace needs.
+pub mod prelude {
+    pub use ringleader_analysis::{
+        fit_series, sweep_protocol, ExperimentResult, FitResult, GrowthModel, SweepConfig,
+        Verdict,
+    };
+    pub use ringleader_automata::{Alphabet, Dfa, Regex, Symbol, Word};
+    pub use ringleader_bitio::{BitReader, BitString, BitWriter};
+    pub use ringleader_core::{
+        BidirMeetInMiddle, CollectAll, CountRingSize, CounterEncoding, CutLinkAdapter,
+        DfaOnePass, DyckCounter, GraphOutcome, LengthPredicateKnownN, LgRecognizer,
+        MessageGraphExplorer, OnePassParity, StatelessTwoPass, ThreeCounters, TwoPassParity,
+        WcWPrefixForward,
+    };
+    pub use ringleader_langs::{
+        regular_corpus, AnBn, AnBnCn, DfaLanguage, Dyck, EqualAB, GrowthFunction, Language,
+        LanguageClass, LgLanguage, Palindrome, PowerOfTwoLength, TradeoffLanguage, WcW,
+    };
+    pub use ringleader_sim::{
+        Context, Direction, Outcome, Process, ProcessResult, Protocol, RingRunner, Scheduler,
+        ThreadedRunner, Topology,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reaches_every_crate() {
+        use crate::prelude::*;
+        let sigma = Alphabet::binary();
+        assert_eq!(sigma.len(), 2);
+        let _ = BitString::new();
+        let _ = RingRunner::new();
+        let _ = GrowthFunction::NLogN;
+        let _ = GrowthModel::Linear;
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based integration tests: random automata and random words
+//! through the full stack.
+
+use proptest::prelude::*;
+use ringleader::prelude::*;
+
+/// Strategy: a random trimmed DFA over {a, b} with up to 6 states.
+fn random_dfa() -> impl Strategy<Value = Dfa> {
+    (1usize..=6).prop_flat_map(|states| {
+        (
+            Just(states),
+            proptest::collection::vec(0..states, states * 2),
+            proptest::collection::vec(any::<bool>(), states),
+            0..states,
+        )
+            .prop_map(|(states, targets, accepting, start)| {
+                let sigma = Alphabet::from_chars("ab").expect("valid alphabet");
+                Dfa::from_fn(sigma, states, start, |q| accepting[q], |q, s| {
+                    targets[q * 2 + s.index()]
+                })
+                .expect("targets in range")
+            })
+    })
+}
+
+fn random_word(max_len: usize) -> impl Strategy<Value = Word> {
+    proptest::collection::vec(0u16..2, 1..max_len)
+        .prop_map(|v| Word::from_symbols(v.into_iter().map(Symbol).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 as a property: for ANY regular language (random DFA) and
+    /// ANY word, the ring protocol's decision equals DFA membership, and
+    /// the bits equal n·⌈log|Q_min|⌉ exactly.
+    #[test]
+    fn theorem1_holds_for_random_automata(dfa in random_dfa(), word in random_word(24)) {
+        let lang = DfaLanguage::from_dfa("random", &dfa);
+        let proto = DfaOnePass::new(&lang);
+        let outcome = RingRunner::new().run(&proto, &word).unwrap();
+        prop_assert_eq!(outcome.accepted(), dfa.accepts(&word));
+        prop_assert_eq!(outcome.stats.total_bits, proto.predicted_bits(word.len()));
+    }
+
+    /// Theorems 6/7 as a property: the bidirectional protocol agrees with
+    /// the unidirectional one on every word, under a random scheduler.
+    #[test]
+    fn bidirectional_agrees_with_unidirectional(
+        dfa in random_dfa(),
+        word in random_word(16),
+        seed: u64,
+    ) {
+        let lang = DfaLanguage::from_dfa("random", &dfa);
+        let uni = DfaOnePass::new(&lang);
+        let bi = BidirMeetInMiddle::new(&lang);
+        let d_uni = RingRunner::new().run(&uni, &word).unwrap().accepted();
+        let mut runner = RingRunner::new();
+        runner.scheduler(Scheduler::Random { seed });
+        let d_bi = runner.run(&bi, &word).unwrap().accepted();
+        prop_assert_eq!(d_uni, d_bi);
+    }
+
+    /// Theorem 2 as a property: extraction from a random DFA's protocol
+    /// yields an equivalent automaton.
+    #[test]
+    fn theorem2_extraction_is_sound(dfa in random_dfa()) {
+        let lang = DfaLanguage::from_dfa("random", &dfa);
+        let proto = DfaOnePass::new(&lang);
+        match MessageGraphExplorer::new(512).explore(&proto) {
+            GraphOutcome::Finite { dfa: extracted, .. } => {
+                prop_assert!(extracted.equivalent(lang.dfa()).unwrap());
+            }
+            GraphOutcome::Exceeded { .. } => {
+                prop_assert!(false, "regular message graph diverged");
+            }
+        }
+    }
+
+    /// Theorem 5 as a property: the cut-link adapter preserves the
+    /// decision and the ≤4× bound for random regular workloads.
+    #[test]
+    fn theorem5_adapter_preserves_semantics(dfa in random_dfa(), word in random_word(20)) {
+        prop_assume!(word.len() >= 2); // the adapter needs a second path
+        let lang = DfaLanguage::from_dfa("random", &dfa);
+        let inner = DfaOnePass::new(&lang);
+        let adapted = CutLinkAdapter::new(inner.clone());
+        let plain = RingRunner::new().run(&inner, &word).unwrap();
+        let rerouted = RingRunner::new().run(&adapted, &word).unwrap();
+        prop_assert_eq!(plain.decision, rerouted.decision);
+        // +8 slack: 0-bit setup messages plus per-message tags dominate
+        // only when the inner protocol sends 0-bit messages (|Q|=1).
+        prop_assert!(rerouted.stats.total_bits <= 4 * plain.stats.total_bits + 8 + 2 * word.len());
+    }
+
+    /// Collect-all is universal: on random DFAs it matches membership
+    /// with its exact closed-form cost.
+    #[test]
+    fn collect_all_is_universal(dfa in random_dfa(), word in random_word(20)) {
+        let lang = DfaLanguage::from_dfa("random", &dfa);
+        let proto = CollectAll::new(std::sync::Arc::new(lang.clone()));
+        let outcome = RingRunner::new().run(&proto, &word).unwrap();
+        prop_assert_eq!(outcome.accepted(), dfa.accepts(&word));
+        prop_assert_eq!(outcome.stats.total_bits, proto.predicted_bits(word.len()));
+    }
+
+    /// Schedulers never change a unidirectional token protocol's
+    /// measurement (the E12 property, randomized).
+    #[test]
+    fn unidirectional_protocols_are_schedule_invariant(
+        dfa in random_dfa(),
+        word in random_word(16),
+        seed: u64,
+    ) {
+        let lang = DfaLanguage::from_dfa("random", &dfa);
+        let proto = DfaOnePass::new(&lang);
+        let fifo = RingRunner::new().run(&proto, &word).unwrap();
+        let mut runner = RingRunner::new();
+        runner.scheduler(Scheduler::Random { seed });
+        let random = runner.run(&proto, &word).unwrap();
+        prop_assert_eq!(fifo.decision, random.decision);
+        prop_assert_eq!(fifo.stats.total_bits, random.stats.total_bits);
+    }
+}

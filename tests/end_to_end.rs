@@ -1,0 +1,149 @@
+//! Cross-crate integration: regex front-end → language corpus → protocols
+//! → simulator → analysis, exercised together the way a downstream user
+//! would.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ringleader::prelude::*;
+use std::sync::Arc;
+
+/// Every recognizer (specialized and baseline) agrees with ground truth
+/// and with each other on the same rings.
+#[test]
+fn recognizers_agree_across_the_stack() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    for pattern in ["(ab)*", "a*b*", "(a|b)*abb", "b(a|b)*a|b"] {
+        let lang = DfaLanguage::from_regex(pattern, &sigma).unwrap();
+        let one_pass = DfaOnePass::new(&lang);
+        let bidir = BidirMeetInMiddle::new(&lang);
+        let collect = CollectAll::new(Arc::new(lang.clone()));
+        for n in [1usize, 2, 3, 8, 17, 40] {
+            for want in [true, false] {
+                let word = if want {
+                    lang.positive_example(n, &mut rng)
+                } else {
+                    lang.negative_example(n, &mut rng)
+                };
+                let Some(word) = word else { continue };
+                let runner = RingRunner::new();
+                let d1 = runner.run(&one_pass, &word).unwrap().accepted();
+                let d2 = runner.run(&bidir, &word).unwrap().accepted();
+                let d3 = runner.run(&collect, &word).unwrap().accepted();
+                assert_eq!(d1, want, "{pattern} one-pass n={n}");
+                assert_eq!(d2, want, "{pattern} bidir n={n}");
+                assert_eq!(d3, want, "{pattern} collect n={n}");
+            }
+        }
+    }
+}
+
+/// The paper's cost ordering shows up on real rings: O(n) one-pass below
+/// Θ(n log n) counting below Θ(n²) collection, with the right gaps.
+#[test]
+fn cost_tiers_are_ordered_at_scale() {
+    let n = 768usize;
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let regular = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let word = regular.positive_example(n, &mut rng).unwrap();
+
+    let linear_bits = RingRunner::new()
+        .run(&DfaOnePass::new(&regular), &word)
+        .unwrap()
+        .stats
+        .total_bits;
+
+    let unary = Alphabet::from_chars("a").unwrap();
+    let unary_word = Word::from_str(&"a".repeat(n), &unary).unwrap();
+    let nlogn_bits = RingRunner::new()
+        .run(&CountRingSize::probe(), &unary_word)
+        .unwrap()
+        .stats
+        .total_bits;
+
+    let quadratic_bits = RingRunner::new()
+        .run(&CollectAll::new(Arc::new(regular.clone())), &word)
+        .unwrap()
+        .stats
+        .total_bits;
+
+    assert!(linear_bits < nlogn_bits && nlogn_bits < quadratic_bits);
+    // The gaps are material, not constant-factor noise.
+    assert!(nlogn_bits > 3 * linear_bits, "{nlogn_bits} vs {linear_bits}");
+    assert!(quadratic_bits > 20 * nlogn_bits, "{quadratic_bits} vs {nlogn_bits}");
+}
+
+/// The analysis pipeline classifies real measurements into the right
+/// growth models.
+#[test]
+fn fits_classify_real_protocols() {
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let regular = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let cfg = SweepConfig::with_sizes(vec![32, 64, 128, 256, 512]);
+
+    let points = sweep_protocol(&DfaOnePass::new(&regular), &regular, &cfg).unwrap();
+    let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
+    assert_eq!(fit_series(&series).best_model, GrowthModel::Linear);
+
+    let anbncn = AnBnCn::new();
+    let cfg = SweepConfig::with_sizes(vec![33, 66, 132, 264, 528, 1056]);
+    let points = sweep_protocol(&ThreeCounters::new(), &anbncn, &cfg).unwrap();
+    let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
+    assert_eq!(fit_series(&series).best_model, GrowthModel::NLogN);
+
+    let wcw = WcW::new();
+    let cfg = SweepConfig::with_sizes(vec![129, 257, 513, 1025]);
+    let points = sweep_protocol(&WcWPrefixForward::new(), &wcw, &cfg).unwrap();
+    let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
+    assert_eq!(fit_series(&series).best_model, GrowthModel::Quadratic);
+}
+
+/// Known-n mode changes the reachable complexity class (Note 7.4) without
+/// changing any decision.
+#[test]
+fn known_n_preserves_decisions_and_cuts_bits() {
+    let lang = LgLanguage::new(GrowthFunction::NSqrtN);
+    let proto = LgRecognizer::new(&lang);
+    let mut rng = StdRng::seed_from_u64(13);
+    for n in [16usize, 64, 144] {
+        for want in [true, false] {
+            let word = if want {
+                lang.positive_example(n, &mut rng)
+            } else {
+                lang.negative_example(n, &mut rng)
+            };
+            let Some(word) = word else { continue };
+            let plain = RingRunner::new().run(&proto, &word).unwrap();
+            let known = {
+                let mut r = RingRunner::new();
+                r.known_ring_size(true);
+                r.run(&proto, &word).unwrap()
+            };
+            assert_eq!(plain.accepted(), want);
+            assert_eq!(known.accepted(), want);
+            assert!(known.stats.total_bits < plain.stats.total_bits);
+        }
+    }
+}
+
+/// The threaded backend is interchangeable with the event engine for the
+/// full protocol stack, not just toy processes.
+#[test]
+fn threaded_backend_matches_event_engine() {
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [4usize, 32, 128] {
+        let word = lang
+            .positive_example(n, &mut rng)
+            .or_else(|| lang.negative_example(n, &mut rng))
+            .unwrap();
+        let event = RingRunner::new().run(&proto, &word).unwrap();
+        let threaded = ThreadedRunner::new().run(&proto, &word).unwrap();
+        assert_eq!(event.accepted(), threaded.decision);
+        assert_eq!(event.stats.total_bits, threaded.total_bits);
+        assert_eq!(event.stats.message_count, threaded.message_count);
+    }
+}

@@ -1,0 +1,149 @@
+//! Edge-case sweep: every protocol on the smallest rings.
+//!
+//! Rings of size 1 (the leader's links loop back to itself) and 2 (each
+//! processor is both neighbours of the other) exercise every wrap-around
+//! corner in the engine and the protocols. This suite runs all of them
+//! against ground truth, exhaustively over all words of length ≤ 3.
+
+use std::sync::Arc;
+
+use ringleader::core::infostate::exhaustive_words;
+use ringleader::prelude::*;
+
+/// Exhaustive (protocol, language) agreement on every word of length 1..=3.
+fn check_exhaustive(proto: &dyn Protocol, lang: &dyn Language) {
+    for len in 1..=3usize {
+        for word in exhaustive_words(lang.alphabet(), len) {
+            let outcome = RingRunner::new()
+                .run(proto, &word)
+                .unwrap_or_else(|e| panic!("{} n={len}: {e}", proto.name()));
+            assert_eq!(
+                outcome.accepted(),
+                lang.contains(&word),
+                "{} on {:?} (n={len})",
+                proto.name(),
+                word.render(lang.alphabet()),
+            );
+        }
+    }
+}
+
+#[test]
+fn one_pass_dfa_smallest_rings() {
+    for lang in regular_corpus() {
+        check_exhaustive(&DfaOnePass::new(&lang), &lang);
+    }
+}
+
+#[test]
+fn bidirectional_smallest_rings() {
+    for lang in regular_corpus() {
+        check_exhaustive(&BidirMeetInMiddle::new(&lang), &lang);
+    }
+}
+
+#[test]
+fn collect_all_smallest_rings() {
+    let languages: Vec<Arc<dyn Language>> = vec![
+        Arc::new(AnBn::new()),
+        Arc::new(AnBnCn::new()),
+        Arc::new(WcW::new()),
+        Arc::new(Dyck::new()),
+        Arc::new(EqualAB::new()),
+    ];
+    for lang in languages {
+        check_exhaustive(&CollectAll::new(Arc::clone(&lang)), lang.as_ref());
+    }
+}
+
+#[test]
+fn counter_protocols_smallest_rings() {
+    check_exhaustive(&ThreeCounters::new(), &AnBnCn::new());
+    check_exhaustive(&DyckCounter::new(), &Dyck::new());
+    check_exhaustive(&WcWPrefixForward::new(), &WcW::new());
+}
+
+#[test]
+fn hierarchy_smallest_rings() {
+    for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN, GrowthFunction::NSquaredHalf] {
+        for lang in [LgLanguage::new(g), LgLanguage::fully_periodic(g)] {
+            check_exhaustive(&LgRecognizer::new(&lang), &lang);
+        }
+    }
+}
+
+#[test]
+fn parity_family_smallest_rings() {
+    for k in 1..=3u32 {
+        let lang = TradeoffLanguage::new(k);
+        check_exhaustive(&TwoPassParity::new(k), &lang);
+        check_exhaustive(&OnePassParity::new(k), &lang);
+        check_exhaustive(&StatelessTwoPass::new(k), &lang);
+    }
+}
+
+#[test]
+fn counting_smallest_rings() {
+    // Counting is letter-agnostic: test the predicate over n directly.
+    for n in 1..=3usize {
+        let expected = n;
+        let proto = CountRingSize::new(Arc::new(move |got| got == expected));
+        let word = Word::from_symbols(vec![Symbol(0); n]);
+        assert!(RingRunner::new().run(&proto, &word).unwrap().accepted(), "n={n}");
+    }
+}
+
+#[test]
+fn known_n_smallest_rings() {
+    let proto = LengthPredicateKnownN::new(Symbol(0), Arc::new(|n| n != 2));
+    let mut runner = RingRunner::new();
+    runner.known_ring_size(true);
+    for n in 1..=3usize {
+        let word = Word::from_symbols(vec![Symbol(0); n]);
+        let outcome = runner.run(&proto, &word).unwrap();
+        assert_eq!(outcome.accepted(), n != 2, "n={n}");
+        assert_eq!(outcome.stats.total_bits, n, "n={n}");
+    }
+}
+
+#[test]
+fn cut_link_adapter_smallest_legal_rings() {
+    // n = 1 is rejected by design; n = 2 and 3 must work.
+    let sigma = Alphabet::from_chars("012").unwrap();
+    let inner = ThreeCounters::new();
+    let adapted = CutLinkAdapter::new(inner.clone());
+    for len in 2..=3usize {
+        for word in exhaustive_words(&sigma, len) {
+            let plain = RingRunner::new().run(&inner, &word).unwrap();
+            let rerouted = RingRunner::new().run(&adapted, &word).unwrap();
+            assert_eq!(
+                plain.decision,
+                rerouted.decision,
+                "n={len} word={:?}",
+                word.render(&sigma)
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_backend_runs_bidirectional_protocols() {
+    // Real threads, real two-way traffic: decisions must match the event
+    // engine on every word (bit counts may differ by interleaving since
+    // verdict paths depend on probe timing).
+    let sigma = Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+    let proto = BidirMeetInMiddle::new(&lang);
+    for len in 1..=4usize {
+        for word in exhaustive_words(&sigma, len) {
+            let event = RingRunner::new().run(&proto, &word).unwrap();
+            let threaded = ThreadedRunner::new().run(&proto, &word).unwrap();
+            assert_eq!(
+                event.accepted(),
+                threaded.decision,
+                "n={len} word={:?}",
+                word.render(&sigma)
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The theorem constructions as full pipelines across crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ringleader::prelude::*;
+
+/// Theorem 2 round trip: language → protocol → message graph → DFA →
+/// (prove equal to the original language).
+#[test]
+fn theorem2_round_trip_on_corpus() {
+    for lang in regular_corpus() {
+        let proto = DfaOnePass::new(&lang);
+        let GraphOutcome::Finite { dfa, distinct_messages } =
+            MessageGraphExplorer::new(2000).explore(&proto)
+        else {
+            panic!("{}: regular protocol graph diverged", lang.name());
+        };
+        assert!(dfa.equivalent(lang.dfa()).unwrap(), "{}", lang.name());
+        // The minimal automaton is recovered exactly by minimizing the
+        // extracted graph.
+        assert_eq!(
+            dfa.minimized().state_count(),
+            lang.dfa().state_count(),
+            "{}",
+            lang.name()
+        );
+        // Reachable messages never exceed reachable states.
+        assert!(distinct_messages <= lang.dfa().state_count());
+    }
+}
+
+/// Corollary 1 on the non-regular side: one-pass recognizers of the
+/// corpus's non-regular languages all use unbounded message sets.
+#[test]
+fn corollary1_divergence_for_nonregular_protocols() {
+    let explorer = MessageGraphExplorer::new(1500);
+    assert!(matches!(
+        explorer.explore(&CountRingSize::probe()),
+        GraphOutcome::Exceeded { .. }
+    ));
+    assert!(matches!(
+        explorer.explore(&ThreeCounters::new()),
+        GraphOutcome::Exceeded { .. }
+    ));
+    assert!(matches!(
+        explorer.explore(&WcWPrefixForward::new()),
+        GraphOutcome::Exceeded { .. }
+    ));
+}
+
+/// Theorem 5 pipeline: wrap a token protocol, reroute around the cut,
+/// verify all invariants at once (decision, bits, cut traffic, token
+/// discipline) across sizes and schedulers.
+#[test]
+fn theorem5_transformation_invariants() {
+    let sigma = Alphabet::from_chars("012").unwrap();
+    let inner = ThreeCounters::new();
+    let adapted = CutLinkAdapter::new(inner.clone());
+    for n in [6usize, 30, 120] {
+        let third = n / 3;
+        let text = "0".repeat(third) + &"1".repeat(third) + &"2".repeat(third);
+        let word = Word::from_str(&text, &sigma).unwrap();
+        for sched in [Scheduler::Fifo, Scheduler::Random { seed: 42 }] {
+            let plain = RingRunner::new().run(&inner, &word).unwrap();
+            let mut runner = RingRunner::new();
+            runner.scheduler(sched).record_trace(true);
+            let rerouted = runner.run(&adapted, &word).unwrap();
+            assert_eq!(plain.decision, rerouted.decision, "n={n}");
+            assert!(rerouted.stats.total_bits <= 4 * plain.stats.total_bits, "n={n}");
+            assert_eq!(rerouted.stats.link_bits(n - 1), 0, "n={n}: data on the cut");
+            assert!(
+                ringleader::sim::validate_token_discipline(rerouted.trace.as_ref().unwrap()),
+                "n={n}"
+            );
+        }
+    }
+}
+
+/// Theorem 4 pipeline: the info-state census over exhaustive small rings
+/// honors the cut-and-splice bound for every counter protocol.
+#[test]
+fn theorem4_census_bounds() {
+    use ringleader::core::infostate::exhaustive_words;
+    use ringleader::core::analyze_info_states;
+
+    let tri = Alphabet::from_chars("012").unwrap();
+    let mut words = Vec::new();
+    for len in 1..=5usize {
+        words.extend(exhaustive_words(&tri, len));
+    }
+    let report = analyze_info_states(&ThreeCounters::new(), &words).unwrap();
+    assert!(report.max_multiplicity_on_shortest_witness <= 2, "{report:?}");
+    // The census must show far more states than any constant-size message
+    // vocabulary could name (the Ω(log n) force behind Theorem 4).
+    assert!(report.distinct_states > 150, "{report:?}");
+    assert!(report.bits_to_distinguish >= 8, "{report:?}");
+
+    let ab = Alphabet::from_chars("abc").unwrap();
+    let mut words = Vec::new();
+    for len in 1..=4usize {
+        words.extend(exhaustive_words(&ab, len));
+    }
+    let report = analyze_info_states(&WcWPrefixForward::new(), &words).unwrap();
+    assert!(report.max_multiplicity_on_shortest_witness <= 2, "{report:?}");
+}
+
+/// The Note 7.5 protocols and the Note 7.3 recognizer compose with the
+/// Theorem 5 adapter — constructions stack.
+#[test]
+fn constructions_compose() {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Cut-link adapter over the one-pass parity protocol.
+    let inner = OnePassParity::new(2);
+    let adapted = CutLinkAdapter::new(inner.clone());
+    let lang = inner.language().clone();
+    for n in [2usize, 9, 33] {
+        for want in [true, false] {
+            let word = if want {
+                lang.positive_example(n, &mut rng)
+            } else {
+                lang.negative_example(n, &mut rng)
+            };
+            let Some(word) = word else { continue };
+            let a = RingRunner::new().run(&inner, &word).unwrap().accepted();
+            let b = RingRunner::new().run(&adapted, &word).unwrap().accepted();
+            assert_eq!(a, want);
+            assert_eq!(b, want);
+        }
+    }
+
+    // Cut-link adapter over the L_g recognizer (multi-phase protocol).
+    let lg = LgLanguage::new(GrowthFunction::NSqrtN);
+    let inner = LgRecognizer::new(&lg);
+    let adapted = CutLinkAdapter::new(inner.clone());
+    for n in [16usize, 64] {
+        let word = lg.positive_example(n, &mut rng).unwrap();
+        let a = RingRunner::new().run(&inner, &word).unwrap();
+        let b = RingRunner::new().run(&adapted, &word).unwrap();
+        assert_eq!(a.decision, b.decision);
+        assert!(b.stats.total_bits <= 4 * a.stats.total_bits);
+    }
+}
