@@ -97,12 +97,7 @@ pub fn fit_series(points: &[(usize, f64)]) -> FitResult {
         }
     }
     let (best_model, constant, dispersion) = best.expect("at least one model evaluated");
-    FitResult {
-        best_model,
-        constant,
-        dispersion,
-        log_log_slope: log_log_slope(points),
-    }
+    FitResult { best_model, constant, dispersion, log_log_slope: log_log_slope(points) }
 }
 
 /// Least-squares slope of `ln(bits)` on `ln(n)`.

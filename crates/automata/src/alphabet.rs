@@ -291,10 +291,7 @@ mod tests {
             assert_eq!(w.render(&sigma), text);
             assert_eq!(w.len(), text.len());
         }
-        assert!(matches!(
-            Word::from_str("abc", &sigma),
-            Err(AutomataError::UnknownSymbol('c'))
-        ));
+        assert!(matches!(Word::from_str("abc", &sigma), Err(AutomataError::UnknownSymbol('c'))));
     }
 
     #[test]

@@ -260,13 +260,12 @@ impl Dfa {
         }
         let mut transitions = Vec::with_capacity(next as usize);
         let mut accepting = Vec::with_capacity(next as usize);
-        for q in 0..self.state_count() {
-            if !reachable[q] {
+        for (q, &r) in reachable.iter().enumerate() {
+            if !r {
                 continue;
             }
-            transitions.push(
-                self.transitions[q].iter().map(|t| StateId(remap[t.index()])).collect(),
-            );
+            transitions
+                .push(self.transitions[q].iter().map(|t| StateId(remap[t.index()])).collect());
             accepting.push(self.accepting[q]);
         }
         Dfa {
@@ -435,13 +434,9 @@ impl DfaBuilder {
         if self.transitions.is_empty() {
             return Err(AutomataError::MalformedDfa("no states".into()));
         }
-        let start = self
-            .start
-            .ok_or_else(|| AutomataError::MalformedDfa("no start state".into()))?;
-        let missing = self
-            .transitions
-            .iter()
-            .any(|row| row.iter().any(Option::is_none));
+        let start =
+            self.start.ok_or_else(|| AutomataError::MalformedDfa("no start state".into()))?;
+        let missing = self.transitions.iter().any(|row| row.iter().any(Option::is_none));
         let sink = if missing {
             if !self.sink_missing {
                 return Err(AutomataError::MalformedDfa(
@@ -464,12 +459,7 @@ impl DfaBuilder {
                     .collect()
             })
             .collect();
-        Ok(Dfa {
-            alphabet: self.alphabet,
-            transitions,
-            accepting: self.accepting,
-            start,
-        })
+        Ok(Dfa { alphabet: self.alphabet, transitions, accepting: self.accepting, start })
     }
 }
 
@@ -479,22 +469,26 @@ mod tests {
 
     fn even_a() -> Dfa {
         let sigma = Alphabet::from_chars("ab").unwrap();
-        Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 0, |q, s| {
-            if sigma.char_of(s) == 'a' {
-                1 - q
-            } else {
-                q
-            }
-        })
+        Dfa::from_fn(
+            sigma.clone(),
+            2,
+            0,
+            |q| q == 0,
+            |q, s| {
+                if sigma.char_of(s) == 'a' {
+                    1 - q
+                } else {
+                    q
+                }
+            },
+        )
         .unwrap()
     }
 
     fn ends_in_b() -> Dfa {
         let sigma = Alphabet::from_chars("ab").unwrap();
-        Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 1, |_, s| {
-            usize::from(sigma.char_of(s) == 'b')
-        })
-        .unwrap()
+        Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 1, |_, s| usize::from(sigma.char_of(s) == 'b'))
+            .unwrap()
     }
 
     fn w(text: &str) -> Word {
@@ -537,8 +531,8 @@ mod tests {
     #[test]
     fn alphabet_mismatch_detected() {
         let d = even_a();
-        let other = Dfa::from_fn(Alphabet::from_chars("xy").unwrap(), 1, 0, |_| true, |q, _| q)
-            .unwrap();
+        let other =
+            Dfa::from_fn(Alphabet::from_chars("xy").unwrap(), 1, 0, |_| true, |q, _| q).unwrap();
         assert!(matches!(d.intersect(&other), Err(AutomataError::AlphabetMismatch)));
     }
 
@@ -546,8 +540,7 @@ mod tests {
     fn trim_drops_unreachable() {
         let sigma = Alphabet::from_chars("a").unwrap();
         // State 1 is unreachable.
-        let d = Dfa::from_fn(sigma, 3, 0, |q| q == 2, |q, _| if q == 0 { 2 } else { q })
-            .unwrap();
+        let d = Dfa::from_fn(sigma, 3, 0, |q| q == 2, |q, _| if q == 0 { 2 } else { q }).unwrap();
         let t = d.trimmed();
         assert_eq!(t.state_count(), 2);
         assert!(t.accepts(&Word::from_str("a", t.alphabet()).unwrap()));

@@ -134,11 +134,8 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     let mut new_accepting = Vec::with_capacity(m);
     for &b in &order {
         let repr = blocks[b as usize][0] as usize;
-        new_transitions.push(
-            (0..k)
-                .map(|s| StateId(pos[&block_of[transitions[repr][s].index()]]))
-                .collect(),
-        );
+        new_transitions
+            .push((0..k).map(|s| StateId(pos[&block_of[transitions[repr][s].index()]])).collect());
         new_accepting.push(accepting[repr]);
     }
     Dfa::from_parts(alphabet.clone(), new_transitions, new_accepting, StateId(0))
@@ -155,13 +152,19 @@ mod tests {
     #[test]
     fn already_minimal_is_fixed_point() {
         let sigma = Alphabet::from_chars("ab").unwrap();
-        let even_a = Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 0, |q, s| {
-            if sigma.char_of(s) == 'a' {
-                1 - q
-            } else {
-                q
-            }
-        })
+        let even_a = Dfa::from_fn(
+            sigma.clone(),
+            2,
+            0,
+            |q| q == 0,
+            |q, s| {
+                if sigma.char_of(s) == 'a' {
+                    1 - q
+                } else {
+                    q
+                }
+            },
+        )
         .unwrap();
         let m = even_a.minimized();
         assert_eq!(m.state_count(), 2);
@@ -213,9 +216,8 @@ mod tests {
             // Exhaustive check up to length 8.
             for len in 0..=8usize {
                 for idx in 0..(1usize << len) {
-                    let text: String = (0..len)
-                        .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
-                        .collect();
+                    let text: String =
+                        (0..len).map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' }).collect();
                     let word = w(&text, &sigma);
                     assert_eq!(d.accepts(&word), m.accepts(&word), "{pattern} on {text:?}");
                 }
@@ -224,7 +226,7 @@ mod tests {
     }
 
     #[test]
-    fn classic_counterexample_five_states_to_three(){
+    fn classic_counterexample_five_states_to_three() {
         // Textbook example: states {0..4}, accepting {4}, over {a,b};
         // states 1 and 2 are equivalent, 3 and 4 differ.
         let sigma = Alphabet::from_chars("ab").unwrap();

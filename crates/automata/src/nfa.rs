@@ -250,9 +250,8 @@ mod tests {
         let d = n.determinize();
         for len in 0..=10usize {
             for idx in 0..(1usize << len) {
-                let text: String = (0..len)
-                    .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
-                    .collect();
+                let text: String =
+                    (0..len).map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' }).collect();
                 let word = w(&text);
                 assert_eq!(n.accepts(&word), d.accepts(&word), "{text:?}");
             }

@@ -56,11 +56,7 @@ impl Regex {
     /// first problem, or [`AutomataError::UnknownSymbol`] if a literal is
     /// not in the alphabet.
     pub fn parse(pattern: &str, alphabet: &Alphabet) -> Result<Self, AutomataError> {
-        let mut p = Parser {
-            chars: pattern.char_indices().collect(),
-            pos: 0,
-            alphabet,
-        };
+        let mut p = Parser { chars: pattern.char_indices().collect(), pos: 0, alphabet };
         let ast = p.alternation()?;
         if p.pos < p.chars.len() {
             return Err(AutomataError::RegexParse {
@@ -68,11 +64,7 @@ impl Regex {
                 message: format!("unexpected {:?}", p.chars[p.pos].1),
             });
         }
-        Ok(Self {
-            alphabet: alphabet.clone(),
-            ast,
-            pattern: pattern.to_owned(),
-        })
+        Ok(Self { alphabet: alphabet.clone(), ast, pattern: pattern.to_owned() })
     }
 
     /// The original pattern text.
@@ -379,10 +371,7 @@ mod tests {
         assert!(Regex::parse("[", &sigma).is_err());
         assert!(Regex::parse("[]", &sigma).is_err());
         assert!(Regex::parse("a\\", &sigma).is_err());
-        assert!(matches!(
-            Regex::parse("ax", &sigma),
-            Err(AutomataError::UnknownSymbol('x'))
-        ));
+        assert!(matches!(Regex::parse("ax", &sigma), Err(AutomataError::UnknownSymbol('x'))));
     }
 
     #[test]

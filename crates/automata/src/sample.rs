@@ -47,11 +47,7 @@ impl WordSampler {
     pub fn new(dfa: &Dfa, max_len: usize) -> Self {
         let n = dfa.state_count();
         let mut counts: Vec<Vec<u128>> = Vec::with_capacity(max_len + 1);
-        counts.push(
-            (0..n)
-                .map(|q| u128::from(dfa.is_accepting(StateId(q as u32))))
-                .collect(),
-        );
+        counts.push((0..n).map(|q| u128::from(dfa.is_accepting(StateId(q as u32)))).collect());
         for len in 1..=max_len {
             let prev = &counts[len - 1];
             let row: Vec<u128> = (0..n)
@@ -137,7 +133,13 @@ impl WordSampler {
         out
     }
 
-    fn enumerate_rec(&self, state: StateId, remaining: usize, prefix: &mut Word, out: &mut Vec<Word>) {
+    fn enumerate_rec(
+        &self,
+        state: StateId,
+        remaining: usize,
+        prefix: &mut Word,
+        out: &mut Vec<Word>,
+    ) {
         if remaining == 0 {
             if self.dfa.is_accepting(state) {
                 out.push(prefix.clone());
@@ -198,9 +200,8 @@ mod tests {
             for len in 0..=10usize {
                 let brute = (0..(1usize << len))
                     .filter(|idx| {
-                        let text: String = (0..len)
-                            .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
-                            .collect();
+                        let text: String =
+                            (0..len).map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' }).collect();
                         dfa.accepts(&Word::from_str(&text, &sigma).unwrap())
                     })
                     .count() as u128;

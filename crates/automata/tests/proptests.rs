@@ -20,10 +20,8 @@ fn random_dfa() -> impl Strategy<Value = Dfa> {
         )
             .prop_map(|(n, targets, accepting, start)| {
                 let sigma = Alphabet::from_chars("ab").unwrap();
-                Dfa::from_fn(sigma, n, start, |q| accepting[q], |q, s| {
-                    targets[q * 2 + s.index()]
-                })
-                .expect("targets are in range by construction")
+                Dfa::from_fn(sigma, n, start, |q| accepting[q], |q, s| targets[q * 2 + s.index()])
+                    .expect("targets are in range by construction")
             })
     })
 }

@@ -126,11 +126,8 @@ fn enumerate_agrees_with_brute_force() {
     let dfa = Regex::parse("a.*c", &sigma).unwrap().compile();
     let sampler = WordSampler::new(&dfa, 6);
     for len in 0..=6usize {
-        let enumerated: std::collections::HashSet<String> = sampler
-            .enumerate(len)
-            .into_iter()
-            .map(|w| w.render(&sigma))
-            .collect();
+        let enumerated: std::collections::HashSet<String> =
+            sampler.enumerate(len).into_iter().map(|w| w.render(&sigma)).collect();
         let brute: std::collections::HashSet<String> = all_words(len)
             .into_iter()
             .filter(|w| dfa.accepts(w))

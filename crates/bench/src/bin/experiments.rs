@@ -81,9 +81,11 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("summary: {}/{} experiments reproduced",
+    println!(
+        "summary: {}/{} experiments reproduced",
         results.iter().filter(|r| r.verdict == Verdict::Reproduced).count(),
-        results.len());
+        results.len()
+    );
 
     if let Some(path) = json_path {
         let payload: Vec<serde_json::Value> = results
@@ -92,11 +94,9 @@ fn main() -> ExitCode {
             .collect();
         match std::fs::File::create(&path) {
             Ok(mut f) => {
-                if let Err(e) = writeln!(
-                    f,
-                    "{}",
-                    serde_json::to_string_pretty(&payload).expect("valid JSON")
-                ) {
+                if let Err(e) =
+                    writeln!(f, "{}", serde_json::to_string_pretty(&payload).expect("valid JSON"))
+                {
                     eprintln!("failed writing {path}: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -1,7 +1,7 @@
 //! A1 and A2: ablations of design choices DESIGN.md calls out.
 
 use ringleader_analysis::{ExperimentResult, Verdict};
-use ringleader_core::{CounterEncoding, CountRingSize, StatelessTwoPass, TwoPassParity};
+use ringleader_core::{CountRingSize, CounterEncoding, StatelessTwoPass, TwoPassParity};
 use ringleader_langs::Language;
 use ringleader_sim::RingRunner;
 
@@ -76,7 +76,8 @@ pub fn a1_encoding_ablation() -> ExperimentResult {
             class.into(),
         ]);
     }
-    result.push_note("growth ratios for a 4× size step: ~4 = linear, ~5 = n log n, ~16 = quadratic");
+    result
+        .push_note("growth ratios for a 4× size step: ~4 = linear, ~5 = n log n, ~16 = quadratic");
     result.set_verdict(if all_good {
         Verdict::Reproduced
     } else {

@@ -1,8 +1,6 @@
 //! E8: the `L_g` bit-complexity hierarchy is dense (Note 7.3).
 
-use ringleader_analysis::{
-    log_log_slope, sweep_protocol, ExperimentResult, SweepConfig, Verdict,
-};
+use ringleader_analysis::{log_log_slope, sweep_protocol, ExperimentResult, SweepConfig, Verdict};
 use ringleader_core::LgRecognizer;
 use ringleader_langs::{GrowthFunction, Language, LgLanguage};
 
@@ -19,13 +17,7 @@ pub fn e8_hierarchy() -> ExperimentResult {
         "E8",
         "The L_g hierarchy: Θ(g(n)) for every g in the band",
         "Note 7.3: for every g, Ω(n log n) ≤ g ≤ O(n²), L_g requires Θ(g(n)) bits",
-        vec![
-            "g".into(),
-            "n".into(),
-            "bits".into(),
-            "g(n)".into(),
-            "bits/g(n)".into(),
-        ],
+        vec!["g".into(), "n".into(), "bits".into(), "g(n)".into(), "bits/g(n)".into()],
     );
     let growths = [
         GrowthFunction::NLogN,
@@ -66,10 +58,7 @@ pub fn e8_hierarchy() -> ExperimentResult {
         let min = ratios.iter().copied().fold(f64::MAX, f64::min);
         if max / min > 4.0 {
             all_good = false;
-            result.push_note(format!(
-                "{}: ratio band too wide ({min:.3}..{max:.3})",
-                g.label()
-            ));
+            result.push_note(format!("{}: ratio band too wide ({min:.3}..{max:.3})", g.label()));
         }
         let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
         slopes.push((g, log_log_slope(&series)));
@@ -82,11 +71,7 @@ pub fn e8_hierarchy() -> ExperimentResult {
     }
     result.push_note(format!(
         "log-log slopes across the band: {}",
-        slopes
-            .iter()
-            .map(|(g, s)| format!("{}→{s:.2}", g.label()))
-            .collect::<Vec<_>>()
-            .join(", ")
+        slopes.iter().map(|(g, s)| format!("{}→{s:.2}", g.label())).collect::<Vec<_>>().join(", ")
     ));
     result.set_verdict(if all_good {
         Verdict::Reproduced

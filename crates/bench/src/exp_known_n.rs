@@ -44,8 +44,8 @@ pub fn e9_known_n() -> ExperimentResult {
     let unary = lang.alphabet().clone();
     for k in [6u32, 8, 10] {
         let n = 1usize << k;
-        let word = ringleader_automata::Word::from_str(&"a".repeat(n), &unary)
-            .expect("unary words parse");
+        let word =
+            ringleader_automata::Word::from_str(&"a".repeat(n), &unary).expect("unary words parse");
         let known_bits = {
             let mut runner = RingRunner::new();
             runner.known_ring_size(true);
@@ -82,7 +82,9 @@ pub fn e9_known_n() -> ExperimentResult {
             format!("{:.2}", unknown_bits as f64 / known_bits as f64),
         ]);
     }
-    result.push_note("known-n bits are exactly n — a non-regular language below the Ω(n log n) barrier");
+    result.push_note(
+        "known-n bits are exactly n — a non-regular language below the Ω(n log n) barrier",
+    );
 
     // Part 2: fully-periodic L_g, known vs unknown n.
     for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN] {
@@ -116,7 +118,9 @@ pub fn e9_known_n() -> ExperimentResult {
             }
         }
     }
-    result.push_note("known-n drops the counting pass: every gap factor > 1, largest at the n log n tier");
+    result.push_note(
+        "known-n drops the counting pass: every gap factor > 1, largest at the n log n tier",
+    );
 
     result.set_verdict(if all_good {
         Verdict::Reproduced

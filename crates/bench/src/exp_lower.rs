@@ -67,8 +67,7 @@ pub fn e3_info_states() -> ExperimentResult {
     let unary = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
     let words: Vec<ringleader_automata::Word> = (1..=64)
         .map(|n| {
-            ringleader_automata::Word::from_str(&"a".repeat(n), &unary)
-                .expect("unary words parse")
+            ringleader_automata::Word::from_str(&"a".repeat(n), &unary).expect("unary words parse")
         })
         .collect();
     match analyze_info_states(&count, &words) {
@@ -146,16 +145,15 @@ pub fn e7_three_counters() -> ExperimentResult {
     let collect = CollectAll::new(Arc::new(AnBnCn::new()));
     let sizes = vec![6usize, 12, 24, 48, 96, 192, 384, 768, 1536];
     let config = SweepConfig::with_sizes(sizes);
-    let (counter_points, collect_points) = match (
-        sweep_protocol(&counters, &lang, &config),
-        sweep_protocol(&collect, &lang, &config),
-    ) {
-        (Ok(a), Ok(b)) => (a, b),
-        _ => {
-            result.set_verdict(Verdict::Failed("simulation error".into()));
-            return result;
-        }
-    };
+    let (counter_points, collect_points) =
+        match (sweep_protocol(&counters, &lang, &config), sweep_protocol(&collect, &lang, &config))
+        {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => {
+                result.set_verdict(Verdict::Failed("simulation error".into()));
+                return result;
+            }
+        };
 
     let mut crossover: Option<usize> = None;
     for (cp, bp) in counter_points.iter().zip(&collect_points) {
@@ -174,8 +172,7 @@ pub fn e7_three_counters() -> ExperimentResult {
         ]);
     }
 
-    let series: Vec<(usize, f64)> =
-        counter_points.iter().map(|p| (p.n, p.bits as f64)).collect();
+    let series: Vec<(usize, f64)> = counter_points.iter().map(|p| (p.n, p.bits as f64)).collect();
     let fit = fit_series(&series);
     result.push_note(format!(
         "fit: {} (c={:.2}, dispersion={:.3}, log-log slope {:.3})",

@@ -93,7 +93,9 @@ pub fn e12_model_validity() -> ExperimentResult {
         let threaded = ThreadedRunner::new().run(proto.as_ref(), word);
         let threads_agree = match threaded {
             Ok(t) => {
-                !bits.is_empty() && t.total_bits == bits[0] && Some(t.decision) == decisions.first().copied()
+                !bits.is_empty()
+                    && t.total_bits == bits[0]
+                    && Some(t.decision) == decisions.first().copied()
             }
             Err(e) => {
                 result.push_note(format!("{name} threaded: {e}"));

@@ -23,12 +23,7 @@ pub fn e6_wcw() -> ExperimentResult {
         "E6",
         "wcw costs Θ(n²)",
         "Note 7.1: every algorithm recognizing {wcw} satisfies BIT_A(n) = Ω(n²)",
-        vec![
-            "n".into(),
-            "bits".into(),
-            "bits/n²".into(),
-            "max msg bits".into(),
-        ],
+        vec!["n".into(), "bits".into(), "bits/n²".into(), "max msg bits".into()],
     );
     let lang = WcW::new();
     let proto = WcWPrefixForward::new();

@@ -99,33 +99,26 @@ pub fn e5_bidirectional() -> ExperimentResult {
         let bidir = BidirMeetInMiddle::new(&lang);
         let unidir = DfaOnePass::new(&lang);
         let config = SweepConfig::with_sizes(standard_sizes());
-        let (bi_points, uni_points) = match (
-            sweep_protocol(&bidir, &lang, &config),
-            sweep_protocol(&unidir, &lang, &config),
-        ) {
-            (Ok(b), Ok(u)) => (b, u),
-            _ => {
-                result.push_note(format!("{}: simulation error", lang.name()));
-                all_good = false;
-                continue;
-            }
-        };
+        let (bi_points, uni_points) =
+            match (sweep_protocol(&bidir, &lang, &config), sweep_protocol(&unidir, &lang, &config))
+            {
+                (Ok(b), Ok(u)) => (b, u),
+                _ => {
+                    result.push_note(format!("{}: simulation error", lang.name()));
+                    all_good = false;
+                    continue;
+                }
+            };
         let last = bi_points.last().expect("non-empty sweep");
         let uni_last = uni_points.last().expect("non-empty sweep");
-        let ratio = if uni_last.bits > 0 {
-            last.bits as f64 / uni_last.bits as f64
-        } else {
-            f64::NAN
-        };
+        let ratio =
+            if uni_last.bits > 0 { last.bits as f64 / uni_last.bits as f64 } else { f64::NAN };
         // Message sizes bounded by a constant (|Q|-dependent, n-independent).
         if last.max_message_bits > bidir.message_bits_bound() {
             all_good = false;
         }
-        let series: Vec<(usize, f64)> = bi_points
-            .iter()
-            .filter(|p| p.bits > 0)
-            .map(|p| (p.n, p.bits as f64))
-            .collect();
+        let series: Vec<(usize, f64)> =
+            bi_points.iter().filter(|p| p.bits > 0).map(|p| (p.n, p.bits as f64)).collect();
         let fit_label = if series.len() >= 3 {
             let fit = fit_series(&series);
             if fit.best_model != GrowthModel::Linear {
@@ -151,9 +144,8 @@ pub fn e5_bidirectional() -> ExperimentResult {
     let lang = &regular_corpus()[2]; // (a|b)*abb
     let bidir = BidirMeetInMiddle::new(lang);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6);
-    if let Some(word) = lang
-        .positive_example(256, &mut rng)
-        .or_else(|| lang.negative_example(256, &mut rng))
+    if let Some(word) =
+        lang.positive_example(256, &mut rng).or_else(|| lang.negative_example(256, &mut rng))
     {
         match ringleader_analysis::bits_across_schedules(&bidir, &word, 6) {
             Ok(bits) => {

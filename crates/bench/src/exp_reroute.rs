@@ -55,10 +55,7 @@ pub fn e4_cut_link() -> ExperimentResult {
         if cut_bits != 0 {
             all_good = false;
         }
-        let token = rerouted
-            .trace
-            .as_ref()
-            .is_some_and(validate_token_discipline);
+        let token = rerouted.trace.as_ref().is_some_and(validate_token_discipline);
         if !token {
             all_good = false;
         }
@@ -85,8 +82,8 @@ pub fn e4_cut_link() -> ExperimentResult {
 
     let unary = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
     for n in [16usize, 64, 256] {
-        let word = ringleader_automata::Word::from_str(&"a".repeat(n), &unary)
-            .expect("unary words parse");
+        let word =
+            ringleader_automata::Word::from_str(&"a".repeat(n), &unary).expect("unary words parse");
         let inner = CountRingSize::probe();
         let adapted = CutLinkAdapter::new(inner.clone());
         run_case("count-ring-size", &inner, &adapted, &word, &mut result);

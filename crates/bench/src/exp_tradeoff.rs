@@ -32,9 +32,7 @@ pub fn e10_tradeoff() -> ExperimentResult {
         let two = TwoPassParity::new(k);
         let one = OnePassParity::new(k);
         let lang = two.language().clone();
-        let word = lang
-            .positive_example(n, &mut rng)
-            .expect("positives exist at every length");
+        let word = lang.positive_example(n, &mut rng).expect("positives exist at every length");
         let b2 = match RingRunner::new().run(&two, &word) {
             Ok(o) => {
                 if !o.accepted() {

@@ -1,0 +1,64 @@
+//! End-to-end guard for the `experiments` binary: the machine-readable
+//! pipeline behind EXPERIMENTS.md. Complements `json_pipeline.rs` (which
+//! exercises the library API) by going through the real CLI surface:
+//! argument parsing, table rendering, the `--json` dump, and exit codes.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = experiments().arg("--list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    for id in ["e1", "e7", "e12", "a1", "a2"] {
+        assert!(
+            text.lines().any(|l| l.split_whitespace().next() == Some(id)),
+            "--list is missing {id}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn unknown_id_fails_cleanly() {
+    let out = experiments().arg("nope").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment id"), "stderr: {err}");
+}
+
+#[test]
+fn json_dump_is_valid_and_complete() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ringleader_experiments_{}.json", std::process::id()));
+    let out = experiments().args(["e10", "a2", "--json"]).arg(&path).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "experiments e10 a2 failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("summary: 2/2 experiments reproduced"), "stdout: {stdout}");
+
+    let raw = std::fs::read_to_string(&path).expect("JSON file written");
+    let _ = std::fs::remove_file(&path);
+    let payload: Vec<serde_json::Value> = serde_json::from_str(&raw).expect("valid JSON");
+    assert_eq!(payload.len(), 2);
+    for entry in &payload {
+        // Every record carries the fields EXPERIMENTS.md quotes.
+        for field in ["id", "title", "paper_claim", "verdict", "rows"] {
+            assert!(
+                entry.map_get(field).is_some(),
+                "experiment record is missing {field:?}: {entry:?}"
+            );
+        }
+        assert_eq!(
+            entry.map_get("verdict").and_then(|v| v.as_str()),
+            Some("Reproduced"),
+            "experiment not reproduced: {entry:?}"
+        );
+    }
+}

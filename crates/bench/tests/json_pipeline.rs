@@ -2,7 +2,7 @@
 //! and carry everything EXPERIMENTS.md quotes.
 
 use ringleader_analysis::{ExperimentResult, Verdict};
-use ringleader_bench::{run_by_id, e10_tradeoff};
+use ringleader_bench::{e10_tradeoff, run_by_id};
 
 #[test]
 fn fast_experiments_roundtrip_through_json() {

@@ -52,10 +52,7 @@ impl BitString {
     /// Creates an empty bit string with capacity for `bits` bits.
     #[must_use]
     pub fn with_capacity(bits: usize) -> Self {
-        Self {
-            bytes: Vec::with_capacity(bits.div_ceil(8)),
-            len: 0,
-        }
+        Self { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
     }
 
     /// Builds a bit string from an iterator of bools, first bit first.

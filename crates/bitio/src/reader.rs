@@ -60,10 +60,8 @@ impl<'a> BitReader<'a> {
     ///
     /// Returns [`DecodeError::UnexpectedEnd`] at the end of the string.
     pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
-        let bit = self.src.get(self.pos).ok_or(DecodeError::UnexpectedEnd {
-            at: self.pos,
-            needed: 1,
-        })?;
+        let bit =
+            self.src.get(self.pos).ok_or(DecodeError::UnexpectedEnd { at: self.pos, needed: 1 })?;
         self.pos += 1;
         Ok(bit)
     }

@@ -16,8 +16,8 @@ use crate::{BitReader, BitWriter, DecodeError};
 ///
 /// Panics if `chunk_bits` is 0 or greater than 32.
 pub fn write_varint(w: &mut BitWriter, mut value: u64, chunk_bits: u32) {
-    assert!(chunk_bits >= 1 && chunk_bits <= 32, "chunk_bits must be 1..=32");
-    let mask = if chunk_bits == 64 { u64::MAX } else { (1u64 << chunk_bits) - 1 };
+    assert!((1..=32).contains(&chunk_bits), "chunk_bits must be 1..=32");
+    let mask = (1u64 << chunk_bits) - 1;
     loop {
         let chunk = value & mask;
         value >>= chunk_bits;
@@ -41,7 +41,7 @@ pub fn write_varint(w: &mut BitWriter, mut value: u64, chunk_bits: u32) {
 ///
 /// Panics if `chunk_bits` is 0 or greater than 32.
 pub fn read_varint(r: &mut BitReader<'_>, chunk_bits: u32) -> Result<u64, DecodeError> {
-    assert!(chunk_bits >= 1 && chunk_bits <= 32, "chunk_bits must be 1..=32");
+    assert!((1..=32).contains(&chunk_bits), "chunk_bits must be 1..=32");
     let at = r.position();
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -69,7 +69,7 @@ pub fn read_varint(r: &mut BitReader<'_>, chunk_bits: u32) -> Result<u64, Decode
 /// Panics if `chunk_bits` is 0 or greater than 32.
 #[must_use]
 pub fn varint_len(value: u64, chunk_bits: u32) -> usize {
-    assert!(chunk_bits >= 1 && chunk_bits <= 32, "chunk_bits must be 1..=32");
+    assert!((1..=32).contains(&chunk_bits), "chunk_bits must be 1..=32");
     let mut groups = 1usize;
     let mut v = value >> chunk_bits;
     while v != 0 {

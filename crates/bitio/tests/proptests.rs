@@ -5,7 +5,7 @@
 //! concatenation.
 
 use proptest::prelude::*;
-use ringleader_bitio::{bits_for, codes, BitReader, BitString, BitWriter};
+use ringleader_bitio::{bits_for, codes, varint, BitReader, BitString, BitWriter};
 
 proptest! {
     #[test]
@@ -124,6 +124,43 @@ proptest! {
         prop_assert!(((count - 1) as u128) < (1u128 << width));
         // ...and one bit narrower is not.
         prop_assert!(((count - 1) as u128) >= (1u128 << (width - 1)));
+    }
+
+    #[test]
+    fn varint_roundtrip_and_len(v: u64, chunk_bits in 1u32..=32) {
+        let mut w = BitWriter::new();
+        varint::write_varint(&mut w, v, chunk_bits);
+        let s = w.finish();
+        prop_assert_eq!(s.len(), varint::varint_len(v, chunk_bits));
+        let mut r = BitReader::new(&s);
+        prop_assert_eq!(varint::read_varint(&mut r, chunk_bits).unwrap(), v);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn varint_sequences_self_delimit(
+        values in proptest::collection::vec(0u64..1_000_000_000, 0..24),
+        chunk_bits in 1u32..=16,
+    ) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            varint::write_varint(&mut w, v, chunk_bits);
+        }
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for &v in &values {
+            prop_assert_eq!(varint::read_varint(&mut r, chunk_bits).unwrap(), v);
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn varint_decoding_noise_never_panics(
+        bits in proptest::collection::vec(any::<bool>(), 0..128),
+        chunk_bits in 1u32..=8,
+    ) {
+        let s = BitString::from_bits(bits);
+        let _ = varint::read_varint(&mut BitReader::new(&s), chunk_bits);
     }
 
     #[test]

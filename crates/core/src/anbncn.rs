@@ -142,9 +142,7 @@ impl crate::graph::OnePassRule for ThreeCounters {
     }
 
     fn accept(&self, final_message: &BitString) -> bool {
-        Token::decode(final_message)
-            .expect("explorer feeds back our own encodings")
-            .accepts()
+        Token::decode(final_message).expect("explorer feeds back our own encodings").accepts()
     }
 }
 

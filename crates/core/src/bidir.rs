@@ -109,9 +109,7 @@ impl BidirMeetInMiddle {
     }
 
     fn initial_g(&self) -> Vec<bool> {
-        (0..self.dfa.state_count())
-            .map(|q| self.dfa.is_accepting(StateId(q as u32)))
-            .collect()
+        (0..self.dfa.state_count()).map(|q| self.dfa.is_accepting(StateId(q as u32))).collect()
     }
 
     fn decode(&self, msg: &BitString) -> Result<Payload, ProcessError> {
@@ -294,9 +292,8 @@ mod tests {
         let proto = BidirMeetInMiddle::new(&lang);
         for len in 1..=8usize {
             for idx in 0..(1usize << len) {
-                let text: String = (0..len)
-                    .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
-                    .collect();
+                let text: String =
+                    (0..len).map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' }).collect();
                 let w = Word::from_str(&text, &sigma).unwrap();
                 let outcome = RingRunner::new().run(&proto, &w).unwrap();
                 assert_eq!(outcome.accepted(), lang.contains(&w), "{text}");

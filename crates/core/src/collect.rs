@@ -157,7 +157,12 @@ mod tests {
                 };
                 let outcome = RingRunner::new().run(&proto, &w).unwrap();
                 assert_eq!(outcome.accepted(), want, "{} n={n}", lang.name());
-                assert_eq!(outcome.stats.total_bits, proto.predicted_bits(n), "{} n={n}", lang.name());
+                assert_eq!(
+                    outcome.stats.total_bits,
+                    proto.predicted_bits(n),
+                    "{} n={n}",
+                    lang.name()
+                );
             }
         }
     }

@@ -179,10 +179,7 @@ impl Protocol for CountRingSize {
     }
 
     fn leader(&self, _input: Symbol) -> Box<dyn Process> {
-        Box::new(LeaderProcess {
-            predicate: Arc::clone(&self.predicate),
-            encoding: self.encoding,
-        })
+        Box::new(LeaderProcess { predicate: Arc::clone(&self.predicate), encoding: self.encoding })
     }
 
     fn follower(&self, _input: Symbol) -> Box<dyn Process> {
@@ -319,10 +316,8 @@ mod tests {
         ] {
             for n in [1usize, 2, 7, 40] {
                 let expected = n;
-                let proto = CountRingSize::with_encoding(
-                    Arc::new(move |got| got == expected),
-                    encoding,
-                );
+                let proto =
+                    CountRingSize::with_encoding(Arc::new(move |got| got == expected), encoding);
                 let outcome = RingRunner::new().run(&proto, &unary(n)).unwrap();
                 assert!(outcome.accepted(), "{encoding:?} n={n}");
                 assert_eq!(

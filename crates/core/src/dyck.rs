@@ -110,9 +110,7 @@ impl crate::graph::OnePassRule for DyckCounter {
     }
 
     fn accept(&self, final_message: &BitString) -> bool {
-        Token::decode(final_message)
-            .expect("explorer feeds back our own encodings")
-            .accepts()
+        Token::decode(final_message).expect("explorer feeds back our own encodings").accepts()
     }
 
     fn accept_empty(&self) -> bool {
@@ -210,12 +208,7 @@ mod tests {
                     (0..len).map(|i| Symbol(((idx >> i) & 1) as u16)).collect();
                 let w = Word::from_symbols(symbols);
                 let outcome = RingRunner::new().run(&proto, &w).unwrap();
-                assert_eq!(
-                    outcome.accepted(),
-                    lang.contains(&w),
-                    "{}",
-                    w.render(&sigma)
-                );
+                assert_eq!(outcome.accepted(), lang.contains(&w), "{}", w.render(&sigma));
             }
         }
     }

@@ -137,7 +137,8 @@ impl MessageGraphExplorer {
             for &id in &current {
                 for s in alphabet.symbols() {
                     let m = rule.next(&messages[id - 1], s);
-                    let to = intern(&mut index, &mut messages, &mut transitions, k, m, &mut frontier);
+                    let to =
+                        intern(&mut index, &mut messages, &mut transitions, k, m, &mut frontier);
                     transitions[id].push(to);
                 }
             }
@@ -150,10 +151,9 @@ impl MessageGraphExplorer {
         let accepting: Vec<bool> = std::iter::once(rule.accept_empty())
             .chain(messages.iter().map(|m| rule.accept(m)))
             .collect();
-        let dfa = Dfa::from_fn(alphabet, count, 0, |q| accepting[q], |q, s| {
-            transitions[q][s.index()]
-        })
-        .expect("graph indices are dense and in range");
+        let dfa =
+            Dfa::from_fn(alphabet, count, 0, |q| accepting[q], |q, s| transitions[q][s.index()])
+                .expect("graph indices are dense and in range");
         GraphOutcome::Finite { dfa, distinct_messages: messages.len() }
     }
 }

@@ -151,11 +151,7 @@ impl Protocol for LgRecognizer {
     }
 
     fn leader(&self, input: Symbol) -> Box<dyn Process> {
-        Box::new(LeaderProcess {
-            language: self.language.clone(),
-            input,
-            phase2_started: false,
-        })
+        Box::new(LeaderProcess { language: self.language.clone(), input, phase2_started: false })
     }
 
     fn follower(&self, input: Symbol) -> Box<dyn Process> {
@@ -178,11 +174,7 @@ impl LeaderProcess {
             ctx.decide(false);
             return;
         }
-        let checked = if self.language.has_periodic_tail() {
-            n - m
-        } else {
-            (n / m - 1) * m
-        };
+        let checked = if self.language.has_periodic_tail() { n - m } else { (n / m - 1) * m };
         if checked == 0 {
             // The periodicity constraint is vacuous: every word is in.
             ctx.decide(true);
@@ -193,8 +185,7 @@ impl LeaderProcess {
             valid: true,
             m: m as u64,
             // limit = last constrained position + m = checked + m.
-            pos_limit: (!self.language.has_periodic_tail())
-                .then(|| (0, (checked + m) as u64)),
+            pos_limit: (!self.language.has_periodic_tail()).then(|| (0, (checked + m) as u64)),
             window: Vec::new(),
         }
         .absorb(self.input.index() == 1);
@@ -302,9 +293,8 @@ mod tests {
                 let proto = LgRecognizer::new(&lang);
                 for len in 1..=10usize {
                     for idx in 0..(1usize << len) {
-                        let text: String = (0..len)
-                            .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
-                            .collect();
+                        let text: String =
+                            (0..len).map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' }).collect();
                         let w = Word::from_str(&text, &sigma).unwrap();
                         let outcome = RingRunner::new().run(&proto, &w).unwrap();
                         assert_eq!(

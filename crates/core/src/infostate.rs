@@ -136,9 +136,8 @@ mod tests {
         // a single n-ring contributes n distinct states.
         let proto = CountRingSize::probe();
         let sigma = Alphabet::from_chars("a").unwrap();
-        let words: Vec<Word> = (1..=8)
-            .map(|n| Word::from_str(&"a".repeat(n), &sigma).unwrap())
-            .collect();
+        let words: Vec<Word> =
+            (1..=8).map(|n| Word::from_str(&"a".repeat(n), &sigma).unwrap()).collect();
         let report = analyze_info_states(&proto, &words).unwrap();
         // States: leader(n) distinct per n + followers with distinct counters.
         assert!(report.distinct_states >= 8 + 7, "{report:?}");

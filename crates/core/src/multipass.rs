@@ -85,11 +85,21 @@ impl Protocol for TwoPassParity {
     }
 
     fn leader(&self, input: Symbol) -> Box<dyn Process> {
-        Box::new(TwoPassLeader { k: self.k, modulus: self.language.modulus() as u64, input, pass: 0 })
+        Box::new(TwoPassLeader {
+            k: self.k,
+            modulus: self.language.modulus() as u64,
+            input,
+            pass: 0,
+        })
     }
 
     fn follower(&self, input: Symbol) -> Box<dyn Process> {
-        Box::new(TwoPassFollower { k: self.k, modulus: self.language.modulus() as u64, input, seen: 0 })
+        Box::new(TwoPassFollower {
+            k: self.k,
+            modulus: self.language.modulus() as u64,
+            input,
+            seen: 0,
+        })
     }
 }
 
@@ -203,19 +213,10 @@ impl OnePassParity {
 }
 
 /// Shared token logic: `count` mod M plus one parity bit per candidate.
-fn one_pass_absorb(
-    k: u32,
-    modulus: u64,
-    count: u64,
-    parities: u64,
-    letter: Symbol,
-) -> (u64, u64) {
+fn one_pass_absorb(k: u32, modulus: u64, count: u64, parities: u64, letter: Symbol) -> (u64, u64) {
     let count = (count + 1) % modulus;
-    let parities = if (letter.index() as u64) < modulus {
-        parities ^ (1 << letter.index())
-    } else {
-        parities
-    };
+    let parities =
+        if (letter.index() as u64) < modulus { parities ^ (1 << letter.index()) } else { parities };
     let _ = k;
     (count, parities)
 }
@@ -236,9 +237,8 @@ impl crate::graph::OnePassRule for OnePassParity {
     fn next(&self, incoming: &BitString, letter: Symbol) -> BitString {
         let mut r = BitReader::new(incoming);
         let count = r.read_bits(self.k).expect("explorer feeds back our own encodings");
-        let parities = r
-            .read_bits(self.modulus() as u32)
-            .expect("explorer feeds back our own encodings");
+        let parities =
+            r.read_bits(self.modulus() as u32).expect("explorer feeds back our own encodings");
         let (count, parities) = one_pass_absorb(self.k, self.modulus(), count, parities, letter);
         let mut w = BitWriter::new();
         w.write_bits(count, self.k);
@@ -249,9 +249,8 @@ impl crate::graph::OnePassRule for OnePassParity {
     fn accept(&self, final_message: &BitString) -> bool {
         let mut r = BitReader::new(final_message);
         let count = r.read_bits(self.k).expect("explorer feeds back our own encodings");
-        let parities = r
-            .read_bits(self.modulus() as u32)
-            .expect("explorer feeds back our own encodings");
+        let parities =
+            r.read_bits(self.modulus() as u32).expect("explorer feeds back our own encodings");
         (parities >> count) & 1 == 0
     }
 
@@ -401,9 +400,8 @@ mod tests {
             let one = OnePassParity::new(k);
             let lang = two.language().clone();
             for n in [1usize, 5, 32, 100] {
-                let w = lang
-                    .positive_example(n, &mut rng)
-                    .expect("positives exist at every length");
+                let w =
+                    lang.positive_example(n, &mut rng).expect("positives exist at every length");
                 let o2 = RingRunner::new().run(&two, &w).unwrap();
                 assert_eq!(o2.stats.total_bits, (2 * k as usize + 1) * n, "two-pass k={k} n={n}");
                 assert_eq!(o2.stats.message_count, 2 * n);
@@ -426,7 +424,7 @@ mod tests {
             let two_bits = 2 * k + 1;
             let one_bits = k + (1 << k) - 1;
             match k {
-                1 => assert!(two_bits > one_bits), // 3 vs 2
+                1 => assert!(two_bits > one_bits),   // 3 vs 2
                 2 => assert_eq!(two_bits, one_bits), // 5 vs 5
                 _ => assert!(two_bits < one_bits, "k={k}"),
             }

@@ -208,9 +208,8 @@ mod tests {
         let proto = DfaOnePass::new(&lang);
         for len in 1..=9usize {
             for idx in 0..(1usize << len) {
-                let text: String = (0..len)
-                    .map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' })
-                    .collect();
+                let text: String =
+                    (0..len).map(|i| if (idx >> i) & 1 == 0 { 'a' } else { 'b' }).collect();
                 let w = Word::from_str(&text, &sigma).unwrap();
                 let outcome = RingRunner::new().run(&proto, &w).unwrap();
                 assert_eq!(outcome.accepted(), lang.contains(&w), "{text}");

@@ -195,12 +195,7 @@ struct AdapterFollower {
 }
 
 impl AdapterFollower {
-    fn handle(
-        &mut self,
-        dir: Direction,
-        msg: &BitString,
-        ctx: &mut Context,
-    ) -> ProcessResult {
+    fn handle(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
         let (rerouted, payload) = untag(msg)?;
         match self.role {
             Role::Pending => Err(ProcessError::InvalidState("role not assigned".into())),
@@ -315,11 +310,7 @@ mod tests {
             let w = Word::from_str(&"a".repeat(n), &sigma).unwrap();
             let outcome = RingRunner::new().run(&adapted, &w).unwrap();
             assert!(outcome.accepted());
-            assert_eq!(
-                outcome.stats.link_bits(n - 1),
-                0,
-                "n={n}: data crossed the cut link"
-            );
+            assert_eq!(outcome.stats.link_bits(n - 1), 0, "n={n}: data crossed the cut link");
         }
     }
 

@@ -158,10 +158,7 @@ struct LeaderProcess {
 
 impl Process for LeaderProcess {
     fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
-        ctx.send(
-            Direction::Clockwise,
-            Frame::Pass1 { count: 1 % self.modulus }.encode(self.k),
-        );
+        ctx.send(Direction::Clockwise, Frame::Pass1 { count: 1 % self.modulus }.encode(self.k));
         Ok(())
     }
 
@@ -214,9 +211,9 @@ mod tests {
     use super::*;
     use crate::TwoPassParity;
     use rand::rngs::StdRng;
-    use ringleader_langs::Language;
     use rand::SeedableRng;
     use ringleader_automata::Word;
+    use ringleader_langs::Language;
     use ringleader_sim::RingRunner;
 
     #[test]

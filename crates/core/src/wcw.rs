@@ -154,9 +154,7 @@ impl crate::graph::OnePassRule for WcWPrefixForward {
     }
 
     fn accept(&self, final_message: &BitString) -> bool {
-        Token::decode(final_message)
-            .expect("explorer feeds back our own encodings")
-            .accepts()
+        Token::decode(final_message).expect("explorer feeds back our own encodings").accepts()
     }
 }
 

@@ -8,9 +8,8 @@ use std::sync::Arc;
 
 use ringleader_automata::{Symbol, Word};
 use ringleader_core::{
-    analyze_info_states, BidirMeetInMiddle, CollectAll, CountRingSize, DyckCounter,
-    LgRecognizer, OnePassParity, StatelessTwoPass, ThreeCounters, TwoPassParity,
-    WcWPrefixForward,
+    analyze_info_states, BidirMeetInMiddle, CollectAll, CountRingSize, DyckCounter, LgRecognizer,
+    OnePassParity, StatelessTwoPass, ThreeCounters, TwoPassParity, WcWPrefixForward,
 };
 use ringleader_langs::{
     AnBnCn, DfaLanguage, Dyck, GrowthFunction, Language, LgLanguage, TradeoffLanguage, WcW,
@@ -28,7 +27,13 @@ fn draw(lang: &dyn Language, len: usize, positive: bool, seed: u64) -> Option<Wo
     }
 }
 
-fn check(proto: &dyn Protocol, lang: &dyn Language, len: usize, positive: bool, seed: u64) -> Result<(), TestCaseError> {
+fn check(
+    proto: &dyn Protocol,
+    lang: &dyn Language,
+    len: usize,
+    positive: bool,
+    seed: u64,
+) -> Result<(), TestCaseError> {
     if let Some(word) = draw(lang, len, positive, seed) {
         let outcome = RingRunner::new().run(proto, &word).unwrap();
         prop_assert_eq!(

@@ -370,8 +370,8 @@ mod tests {
                         let i = len / m;
                         let mut ok = i >= 1;
                         for copy in 0..i {
-                            for j in 0..m {
-                                ok &= w.get(copy * m + j) == Some(x[j]);
+                            for (j, &xj) in x.iter().enumerate() {
+                                ok &= w.get(copy * m + j) == Some(xj);
                             }
                         }
                         ok

@@ -366,9 +366,8 @@ impl Language for EqualAB {
             return None;
         }
         // Random shuffle of len/2 a's and len/2 b's (Fisher-Yates).
-        let mut symbols: Vec<Symbol> = std::iter::repeat(Symbol(0))
-            .take(len / 2)
-            .chain(std::iter::repeat(Symbol(1)).take(len / 2))
+        let mut symbols: Vec<Symbol> = std::iter::repeat_n(Symbol(0), len / 2)
+            .chain(std::iter::repeat_n(Symbol(1), len / 2))
             .collect();
         for i in (1..symbols.len()).rev() {
             let j = (rng.next_u64() as usize) % (i + 1);
@@ -539,9 +538,7 @@ impl Language for PowerOfTwoLength {
     }
 
     fn positive_example(&self, len: usize, _rng: &mut dyn RngCore) -> Option<Word> {
-        len.is_power_of_two().then(|| {
-            Word::from_symbols(vec![Symbol(0); len])
-        })
+        len.is_power_of_two().then(|| Word::from_symbols(vec![Symbol(0); len]))
     }
 
     fn negative_example(&self, len: usize, _rng: &mut dyn RngCore) -> Option<Word> {
@@ -563,7 +560,15 @@ mod tests {
     fn anbn_membership() {
         let l = AnBn::new();
         let sigma = l.alphabet().clone();
-        for (text, expect) in [("", true), ("ab", true), ("aabb", true), ("aab", false), ("ba", false), ("abab", false), ("a", false)] {
+        for (text, expect) in [
+            ("", true),
+            ("ab", true),
+            ("aabb", true),
+            ("aab", false),
+            ("ba", false),
+            ("abab", false),
+            ("a", false),
+        ] {
             let w = Word::from_str(text, &sigma).unwrap();
             assert_eq!(l.contains(&w), expect, "{text:?}");
         }
@@ -659,7 +664,14 @@ mod tests {
     fn palindrome_membership() {
         let l = Palindrome::new();
         let sigma = l.alphabet().clone();
-        for (text, expect) in [("", true), ("aa", true), ("abba", true), ("ab", false), ("aba", false), ("aabb", false)] {
+        for (text, expect) in [
+            ("", true),
+            ("aa", true),
+            ("abba", true),
+            ("ab", false),
+            ("aba", false),
+            ("aabb", false),
+        ] {
             let w = Word::from_str(text, &sigma).unwrap();
             assert_eq!(l.contains(&w), expect, "{text:?}");
         }

@@ -115,7 +115,7 @@ impl TradeoffLanguage {
     /// (`k > 5`).
     #[must_use]
     pub fn new(k: u32) -> Self {
-        assert!(k >= 1 && k <= 5, "k must be in 1..=5 (alphabet 2^k letters)");
+        assert!((1..=5).contains(&k), "k must be in 1..=5 (alphabet 2^k letters)");
         let alphabet = Alphabet::generated(1 << k).expect("2^k <= 32 fits the generated pool");
         Self { k, alphabet }
     }
@@ -212,10 +212,10 @@ fn fixup(lang: &TradeoffLanguage, word: &mut Word, want_member: bool) -> bool {
 pub fn regular_corpus() -> Vec<DfaLanguage> {
     let sigma = Alphabet::from_chars("ab").expect("valid alphabet");
     let patterns = [
-        "(ab)*",       // alternation, 3 states
-        "a*b*",        // two-phase, 3 states
-        "(a|b)*abb",   // suffix matching, 4 states
-        "(a|b)*a(a|b)(a|b)", // 3rd-from-end is 'a', 8 states
+        "(ab)*",              // alternation, 3 states
+        "a*b*",               // two-phase, 3 states
+        "(a|b)*abb",          // suffix matching, 4 states
+        "(a|b)*a(a|b)(a|b)",  // 3rd-from-end is 'a', 8 states
         "((a|b)(a|b)(a|b))*", // length ≡ 0 mod 3
     ];
     let mut corpus: Vec<DfaLanguage> = patterns
@@ -223,13 +223,19 @@ pub fn regular_corpus() -> Vec<DfaLanguage> {
         .map(|p| DfaLanguage::from_regex(p, &sigma).expect("corpus patterns compile"))
         .collect();
     // Parity of 'a's — the classic 2-state automaton, built explicitly.
-    let even_a = Dfa::from_fn(sigma.clone(), 2, 0, |q| q == 0, |q, s| {
-        if s.index() == 0 {
-            1 - q
-        } else {
-            q
-        }
-    })
+    let even_a = Dfa::from_fn(
+        sigma.clone(),
+        2,
+        0,
+        |q| q == 0,
+        |q, s| {
+            if s.index() == 0 {
+                1 - q
+            } else {
+                q
+            }
+        },
+    )
     .expect("2-state parity automaton is well-formed");
     corpus.push(DfaLanguage::from_dfa("even-#a", &even_a));
     corpus

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use ringleader_langs::{
-    regular_corpus, AnBn, AnBnCn, Dyck, EqualAB, GrowthFunction, Language, LgLanguage,
-    Palindrome, PowerOfTwoLength, TradeoffLanguage, WcW,
+    regular_corpus, AnBn, AnBnCn, Dyck, EqualAB, GrowthFunction, Language, LgLanguage, Palindrome,
+    PowerOfTwoLength, TradeoffLanguage, WcW,
 };
 
 /// Every non-regular corpus language, boxed.

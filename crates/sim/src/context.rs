@@ -65,12 +65,7 @@ pub struct Context {
 
 impl Context {
     pub(crate) fn new(is_leader: bool, known_ring_size: Option<usize>) -> Self {
-        Self {
-            outbox: Vec::new(),
-            decision: None,
-            known_ring_size,
-            is_leader,
-        }
+        Self { outbox: Vec::new(), decision: None, known_ring_size, is_leader }
     }
 
     /// Creates a context not owned by the engine, for adapter protocols
@@ -158,8 +153,12 @@ pub trait Process: Send {
     ///
     /// Implementations return [`ProcessError`] to signal protocol bugs;
     /// the engine aborts the run.
-    fn on_message(&mut self, direction: Direction, message: &BitString, ctx: &mut Context)
-        -> ProcessResult;
+    fn on_message(
+        &mut self,
+        direction: Direction,
+        message: &BitString,
+        ctx: &mut Context,
+    ) -> ProcessResult;
 }
 
 /// A distributed algorithm: factories for the leader and follower

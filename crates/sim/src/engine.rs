@@ -114,11 +114,7 @@ impl RingRunner {
         let topology = protocol.topology();
         let mut processes: Vec<Box<dyn Process>> = Vec::with_capacity(n);
         for (i, &sym) in word.symbols().iter().enumerate() {
-            processes.push(if i == 0 {
-                protocol.leader(sym)
-            } else {
-                protocol.follower(sym)
-            });
+            processes.push(if i == 0 { protocol.leader(sym) } else { protocol.follower(sym) });
         }
 
         // Link queues. Link ids: 0..n are clockwise links (i → i+1 mod n);
@@ -136,9 +132,8 @@ impl RingRunner {
         processes[0]
             .on_start(&mut ctx)
             .map_err(|source| SimError::Process { position: 0, source })?;
-        let decision = apply_effects(
-            ctx, 0, n, topology, &mut queues, &mut stats, &mut trace, &mut seq,
-        )?;
+        let decision =
+            apply_effects(ctx, 0, n, topology, &mut queues, &mut stats, &mut trace, &mut seq)?;
         if let Some(d) = decision {
             return Ok(Outcome { decision: Some(d), stats, trace });
         }
@@ -188,7 +183,14 @@ impl RingRunner {
                 .on_message(direction, &payload, &mut ctx)
                 .map_err(|source| SimError::Process { position: receiver, source })?;
             let decision = apply_effects(
-                ctx, receiver, n, topology, &mut queues, &mut stats, &mut trace, &mut seq,
+                ctx,
+                receiver,
+                n,
+                topology,
+                &mut queues,
+                &mut stats,
+                &mut trace,
+                &mut seq,
             )?;
             if let Some(d) = decision {
                 return Ok(Outcome { decision: Some(d), stats, trace });
@@ -248,7 +250,12 @@ mod tests {
     /// Forwards any message onward; used as the default follower.
     struct Forwarder;
     impl Process for Forwarder {
-        fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        fn on_message(
+            &mut self,
+            dir: Direction,
+            msg: &BitString,
+            ctx: &mut Context,
+        ) -> ProcessResult {
             ctx.send(dir, msg.clone());
             Ok(())
         }
@@ -261,7 +268,12 @@ mod tests {
             ctx.send(Direction::Clockwise, BitString::parse("101").unwrap());
             Ok(())
         }
-        fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+        fn on_message(
+            &mut self,
+            _d: Direction,
+            _m: &BitString,
+            ctx: &mut Context,
+        ) -> ProcessResult {
             ctx.decide(true);
             Ok(())
         }
@@ -339,7 +351,12 @@ mod tests {
                     ctx.send(Direction::CounterClockwise, BitString::parse("1").unwrap());
                     Ok(())
                 }
-                fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                fn on_message(
+                    &mut self,
+                    _d: Direction,
+                    _m: &BitString,
+                    _c: &mut Context,
+                ) -> ProcessResult {
                     Ok(())
                 }
             }
@@ -371,7 +388,12 @@ mod tests {
         fn follower(&self, _input: Symbol) -> Box<dyn Process> {
             struct F;
             impl Process for F {
-                fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+                fn on_message(
+                    &mut self,
+                    _d: Direction,
+                    _m: &BitString,
+                    ctx: &mut Context,
+                ) -> ProcessResult {
                     ctx.decide(false);
                     Ok(())
                 }
@@ -398,7 +420,12 @@ mod tests {
         fn leader(&self, _input: Symbol) -> Box<dyn Process> {
             struct L;
             impl Process for L {
-                fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                fn on_message(
+                    &mut self,
+                    _d: Direction,
+                    _m: &BitString,
+                    _c: &mut Context,
+                ) -> ProcessResult {
                     Ok(())
                 }
             }
@@ -431,7 +458,12 @@ mod tests {
                     ctx.send(Direction::Clockwise, BitString::parse("1").unwrap());
                     Ok(())
                 }
-                fn on_message(&mut self, d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+                fn on_message(
+                    &mut self,
+                    d: Direction,
+                    m: &BitString,
+                    ctx: &mut Context,
+                ) -> ProcessResult {
                     ctx.send(d, m.clone());
                     Ok(())
                 }
@@ -470,7 +502,12 @@ mod tests {
                         ctx.decide(n % 2 == 0);
                         Ok(())
                     }
-                    fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        _c: &mut Context,
+                    ) -> ProcessResult {
                         Ok(())
                     }
                 }
@@ -515,7 +552,12 @@ mod tests {
                         ctx.send(Direction::CounterClockwise, BitString::parse("01").unwrap());
                         Ok(())
                     }
-                    fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        ctx: &mut Context,
+                    ) -> ProcessResult {
                         self.seen += 1;
                         if self.seen == 2 {
                             ctx.decide(true);
@@ -557,7 +599,12 @@ mod tests {
                         ctx.send(Direction::CounterClockwise, BitString::parse("1").unwrap());
                         Ok(())
                     }
-                    fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        _c: &mut Context,
+                    ) -> ProcessResult {
                         Ok(())
                     }
                 }
@@ -568,6 +615,9 @@ mod tests {
             }
         }
         let err = RingRunner::new().run(&LineWrap, &word(4)).unwrap_err();
-        assert!(matches!(err, SimError::IllegalSend { position: 0, direction: Direction::CounterClockwise }));
+        assert!(matches!(
+            err,
+            SimError::IllegalSend { position: 0, direction: Direction::CounterClockwise }
+        ));
     }
 }

@@ -58,7 +58,10 @@ impl fmt::Display for SimError {
                 write!(f, "follower {position} attempted to decide (only the leader may)")
             }
             SimError::Stalled { deliveries } => {
-                write!(f, "no messages in flight after {deliveries} deliveries but leader never decided")
+                write!(
+                    f,
+                    "no messages in flight after {deliveries} deliveries but leader never decided"
+                )
             }
             SimError::EventLimitExceeded { limit } => {
                 write!(f, "event limit {limit} exceeded")
@@ -96,10 +99,8 @@ mod tests {
     #[test]
     fn process_error_is_source() {
         use std::error::Error as _;
-        let e = SimError::Process {
-            position: 1,
-            source: ProcessError::InvalidState("boom".into()),
-        };
+        let e =
+            SimError::Process { position: 1, source: ProcessError::InvalidState("boom".into()) };
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
     }

@@ -16,11 +16,12 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Policy choosing the next link to deliver from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Scheduler {
     /// Deliver messages in global send order (the "synchronous-looking"
     /// baseline; still a legal asynchronous execution).
+    #[default]
     Fifo,
     /// Uniformly random choice among non-empty links, seeded for
     /// reproducibility.
@@ -34,17 +35,13 @@ pub enum Scheduler {
     LongestQueue,
 }
 
-impl Default for Scheduler {
-    fn default() -> Self {
-        Scheduler::Fifo
-    }
-}
-
 impl Scheduler {
     pub(crate) fn build(&self) -> Box<dyn Chooser> {
         match self {
             Scheduler::Fifo => Box::new(FifoChooser),
-            Scheduler::Random { seed } => Box::new(RandomChooser { rng: StdRng::seed_from_u64(*seed) }),
+            Scheduler::Random { seed } => {
+                Box::new(RandomChooser { rng: StdRng::seed_from_u64(*seed) })
+            }
             Scheduler::LongestQueue => Box::new(LongestQueueChooser),
         }
     }
@@ -71,11 +68,7 @@ struct FifoChooser;
 
 impl Chooser for FifoChooser {
     fn choose(&mut self, links: &[LinkView]) -> usize {
-        links
-            .iter()
-            .min_by_key(|l| l.head_seq)
-            .expect("choose() requires at least one link")
-            .id
+        links.iter().min_by_key(|l| l.head_seq).expect("choose() requires at least one link").id
     }
 }
 
@@ -106,10 +99,7 @@ mod tests {
     use super::*;
 
     fn views(specs: &[(usize, usize, u64)]) -> Vec<LinkView> {
-        specs
-            .iter()
-            .map(|&(id, backlog, head_seq)| LinkView { id, backlog, head_seq })
-            .collect()
+        specs.iter().map(|&(id, backlog, head_seq)| LinkView { id, backlog, head_seq }).collect()
     }
 
     #[test]

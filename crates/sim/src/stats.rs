@@ -65,9 +65,7 @@ impl ExecStats {
     /// transformation disconnects.
     #[must_use]
     pub fn min_traffic_link(&self) -> usize {
-        (0..self.clockwise_link_bits.len())
-            .min_by_key(|&i| self.link_bits(i))
-            .unwrap_or(0)
+        (0..self.clockwise_link_bits.len()).min_by_key(|&i| self.link_bits(i)).unwrap_or(0)
     }
 
     /// Mean message size in bits (0 for an execution with no messages).

@@ -162,9 +162,7 @@ impl ThreadedRunner {
                 total_bits: total_bits.load(Ordering::SeqCst),
                 message_count: message_count.load(Ordering::SeqCst),
             }),
-            Err(_) => Err(SimError::Stalled {
-                deliveries: message_count.load(Ordering::SeqCst),
-            }),
+            Err(_) => Err(SimError::Stalled { deliveries: message_count.load(Ordering::SeqCst) }),
         }
     }
 }
@@ -284,7 +282,12 @@ mod tests {
 
     struct Forwarder;
     impl Process for Forwarder {
-        fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        fn on_message(
+            &mut self,
+            dir: Direction,
+            msg: &BitString,
+            ctx: &mut Context,
+        ) -> ProcessResult {
             ctx.send(dir, msg.clone());
             Ok(())
         }
@@ -305,7 +308,12 @@ mod tests {
                     ctx.send(Direction::Clockwise, BitString::parse("10101").unwrap());
                     Ok(())
                 }
-                fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+                fn on_message(
+                    &mut self,
+                    _d: Direction,
+                    _m: &BitString,
+                    ctx: &mut Context,
+                ) -> ProcessResult {
                     ctx.decide(true);
                     Ok(())
                 }
@@ -353,7 +361,12 @@ mod tests {
             fn leader(&self, _input: Symbol) -> Box<dyn Process> {
                 struct L;
                 impl Process for L {
-                    fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        _c: &mut Context,
+                    ) -> ProcessResult {
                         Ok(())
                     }
                 }
@@ -385,7 +398,12 @@ mod tests {
                         ctx.send(Direction::Clockwise, BitString::parse("1").unwrap());
                         Ok(())
                     }
-                    fn on_message(&mut self, _d: Direction, _m: &BitString, _c: &mut Context) -> ProcessResult {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        _c: &mut Context,
+                    ) -> ProcessResult {
                         Ok(())
                     }
                 }
@@ -394,7 +412,12 @@ mod tests {
             fn follower(&self, _input: Symbol) -> Box<dyn Process> {
                 struct F;
                 impl Process for F {
-                    fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        ctx: &mut Context,
+                    ) -> ProcessResult {
                         ctx.decide(false);
                         Ok(())
                     }

@@ -64,10 +64,8 @@ impl Trace {
     /// Panics if an event references a position `>= inputs.len()`.
     #[must_use]
     pub fn info_states(&self, inputs: &[Symbol]) -> Vec<InfoState> {
-        let mut states: Vec<InfoState> = inputs
-            .iter()
-            .map(|&input| InfoState { input, entries: Vec::new() })
-            .collect();
+        let mut states: Vec<InfoState> =
+            inputs.iter().map(|&input| InfoState { input, entries: Vec::new() }).collect();
         for e in &self.events {
             let kind = match e.kind {
                 EventKind::Send => InfoEventKind::Sent,

@@ -36,11 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bits by tier (class in brackets):");
     println!(
         "  {:>5} | {:>12} | {:>16} | {:>14} | {:>12}",
-        "n",
-        "regular [R]",
-        "0^n1^n2^n [CS]",
-        "L_g n^1.5 [CS]",
-        "wcw [CS]"
+        "n", "regular [R]", "0^n1^n2^n [CS]", "L_g n^1.5 [CS]", "wcw [CS]"
     );
     for &n in &sizes {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(n as u64);

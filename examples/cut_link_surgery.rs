@@ -28,10 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let word_unary = Word::from_str(&"a".repeat(n), &unary)?;
 
     let tri = Alphabet::from_chars("012")?;
-    let word_tri = Word::from_str(
-        &("0".repeat(n / 3) + &"1".repeat(n / 3) + &"2".repeat(n / 3)),
-        &tri,
-    )?;
+    let word_tri =
+        Word::from_str(&("0".repeat(n / 3) + &"1".repeat(n / 3) + &"2".repeat(n / 3)), &tri)?;
 
     run_case("dfa-one-pass  (Θ(n))", &DfaOnePass::new(&regular), &word_regular)?;
     run_case("count-ring    (Θ(n log n))", &CountRingSize::probe(), &word_unary)?;

@@ -39,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same protocol scales linearly — the paper's Theorem 1.
     println!("\nscaling (worst case over sampled words):");
-    let sweep = sweep_protocol(
-        &proto,
-        &lang,
-        &SweepConfig::with_sizes(vec![64, 256, 1024, 4096]),
-    )?;
+    let sweep = sweep_protocol(&proto, &lang, &SweepConfig::with_sizes(vec![64, 256, 1024, 4096]))?;
     for point in &sweep {
         println!(
             "  n={n:<5} bits={bits:<6} bits/n={ratio:.2}",

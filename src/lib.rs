@@ -66,16 +66,14 @@ pub use ringleader_sim as sim;
 /// The names almost every user of this workspace needs.
 pub mod prelude {
     pub use ringleader_analysis::{
-        fit_series, sweep_protocol, ExperimentResult, FitResult, GrowthModel, SweepConfig,
-        Verdict,
+        fit_series, sweep_protocol, ExperimentResult, FitResult, GrowthModel, SweepConfig, Verdict,
     };
     pub use ringleader_automata::{Alphabet, Dfa, Regex, Symbol, Word};
     pub use ringleader_bitio::{BitReader, BitString, BitWriter};
     pub use ringleader_core::{
-        BidirMeetInMiddle, CollectAll, CountRingSize, CounterEncoding, CutLinkAdapter,
-        DfaOnePass, DyckCounter, GraphOutcome, LengthPredicateKnownN, LgRecognizer,
-        MessageGraphExplorer, OnePassParity, StatelessTwoPass, ThreeCounters, TwoPassParity,
-        WcWPrefixForward,
+        BidirMeetInMiddle, CollectAll, CountRingSize, CounterEncoding, CutLinkAdapter, DfaOnePass,
+        DyckCounter, GraphOutcome, LengthPredicateKnownN, LgRecognizer, MessageGraphExplorer,
+        OnePassParity, StatelessTwoPass, ThreeCounters, TwoPassParity, WcWPrefixForward,
     };
     pub use ringleader_langs::{
         regular_corpus, AnBn, AnBnCn, DfaLanguage, Dyck, EqualAB, GrowthFunction, Language,

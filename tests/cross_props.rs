@@ -15,9 +15,13 @@ fn random_dfa() -> impl Strategy<Value = Dfa> {
         )
             .prop_map(|(states, targets, accepting, start)| {
                 let sigma = Alphabet::from_chars("ab").expect("valid alphabet");
-                Dfa::from_fn(sigma, states, start, |q| accepting[q], |q, s| {
-                    targets[q * 2 + s.index()]
-                })
+                Dfa::from_fn(
+                    sigma,
+                    states,
+                    start,
+                    |q| accepting[q],
+                    |q, s| targets[q * 2 + s.index()],
+                )
                 .expect("targets in range")
             })
     })

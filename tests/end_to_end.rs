@@ -48,19 +48,13 @@ fn cost_tiers_are_ordered_at_scale() {
     let mut rng = StdRng::seed_from_u64(7);
     let word = regular.positive_example(n, &mut rng).unwrap();
 
-    let linear_bits = RingRunner::new()
-        .run(&DfaOnePass::new(&regular), &word)
-        .unwrap()
-        .stats
-        .total_bits;
+    let linear_bits =
+        RingRunner::new().run(&DfaOnePass::new(&regular), &word).unwrap().stats.total_bits;
 
     let unary = Alphabet::from_chars("a").unwrap();
     let unary_word = Word::from_str(&"a".repeat(n), &unary).unwrap();
-    let nlogn_bits = RingRunner::new()
-        .run(&CountRingSize::probe(), &unary_word)
-        .unwrap()
-        .stats
-        .total_bits;
+    let nlogn_bits =
+        RingRunner::new().run(&CountRingSize::probe(), &unary_word).unwrap().stats.total_bits;
 
     let quadratic_bits = RingRunner::new()
         .run(&CollectAll::new(Arc::new(regular.clone())), &word)

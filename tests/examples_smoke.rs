@@ -1,0 +1,53 @@
+//! Smoke coverage for the `examples/` directory: every example must build
+//! and run to completion. Examples are the documentation most users
+//! actually execute, so they are part of tier-1 verification, not an
+//! afterthought.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "known_ring_size",
+    "pass_tradeoff",
+    "complexity_spectrum",
+    "cut_link_surgery",
+    "theorem2_extraction",
+];
+
+fn cargo() -> Command {
+    // The cargo that spawned this test run; keeps toolchains consistent.
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd.arg("--offline");
+    cmd
+}
+
+#[test]
+fn all_examples_build_and_run() {
+    // One `cargo build --examples` up front so failures name the example
+    // that broke the build rather than timing out one by one.
+    let build =
+        cargo().args(["build", "--examples"]).output().expect("cargo build --examples spawns");
+    assert!(
+        build.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    for example in EXAMPLES {
+        let run = cargo()
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("cargo run --example {example} spawns: {e}"));
+        assert!(
+            run.status.success(),
+            "example {example} exited with {:?}:\n{}",
+            run.status.code(),
+            String::from_utf8_lossy(&run.stderr)
+        );
+        assert!(
+            !run.stdout.is_empty(),
+            "example {example} printed nothing; examples must narrate their result"
+        );
+    }
+}

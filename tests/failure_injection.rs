@@ -113,6 +113,10 @@ fn corruption_never_hangs_or_misdecides() {
     for text in ["()", "(())", ")(", "(((", "()()()"] {
         let word = Word::from_str(text, &sigma).unwrap();
         let clean = RingRunner::new().run(&inner, &word).unwrap();
+        // The uncorrupted baseline must decide Dyck membership correctly,
+        // otherwise "didn't misdecide under corruption" is vacuous.
+        let balanced = matches!(text, "()" | "(())" | "()()()");
+        assert_eq!(clean.accepted(), balanced, "clean baseline on {text:?}");
         let adapter = TruncatingAdapter { inner: DyckCounter::new(), at_position: 1 };
         match RingRunner::new().run(&adapter, &word) {
             Ok(outcome) => {
@@ -152,7 +156,12 @@ fn zero_bit_flood_is_survivable() {
             }
             Ok(())
         }
-        fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
+        fn on_message(
+            &mut self,
+            dir: Direction,
+            msg: &BitString,
+            ctx: &mut Context,
+        ) -> ProcessResult {
             self.inner.on_message(dir, msg, ctx)
         }
     }

@@ -116,12 +116,7 @@ fn cut_link_adapter_smallest_legal_rings() {
         for word in exhaustive_words(&sigma, len) {
             let plain = RingRunner::new().run(&inner, &word).unwrap();
             let rerouted = RingRunner::new().run(&adapted, &word).unwrap();
-            assert_eq!(
-                plain.decision,
-                rerouted.decision,
-                "n={len} word={:?}",
-                word.render(&sigma)
-            );
+            assert_eq!(plain.decision, rerouted.decision, "n={len} word={:?}", word.render(&sigma));
         }
     }
 }

@@ -18,12 +18,7 @@ fn theorem2_round_trip_on_corpus() {
         assert!(dfa.equivalent(lang.dfa()).unwrap(), "{}", lang.name());
         // The minimal automaton is recovered exactly by minimizing the
         // extracted graph.
-        assert_eq!(
-            dfa.minimized().state_count(),
-            lang.dfa().state_count(),
-            "{}",
-            lang.name()
-        );
+        assert_eq!(dfa.minimized().state_count(), lang.dfa().state_count(), "{}", lang.name());
         // Reachable messages never exceed reachable states.
         assert!(distinct_messages <= lang.dfa().state_count());
     }
@@ -34,18 +29,9 @@ fn theorem2_round_trip_on_corpus() {
 #[test]
 fn corollary1_divergence_for_nonregular_protocols() {
     let explorer = MessageGraphExplorer::new(1500);
-    assert!(matches!(
-        explorer.explore(&CountRingSize::probe()),
-        GraphOutcome::Exceeded { .. }
-    ));
-    assert!(matches!(
-        explorer.explore(&ThreeCounters::new()),
-        GraphOutcome::Exceeded { .. }
-    ));
-    assert!(matches!(
-        explorer.explore(&WcWPrefixForward::new()),
-        GraphOutcome::Exceeded { .. }
-    ));
+    assert!(matches!(explorer.explore(&CountRingSize::probe()), GraphOutcome::Exceeded { .. }));
+    assert!(matches!(explorer.explore(&ThreeCounters::new()), GraphOutcome::Exceeded { .. }));
+    assert!(matches!(explorer.explore(&WcWPrefixForward::new()), GraphOutcome::Exceeded { .. }));
 }
 
 /// Theorem 5 pipeline: wrap a token protocol, reroute around the cut,
@@ -80,8 +66,8 @@ fn theorem5_transformation_invariants() {
 /// honors the cut-and-splice bound for every counter protocol.
 #[test]
 fn theorem4_census_bounds() {
-    use ringleader::core::infostate::exhaustive_words;
     use ringleader::core::analyze_info_states;
+    use ringleader::core::infostate::exhaustive_words;
 
     let tri = Alphabet::from_chars("012").unwrap();
     let mut words = Vec::new();

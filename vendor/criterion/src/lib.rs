@@ -1,0 +1,220 @@
+//! Offline vendored shim of `criterion`.
+//!
+//! Provides the registration API (`criterion_group!`, `criterion_main!`,
+//! [`Criterion`], [`BenchmarkId`], groups, `Bencher::iter`) with a
+//! lightweight measurement loop: each benchmark is warmed once, then timed
+//! adaptively for a small budget and reported as mean ns/iter on stdout.
+//! No statistics, plots, or baselines — just enough to keep `cargo bench`
+//! useful for spotting order-of-magnitude regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration measurement driver passed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up iteration (also primes caches and lazy statics).
+        black_box(routine());
+        let budget = self.budget;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 10_000 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The top-level benchmark registry and runner.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_BUDGET_MS tunes how long each benchmark runs.
+        let ms =
+            std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(25u64);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Registers and immediately runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.label, self.budget, |b| f(b));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's adaptive loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's adaptive loop ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.budget, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.criterion.budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { mean_ns: 0.0, iters: 0, budget };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {label:<50} (closure never called iter)");
+        return;
+    }
+    let mean = bencher.mean_ns;
+    let human = if mean >= 1e9 {
+        format!("{:.3} s/iter", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms/iter", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} us/iter", mean / 1e3)
+    } else {
+        format!("{mean:.1} ns/iter")
+    };
+    println!("bench {label:<50} {human:>16}   ({} iters)", bencher.iters);
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+        group.finish();
+    }
+}

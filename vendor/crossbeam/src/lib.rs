@@ -1,0 +1,339 @@
+//! Offline vendored shim of `crossbeam`'s channels.
+//!
+//! Implements the subset used by the workspace: [`channel::unbounded`]
+//! MPMC channels with cloneable senders/receivers, `send` / `try_recv` /
+//! `recv_timeout`, disconnection detection, and a [`select!`] macro
+//! supporting `recv(r) -> v` arms plus a `default(timeout)` arm.
+//!
+//! The implementation is a `Mutex<VecDeque>` + `Condvar` queue — not
+//! lock-free, but correct, and the ring simulations here move a few
+//! thousand envelopes per run at most.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    pub use crate::select;
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by a blocking receive on a drained, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// Channel drained and every sender dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// Channel drained and every sender dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            // Decrement under the queue lock so `send` observing a nonzero
+            // count while holding the lock cannot race the last drop and
+            // enqueue into a channel nobody will read.
+            let _queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // Checked while holding the queue lock: receiver drops take the
+            // same lock, so Ok(()) means the value was observable by a
+            // then-live receiver, matching upstream crossbeam's contract.
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match queue.pop_front() {
+                Some(v) => Ok(v),
+                None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+                if res.timed_out() && queue.is_empty() {
+                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Blocks until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                match self.recv_timeout(Duration::from_millis(50)) {
+                    Ok(v) => return Ok(v),
+                    Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_observed_after_drain() {
+            let (tx, rx) = unbounded();
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(9));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_send() {
+            let (tx, rx) = unbounded();
+            let h = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(7u32).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        }
+    }
+}
+
+/// Waits on several channel operations at once.
+///
+/// Supports the shape used in this workspace: any number of
+/// `recv(receiver) -> pattern => handler` arms followed by one
+/// `default(timeout) => handler` arm. Receivers are polled in order
+/// (head-of-line fairness is approximated by the short poll interval);
+/// if nothing arrives before the timeout, the default arm runs.
+///
+/// Each `recv` arm's pattern binds a `Result<T, RecvError>`:
+/// `Ok(message)` normally, `Err(RecvError)` if that channel is drained
+/// and disconnected.
+/// Handlers are expanded *outside* the macro's internal polling loop, so
+/// `continue` / `break` / `return` inside an arm bind to the caller's
+/// enclosing scope exactly as with upstream crossbeam.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $v1:pat => $h1:expr,
+        recv($r2:expr) -> $v2:pat => $h2:expr,
+        default($t:expr) => $hd:expr $(,)?
+    ) => {{
+        let __timeout: ::std::time::Duration = $t;
+        let __deadline = ::std::time::Instant::now() + __timeout;
+        let mut __res1 = ::std::option::Option::None;
+        let mut __res2 = ::std::option::Option::None;
+        loop {
+            match ($r1).try_recv() {
+                ::std::result::Result::Ok(__msg) => {
+                    __res1 = ::std::option::Option::Some(::std::result::Result::Ok(__msg));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __res1 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match ($r2).try_recv() {
+                ::std::result::Result::Ok(__msg) => {
+                    __res2 = ::std::option::Option::Some(::std::result::Result::Ok(__msg));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __res2 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            if ::std::time::Instant::now() >= __deadline {
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+        if let ::std::option::Option::Some(__r) = __res1 {
+            let $v1 = __r;
+            $h1
+        } else if let ::std::option::Option::Some(__r) = __res2 {
+            let $v2 = __r;
+            $h2
+        } else {
+            $hd
+        }
+    }};
+    (
+        recv($r1:expr) -> $v1:pat => $h1:expr,
+        default($t:expr) => $hd:expr $(,)?
+    ) => {{
+        let __timeout: ::std::time::Duration = $t;
+        let __deadline = ::std::time::Instant::now() + __timeout;
+        let mut __res1 = ::std::option::Option::None;
+        loop {
+            match ($r1).try_recv() {
+                ::std::result::Result::Ok(__msg) => {
+                    __res1 = ::std::option::Option::Some(::std::result::Result::Ok(__msg));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __res1 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            if ::std::time::Instant::now() >= __deadline {
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+        if let ::std::option::Option::Some(__r) = __res1 {
+            let $v1 = __r;
+            $h1
+        } else {
+            $hd
+        }
+    }};
+}

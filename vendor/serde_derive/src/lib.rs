@@ -1,0 +1,470 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Built directly on `proc_macro` (the offline environment has neither
+//! `syn` nor `quote`). The parser handles the shapes this workspace uses:
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple, or struct-like. Generated code targets the vendored
+//! `serde` crate's `Content` data model with upstream serde's
+//! externally-tagged enum encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    item.serialize_impl().parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    item.deserialize_impl().parse().expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+/// The shape of the fields of a struct or of one enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all the generator needs.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// A cursor over a flat token list that can skip attributes/visibility.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute groups (doc comments included).
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    // `#` is always followed by a bracket group in item position.
+                    if matches!(
+                        self.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+                    ) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("serde derive: expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (angle-bracket aware), i.e.
+    /// one field type. Returns false if the cursor was already exhausted.
+    fn skip_type(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        let mut saw_any = false;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    self.pos += 1; // eat the separator
+                    return true;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                }
+                if c == '>' {
+                    angle_depth -= 1;
+                }
+            }
+            saw_any = true;
+            self.pos += 1;
+        }
+        saw_any
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let mut cur = Cursor::new(input);
+        cur.skip_attributes();
+        cur.skip_visibility();
+        let kind = cur.expect_ident("`struct` or `enum`")?;
+        let name = cur.expect_ident("type name")?;
+        if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!("serde derive (vendored): generic type `{name}` is not supported"));
+        }
+        match kind.as_str() {
+            "struct" => {
+                let fields = match cur.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Self::parse_named_fields(g.stream())?
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Self::parse_tuple_fields(g.stream())?
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                    other => {
+                        return Err(format!(
+                            "serde derive: unsupported struct body for `{name}`: {other:?}"
+                        ))
+                    }
+                };
+                Ok(Item { name, body: Body::Struct(fields) })
+            }
+            "enum" => {
+                let body = match cur.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Self::parse_variants(g.stream())?
+                    }
+                    other => {
+                        return Err(format!(
+                            "serde derive: unsupported enum body for `{name}`: {other:?}"
+                        ))
+                    }
+                };
+                Ok(Item { name, body: Body::Enum(body) })
+            }
+            other => Err(format!("serde derive: cannot derive for `{other}` items")),
+        }
+    }
+
+    fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+        let mut cur = Cursor::new(stream);
+        let mut names = Vec::new();
+        loop {
+            cur.skip_attributes();
+            if cur.at_end() {
+                break;
+            }
+            cur.skip_visibility();
+            let field = cur.expect_ident("field name")?;
+            match cur.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => {
+                    return Err(format!(
+                        "serde derive: expected `:` after field `{field}`, found {other:?}"
+                    ))
+                }
+            }
+            names.push(field);
+            cur.skip_type();
+        }
+        Ok(Fields::Named(names))
+    }
+
+    fn parse_tuple_fields(stream: TokenStream) -> Result<Fields, String> {
+        let mut cur = Cursor::new(stream);
+        let mut count = 0;
+        loop {
+            cur.skip_attributes();
+            if cur.at_end() {
+                break;
+            }
+            cur.skip_visibility();
+            if !cur.skip_type() {
+                break;
+            }
+            count += 1;
+        }
+        Ok(Fields::Tuple(count))
+    }
+
+    fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+        let mut cur = Cursor::new(stream);
+        let mut variants = Vec::new();
+        loop {
+            cur.skip_attributes();
+            if cur.at_end() {
+                break;
+            }
+            let name = cur.expect_ident("variant name")?;
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let f = Self::parse_named_fields(g.stream())?;
+                    cur.pos += 1;
+                    f
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let f = Self::parse_tuple_fields(g.stream())?;
+                    cur.pos += 1;
+                    f
+                }
+                _ => Fields::Unit,
+            };
+            // Eat a trailing comma between variants, if present.
+            if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                cur.pos += 1;
+            } else if !cur.at_end() {
+                return Err(format!(
+                    "serde derive: expected `,` after variant `{name}` (explicit discriminants are unsupported)"
+                ));
+            }
+            variants.push(Variant { name, fields });
+        }
+        Ok(variants)
+    }
+
+    // -- code generation ----------------------------------------------------
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(fields) => match fields {
+                Fields::Unit => "::serde::Content::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", items.join(", "))
+                }
+            },
+            Body::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            Fields::Unit => format!(
+                                "{name}::{vname} => ::serde::Content::Str({vname:?}.to_string()),"
+                            ),
+                            Fields::Tuple(1) => format!(
+                                "{name}::{vname}(__f0) => ::serde::Content::Map(vec![({vname:?}.to_string(), ::serde::Serialize::to_content(__f0))]),"
+                            ),
+                            Fields::Tuple(n) => {
+                                let binders: Vec<String> =
+                                    (0..*n).map(|i| format!("__f{i}")).collect();
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vname}({}) => ::serde::Content::Map(vec![({vname:?}.to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                                    binders.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            Fields::Named(fields) => {
+                                let binders = fields.join(", ");
+                                let items: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "({f:?}.to_string(), ::serde::Serialize::to_content({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(vec![({vname:?}.to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                    items.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                 fn to_content(&self) -> ::serde::Content {{ {body} }} \
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(fields) => match fields {
+                Fields::Unit => format!(
+                    "match __content {{ \
+                         ::serde::Content::Null => Ok({name}), \
+                         other => Err(::serde::Error::unexpected(\"null\", other)), \
+                     }}"
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(__content)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __seq = __content.as_seq().ok_or_else(|| ::serde::Error::unexpected(\"sequence\", __content))?; \
+                           if __seq.len() != {n} {{ return Err(::serde::Error::custom(format!(\"expected {n} elements for {name}, got {{}}\", __seq.len()))); }} \
+                           Ok({name}({})) }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: match __content.map_get({f:?}) {{ \
+                                     Some(__v) => ::serde::Deserialize::from_content(__v)?, \
+                                     None => ::serde::missing_field({name:?}, {f:?})?, \
+                                 }}"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{ if __content.as_map().is_none() {{ return Err(::serde::Error::unexpected(\"map\", __content)); }} \
+                           Ok({name} {{ {} }}) }}",
+                        items.join(", ")
+                    )
+                }
+            },
+            Body::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.fields, Fields::Unit))
+                    .map(|v| format!("{0:?} => Ok({name}::{0}),", v.name))
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            Fields::Unit => None,
+                            Fields::Tuple(1) => Some(format!(
+                                "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_content(__value)?)),"
+                            )),
+                            Fields::Tuple(n) => {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_content(&__seq[{i}])?")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "{vname:?} => {{ let __seq = __value.as_seq().ok_or_else(|| ::serde::Error::unexpected(\"sequence\", __value))?; \
+                                       if __seq.len() != {n} {{ return Err(::serde::Error::custom(format!(\"expected {n} elements for {name}::{vname}, got {{}}\", __seq.len()))); }} \
+                                       Ok({name}::{vname}({})) }}",
+                                    items.join(", ")
+                                ))
+                            }
+                            Fields::Named(fields) => {
+                                let items: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{f}: match __value.map_get({f:?}) {{ \
+                                                 Some(__v) => ::serde::Deserialize::from_content(__v)?, \
+                                                 None => ::serde::missing_field({name:?}, {f:?})?, \
+                                             }}"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "{vname:?} => {{ if __value.as_map().is_none() {{ return Err(::serde::Error::unexpected(\"map\", __value)); }} \
+                                       Ok({name}::{vname} {{ {} }}) }}",
+                                    items.join(", ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __content {{ \
+                         ::serde::Content::Str(__s) => match __s.as_str() {{ \
+                             {} \
+                             other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other:?}}\"))), \
+                         }}, \
+                         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{ \
+                             let (__tag, __value) = &__entries[0]; \
+                             match __tag.as_str() {{ \
+                                 {} \
+                                 other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{other:?}}\"))), \
+                             }} \
+                         }} \
+                         other => Err(::serde::Error::unexpected(\"externally tagged enum\", other)), \
+                     }}",
+                    unit_arms.join(" "),
+                    tagged_arms.join(" ")
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                 fn from_content(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+             }}"
+        )
+    }
+}

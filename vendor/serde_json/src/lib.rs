@@ -1,0 +1,489 @@
+//! Offline vendored shim of `serde_json`.
+//!
+//! Renders the vendored `serde` crate's [`Content`] data model to JSON
+//! text and parses JSON text back. [`Value`] *is* `Content`, so
+//! [`to_value`] is a direct conversion. Covers the API surface this
+//! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], [`from_value`].
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A parsed JSON document (alias for the serde shim's data model).
+pub type Value = Content;
+
+/// JSON serialization/parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e)
+    }
+}
+
+/// Converts any serializable value into a JSON [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Reconstructs a typed value from a JSON [`Value`].
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_content(&value)?)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes to human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!("trailing characters at offset {}", parser.pos)));
+    }
+    Ok(T::from_content(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(
+    out: &mut String,
+    content: &Content,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::new("JSON cannot represent NaN or infinity"));
+            }
+            // Rust's shortest-roundtrip float formatting; force a fractional
+            // part so the value re-parses as a float, matching serde_json.
+            let text = v.to_string();
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1)?;
+            }
+            push_newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_newline_indent(out, indent, depth + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, value, indent, depth + 1)?;
+            }
+            push_newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn push_newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected {:?} at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected ',' or ']' at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected ',' or '}}' at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape character {:?}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            let v: f64 =
+                text.parse().map_err(|_| Error::new(format!("invalid number {text:?}")))?;
+            Ok(Content::F64(v))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let mag: i64 = format!("-{stripped}")
+                .parse()
+                .map_err(|_| Error::new(format!("number {text:?} out of range")))?;
+            Ok(Content::I64(mag))
+        } else {
+            let v: u64 =
+                text.parse().map_err(|_| Error::new(format!("number {text:?} out of range")))?;
+            Ok(Content::U64(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for json in ["null", "true", "false", "0", "42", "-17", "3.5", "\"hi\""] {
+            let v: Value = from_str(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn structures_roundtrip() {
+        let json = r#"{"a":[1,2,3],"b":{"c":"x"},"d":null}"#;
+        let v: Value = from_str(json).unwrap();
+        assert_eq!(to_string(&v).unwrap(), json);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v: Value = from_str(r#"{"rows":[["a","b"],["c"]],"n":3}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = Content::Str("line\nquote\"backslash\\tab\tunicode\u{1F600}".into());
+        let text = to_string(&original).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn floats_reparse_exactly() {
+        for f in [0.1, 1e300, -2.5, 123456.789] {
+            let text = to_string(&Content::F64(f)).unwrap();
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, Content::F64(f));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
