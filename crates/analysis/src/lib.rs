@@ -36,6 +36,7 @@ mod sweep;
 pub use fit::{fit_series, log_log_slope, FitResult, GrowthModel};
 pub use report::{ExperimentResult, Verdict};
 pub use sweep::{
-    bits_across_schedules, sweep_protocol, verify_protocol, SweepConfig, SweepPoint,
-    VerificationReport,
+    bits_across_schedules, executor_for, run_independent, sweep_protocol, sweep_protocol_with,
+    verify_protocol, GridPoint, Parallel, PointJob, RunStats, Serial, SweepConfig, SweepExecutor,
+    SweepGrid, SweepPoint, VerificationReport,
 };

@@ -4,16 +4,22 @@
 //! experiments            # run all twelve experiments, print tables
 //! experiments e7 e10     # run a subset
 //! experiments --json out.json       # also dump machine-readable results
+//! experiments --workers 8           # parallel sweeps on 8 threads
+//! experiments --workers 0           # one thread per CPU
 //! experiments --list                # list experiment ids and titles
 //! ```
+//!
+//! `--workers N` fans every sweep's grid points out to `N` worker
+//! threads; results (tables and JSON) are byte-identical for every `N` —
+//! only wall-clock time changes.
 //!
 //! Exit code 0 iff every executed experiment's verdict is REPRODUCED.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use ringleader_analysis::Verdict;
-use ringleader_bench::{run_all, run_by_id};
+use ringleader_analysis::{executor_for, Verdict};
+use ringleader_bench::{run_all_with, run_by_id_with};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +47,7 @@ fn main() -> ExitCode {
     }
 
     let mut json_path: Option<String> = None;
+    let mut workers = 1usize;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -52,17 +59,28 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--workers" {
+            match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) => workers = n,
+                _ => {
+                    eprintln!("--workers requires a thread count (0 = one per CPU)");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             ids.push(arg);
         }
     }
 
+    // 0 means "one worker per CPU" — executor_for shares the convention.
+    let exec = executor_for(workers);
+
     let results = if ids.is_empty() {
-        run_all()
+        run_all_with(exec.as_ref())
     } else {
         let mut out = Vec::new();
         for id in &ids {
-            match run_by_id(id) {
+            match run_by_id_with(id, exec.as_ref()) {
                 Some(r) => out.push(r),
                 None => {
                     eprintln!("unknown experiment id {id:?} (try --list)");

@@ -1,6 +1,6 @@
 //! A1 and A2: ablations of design choices DESIGN.md calls out.
 
-use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
 use ringleader_core::{CountRingSize, CounterEncoding, StatelessTwoPass, TwoPassParity};
 use ringleader_langs::Language;
 use ringleader_sim::RingRunner;
@@ -16,7 +16,7 @@ use ringleader_sim::RingRunner;
 /// but is a capped algorithm (wrong for `n ≥ 2⁶⁴`), which is why the
 /// honest protocols never use it.
 #[must_use]
-pub fn a1_encoding_ablation() -> ExperimentResult {
+pub fn a1_encoding_ablation(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "A1",
         "Ablation: counter encodings vs the Θ(n log n) claim",
@@ -41,18 +41,25 @@ pub fn a1_encoding_ablation() -> ExperimentResult {
         (CounterEncoding::Unary, "n² — tier lost", 14.0, 18.0),
         (CounterEncoding::Fixed64, "64n — capped, wrong for n ≥ 2^64", 3.99, 4.01),
     ];
-    for (encoding, class, lo, hi) in cases {
-        let proto = CountRingSize::probe_with_encoding(encoding);
-        let b256 = match RingRunner::new().run(&proto, &word(256)) {
-            Ok(o) => o.stats.total_bits,
+    // The eight runs (4 encodings × 2 sizes) are independent; fan them
+    // out and fold in case order.
+    let measured = run_independent(exec, cases.len(), |i| {
+        let proto = CountRingSize::probe_with_encoding(cases[i].0);
+        let b256 = RingRunner::new().run(&proto, &word(256)).map(|o| o.stats.total_bits);
+        let b1024 = RingRunner::new().run(&proto, &word(1024)).map(|o| o.stats.total_bits);
+        (b256, b1024)
+    });
+    for ((encoding, class, lo, hi), (r256, r1024)) in cases.into_iter().zip(measured) {
+        let b256 = match r256 {
+            Ok(b) => b,
             Err(e) => {
                 all_good = false;
                 result.push_note(format!("{encoding:?}: {e}"));
                 continue;
             }
         };
-        let b1024 = match RingRunner::new().run(&proto, &word(1024)) {
-            Ok(o) => o.stats.total_bits,
+        let b1024 = match r1024 {
+            Ok(b) => b,
             Err(e) => {
                 all_good = false;
                 result.push_note(format!("{encoding:?}: {e}"));
@@ -90,7 +97,7 @@ pub fn a1_encoding_ablation() -> ExperimentResult {
 /// by replaying message history costs a bounded factor, never a
 /// complexity class.
 #[must_use]
-pub fn a2_stateless_replay() -> ExperimentResult {
+pub fn a2_stateless_replay(exec: &dyn SweepExecutor) -> ExperimentResult {
     let n = 90usize;
     let mut result = ExperimentResult::new(
         "A2",
@@ -106,23 +113,40 @@ pub fn a2_stateless_replay() -> ExperimentResult {
     );
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
     let mut all_good = true;
-    for k in 1..=5u32 {
+    // Serial workload generation (one RNG stream), parallel measurement.
+    let cases: Vec<(u32, ringleader_automata::Word)> = (1..=5u32)
+        .map(|k| {
+            let word = TwoPassParity::new(k)
+                .language()
+                .positive_example(n, &mut rng)
+                .expect("positives exist at every length");
+            (k, word)
+        })
+        .collect();
+    let outcomes = run_independent(exec, cases.len(), |i| {
+        let (k, word) = &cases[i];
+        let stateful = RingRunner::new()
+            .run(&TwoPassParity::new(*k), word)
+            .map(|o| (o.stats.total_bits, o.accepted()));
+        let stateless = RingRunner::new()
+            .run(&StatelessTwoPass::new(*k), word)
+            .map(|o| (o.stats.total_bits, o.accepted()));
+        (stateful, stateless)
+    });
+    for ((k, _), (stateful_run, stateless_run)) in cases.iter().zip(outcomes) {
+        let k = *k;
         let stateful = TwoPassParity::new(k);
         let stateless = StatelessTwoPass::new(k);
-        let word = stateful
-            .language()
-            .positive_example(n, &mut rng)
-            .expect("positives exist at every length");
-        let (b_stateful, d1) = match RingRunner::new().run(&stateful, &word) {
-            Ok(o) => (o.stats.total_bits, o.accepted()),
+        let (b_stateful, d1) = match stateful_run {
+            Ok(pair) => pair,
             Err(e) => {
                 all_good = false;
                 result.push_note(format!("stateful k={k}: {e}"));
                 continue;
             }
         };
-        let (b_stateless, d2) = match RingRunner::new().run(&stateless, &word) {
-            Ok(o) => (o.stats.total_bits, o.accepted()),
+        let (b_stateless, d2) = match stateless_run {
+            Ok(pair) => pair,
             Err(e) => {
                 all_good = false;
                 result.push_note(format!("stateless k={k}: {e}"));
@@ -160,17 +184,18 @@ pub fn a2_stateless_replay() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn a1_reproduces() {
-        let r = a1_encoding_ablation();
+        let r = a1_encoding_ablation(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 4);
     }
 
     #[test]
     fn a2_reproduces() {
-        let r = a2_stateless_replay();
+        let r = a2_stateless_replay(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 5);
         assert!(r.rows.iter().all(|row| row[4] == "yes"));

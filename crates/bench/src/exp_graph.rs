@@ -1,6 +1,6 @@
 //! E2: the Theorem 2 message-graph construction, both directions.
 
-use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
 use ringleader_core::{
     CountRingSize, DfaOnePass, GraphOutcome, MessageGraphExplorer, OnePassParity, ThreeCounters,
     WcWPrefixForward,
@@ -17,7 +17,7 @@ use ringleader_langs::{regular_corpus, Language};
 /// budget, with the growth profile showing *why* (one new message per
 /// depth for counting; superlinear for richer tokens).
 #[must_use]
-pub fn e2_message_graph() -> ExperimentResult {
+pub fn e2_message_graph(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E2",
         "Message graphs: finite = regular, divergent = non-regular",
@@ -33,32 +33,41 @@ pub fn e2_message_graph() -> ExperimentResult {
     let explorer = MessageGraphExplorer::new(4000);
 
     // Finite side: every corpus DFA protocol closes and reproduces its
-    // language exactly.
-    for lang in regular_corpus() {
-        let proto = DfaOnePass::new(&lang);
+    // language exactly. Each exploration is independent — fan out, fold
+    // rows in corpus order.
+    let corpus = regular_corpus();
+    let corpus_rows = run_independent(exec, corpus.len(), |i| {
+        let lang = &corpus[i];
+        let proto = DfaOnePass::new(lang);
         match explorer.explore(&proto) {
             GraphOutcome::Finite { dfa, distinct_messages } => {
                 let equivalent = dfa.equivalent(lang.dfa()).unwrap_or(false);
-                if !equivalent {
-                    all_good = false;
-                }
-                result.push_row(vec![
-                    format!("one-pass[{}]", lang.name()),
-                    "finite".into(),
-                    distinct_messages.to_string(),
-                    if equivalent { "equivalent (exact)".into() } else { "MISMATCH".into() },
-                ]);
+                (
+                    vec![
+                        format!("one-pass[{}]", lang.name()),
+                        "finite".into(),
+                        distinct_messages.to_string(),
+                        if equivalent { "equivalent (exact)".into() } else { "MISMATCH".into() },
+                    ],
+                    equivalent,
+                )
             }
-            GraphOutcome::Exceeded { .. } => {
-                all_good = false;
-                result.push_row(vec![
+            GraphOutcome::Exceeded { .. } => (
+                vec![
                     format!("one-pass[{}]", lang.name()),
                     "diverged?!".into(),
                     "-".into(),
                     "FAILED".into(),
-                ]);
-            }
+                ],
+                false,
+            ),
         }
+    });
+    for (row, good) in corpus_rows {
+        if !good {
+            all_good = false;
+        }
+        result.push_row(row);
     }
 
     // The one-pass parity protocol is regular but message-hungry: finite,
@@ -83,13 +92,15 @@ pub fn e2_message_graph() -> ExperimentResult {
         }
     }
 
-    // Infinite side: counter algorithms must blow the budget.
-    let divergent: [(&str, GraphOutcome); 3] = [
-        ("count-ring-size", explorer.explore(&CountRingSize::probe())),
-        ("three-counters", explorer.explore(&ThreeCounters::new())),
-        ("wcw-prefix-forward", explorer.explore(&WcWPrefixForward::new())),
-    ];
-    for (name, outcome) in divergent {
+    // Infinite side: counter algorithms must blow the budget. Three
+    // independent explorations, fanned out the same way.
+    let divergent_names = ["count-ring-size", "three-counters", "wcw-prefix-forward"];
+    let divergent_outcomes = run_independent(exec, divergent_names.len(), |i| match i {
+        0 => explorer.explore(&CountRingSize::probe()),
+        1 => explorer.explore(&ThreeCounters::new()),
+        _ => explorer.explore(&WcWPrefixForward::new()),
+    });
+    for (name, outcome) in divergent_names.into_iter().zip(divergent_outcomes) {
         match outcome {
             GraphOutcome::Exceeded { growth, budget } => {
                 let profile = growth_summary(&growth);
@@ -141,10 +152,11 @@ fn growth_summary(growth: &[usize]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e2_reproduces() {
-        let r = e2_message_graph();
+        let r = e2_message_graph(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // Corpus languages + parity + 3 divergent protocols.
         assert_eq!(r.rows.len(), regular_corpus().len() + 1 + 3);

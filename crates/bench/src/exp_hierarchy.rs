@@ -1,6 +1,8 @@
 //! E8: the `L_g` bit-complexity hierarchy is dense (Note 7.3).
 
-use ringleader_analysis::{log_log_slope, sweep_protocol, ExperimentResult, SweepConfig, Verdict};
+use ringleader_analysis::{
+    log_log_slope, sweep_protocol_with, ExperimentResult, SweepConfig, SweepExecutor, Verdict,
+};
 use ringleader_core::LgRecognizer;
 use ringleader_langs::{GrowthFunction, Language, LgLanguage};
 
@@ -12,7 +14,7 @@ use ringleader_langs::{GrowthFunction, Language, LgLanguage};
 /// across sizes), and the log-log slopes must come out *ordered* the same
 /// way the functions are — the hierarchy is real and dense.
 #[must_use]
-pub fn e8_hierarchy() -> ExperimentResult {
+pub fn e8_hierarchy(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E8",
         "The L_g hierarchy: Θ(g(n)) for every g in the band",
@@ -32,7 +34,7 @@ pub fn e8_hierarchy() -> ExperimentResult {
         let lang = LgLanguage::new(g);
         let proto = LgRecognizer::new(&lang);
         let config = SweepConfig::with_sizes(sizes.clone());
-        let points = match sweep_protocol(&proto, &lang, &config) {
+        let points = match sweep_protocol_with(&proto, &lang, &config, exec) {
             Ok(p) => p,
             Err(e) => {
                 all_good = false;
@@ -84,10 +86,11 @@ pub fn e8_hierarchy() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e8_reproduces() {
-        let r = e8_hierarchy();
+        let r = e8_hierarchy(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // 4 growth functions × 5 sizes.
         assert_eq!(r.rows.len(), 20);

@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use ringleader_analysis::{sweep_protocol, ExperimentResult, SweepConfig, Verdict};
+use ringleader_analysis::{
+    sweep_protocol_with, ExperimentResult, SweepConfig, SweepExecutor, Verdict,
+};
 use ringleader_core::{CountRingSize, LengthPredicateKnownN, LgRecognizer};
 use ringleader_langs::{GrowthFunction, Language, LgLanguage, PowerOfTwoLength};
 use ringleader_sim::RingRunner;
@@ -19,7 +21,7 @@ use ringleader_sim::RingRunner;
 ///    bits track `n·m` for every period (down to the `g(n) = Θ(n)` tier,
 ///    where `Ω(n log n)` would forbid it if `n` were unknown).
 #[must_use]
-pub fn e9_known_n() -> ExperimentResult {
+pub fn e9_known_n(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E9",
         "Known n: the gap closes",
@@ -94,9 +96,10 @@ pub fn e9_known_n() -> ExperimentResult {
         let known_points = {
             let mut config = SweepConfig::with_sizes(sizes.clone());
             config.known_ring_size = true;
-            sweep_protocol(&proto, &lang, &config)
+            sweep_protocol_with(&proto, &lang, &config, exec)
         };
-        let unknown_points = sweep_protocol(&proto, &lang, &SweepConfig::with_sizes(sizes));
+        let unknown_points =
+            sweep_protocol_with(&proto, &lang, &SweepConfig::with_sizes(sizes), exec);
         match (known_points, unknown_points) {
             (Ok(kp), Ok(up)) => {
                 for (k, u) in kp.iter().zip(&up) {
@@ -133,10 +136,11 @@ pub fn e9_known_n() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e9_reproduces() {
-        let r = e9_known_n();
+        let r = e9_known_n(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // 3 power-of-two rows + 2 growths × 3 sizes.
         assert_eq!(r.rows.len(), 9);

@@ -2,7 +2,8 @@
 //! upper bound.
 
 use ringleader_analysis::{
-    fit_series, sweep_protocol, ExperimentResult, GrowthModel, SweepConfig, Verdict,
+    fit_series, sweep_protocol_with, ExperimentResult, GrowthModel, SweepConfig, SweepExecutor,
+    Verdict,
 };
 use ringleader_core::infostate::exhaustive_words;
 use ringleader_core::{analyze_info_states, CollectAll, CountRingSize, ThreeCounters};
@@ -19,7 +20,7 @@ use std::sync::Arc;
 /// 3. the max message width of the counter protocols grows like `log n` —
 ///    `Θ(log n)`-bit messages × `n` messages = the `Θ(n log n)` total.
 #[must_use]
-pub fn e3_info_states() -> ExperimentResult {
+pub fn e3_info_states(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E3",
         "Information states: the Ω(n log n) mechanism",
@@ -99,7 +100,7 @@ pub fn e3_info_states() -> ExperimentResult {
     // unlike any O(n) protocol's constant width.
     let lang = AnBnCn::new();
     let config = SweepConfig::with_sizes(vec![24, 96, 384, 1536]);
-    match sweep_protocol(&ThreeCounters::new(), &lang, &config) {
+    match sweep_protocol_with(&ThreeCounters::new(), &lang, &config, exec) {
         Ok(points) => {
             let widths: Vec<usize> = points.iter().map(|p| p.max_message_bits).collect();
             let grows = widths.windows(2).all(|w| w[1] > w[0]);
@@ -127,7 +128,7 @@ pub fn e3_info_states() -> ExperimentResult {
 /// E7 — Note 7.2: `0ⁿ1ⁿ2ⁿ` (context-sensitive!) in `Θ(n log n)` bits,
 /// with the collect-all baseline crossing over at small `n`.
 #[must_use]
-pub fn e7_three_counters() -> ExperimentResult {
+pub fn e7_three_counters(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E7",
         "0^n 1^n 2^n via three counters: Θ(n log n)",
@@ -145,15 +146,16 @@ pub fn e7_three_counters() -> ExperimentResult {
     let collect = CollectAll::new(Arc::new(AnBnCn::new()));
     let sizes = vec![6usize, 12, 24, 48, 96, 192, 384, 768, 1536];
     let config = SweepConfig::with_sizes(sizes);
-    let (counter_points, collect_points) =
-        match (sweep_protocol(&counters, &lang, &config), sweep_protocol(&collect, &lang, &config))
-        {
-            (Ok(a), Ok(b)) => (a, b),
-            _ => {
-                result.set_verdict(Verdict::Failed("simulation error".into()));
-                return result;
-            }
-        };
+    let (counter_points, collect_points) = match (
+        sweep_protocol_with(&counters, &lang, &config, exec),
+        sweep_protocol_with(&collect, &lang, &config, exec),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => {
+            result.set_verdict(Verdict::Failed("simulation error".into()));
+            return result;
+        }
+    };
 
     let mut crossover: Option<usize> = None;
     for (cp, bp) in counter_points.iter().zip(&collect_points) {
@@ -202,17 +204,18 @@ pub fn e7_three_counters() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e3_reproduces() {
-        let r = e3_info_states();
+        let r = e3_info_states(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 2);
     }
 
     #[test]
     fn e7_reproduces() {
-        let r = e7_three_counters();
+        let r = e7_three_counters(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert!(r.rows.len() >= 8);
         // The last rows must be counter wins (n log n < n^2 eventually).

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
 use ringleader_core::{CollectAll, CountRingSize, DfaOnePass, ThreeCounters};
 use ringleader_langs::{AnBnCn, DfaLanguage, Language};
 use ringleader_sim::{Protocol, RingRunner, Scheduler, ThreadedRunner};
@@ -21,7 +21,7 @@ use ringleader_sim::{Protocol, RingRunner, Scheduler, ThreadedRunner};
 ///    crossbeam channels produce the same decisions and bit totals as the
 ///    event-driven engine.
 #[must_use]
-pub fn e12_model_validity() -> ExperimentResult {
+pub fn e12_model_validity(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E12",
         "Simulator validity: schedules and real threads agree",
@@ -63,7 +63,12 @@ pub fn e12_model_validity() -> ExperimentResult {
         ),
     ];
 
-    for (name, proto, word) in &cases {
+    // Each case (schedule matrix + threaded cross-check) is independent
+    // of the others; fan the cases out and fold notes/rows in case order.
+    let outcomes = run_independent(exec, cases.len(), |i| {
+        let (name, proto, word) = &cases[i];
+        let mut notes: Vec<String> = Vec::new();
+        let mut good = true;
         let mut schedules = vec![Scheduler::Fifo, Scheduler::LongestQueue];
         for seed in 0..5 {
             schedules.push(Scheduler::Random { seed });
@@ -79,15 +84,15 @@ pub fn e12_model_validity() -> ExperimentResult {
                     decisions.push(o.accepted());
                 }
                 Err(e) => {
-                    all_good = false;
-                    result.push_note(format!("{name} under {sched:?}: {e}"));
+                    good = false;
+                    notes.push(format!("{name} under {sched:?}: {e}"));
                 }
             }
         }
         let bits_agree = bits.windows(2).all(|w| w[0] == w[1]);
         let decisions_agree = decisions.windows(2).all(|w| w[0] == w[1]);
         if !bits_agree || !decisions_agree {
-            all_good = false;
+            good = false;
         }
 
         let threaded = ThreadedRunner::new().run(proto.as_ref(), word);
@@ -98,15 +103,15 @@ pub fn e12_model_validity() -> ExperimentResult {
                     && Some(t.decision) == decisions.first().copied()
             }
             Err(e) => {
-                result.push_note(format!("{name} threaded: {e}"));
+                notes.push(format!("{name} threaded: {e}"));
                 false
             }
         };
         if !threads_agree {
-            all_good = false;
+            good = false;
         }
 
-        result.push_row(vec![
+        let row = vec![
             (*name).into(),
             word.len().to_string(),
             format!("{} tested", schedules.len()),
@@ -116,7 +121,17 @@ pub fn e12_model_validity() -> ExperimentResult {
                 format!("DIVERGED {bits:?}")
             },
             if threads_agree { "agree".into() } else { "DISAGREE".into() },
-        ]);
+        ];
+        (notes, row, good)
+    });
+    for (notes, row, good) in outcomes {
+        for note in notes {
+            result.push_note(note);
+        }
+        if !good {
+            all_good = false;
+        }
+        result.push_row(row);
     }
 
     result.push_note("bidirectional probe protocols may legitimately vary bits across schedules (verdict paths differ); decision invariance for those is covered by E5's scheduler sweep");
@@ -131,10 +146,11 @@ pub fn e12_model_validity() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e12_reproduces() {
-        let r = e12_model_validity();
+        let r = e12_model_validity(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 4);
         for row in &r.rows {

@@ -4,7 +4,8 @@
 use std::sync::Arc;
 
 use ringleader_analysis::{
-    fit_series, sweep_protocol, ExperimentResult, GrowthModel, SweepConfig, Verdict,
+    fit_series, sweep_protocol_with, ExperimentResult, GrowthModel, SweepConfig, SweepExecutor,
+    Verdict,
 };
 use ringleader_core::{CollectAll, WcWPrefixForward};
 use ringleader_langs::{AnBn, AnBnCn, EqualAB, Language, Palindrome, WcW};
@@ -18,7 +19,7 @@ use crate::quadratic_sizes;
 /// `Ω(n²)` lower bound), with message widths growing linearly in `n` —
 /// the transport of `w` across the ring is visible on the wire.
 #[must_use]
-pub fn e6_wcw() -> ExperimentResult {
+pub fn e6_wcw(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E6",
         "wcw costs Θ(n²)",
@@ -28,7 +29,7 @@ pub fn e6_wcw() -> ExperimentResult {
     let lang = WcW::new();
     let proto = WcWPrefixForward::new();
     let config = SweepConfig::with_sizes(quadratic_sizes());
-    let points = match sweep_protocol(&proto, &lang, &config) {
+    let points = match sweep_protocol_with(&proto, &lang, &config, exec) {
         Ok(p) => p,
         Err(e) => {
             result.set_verdict(Verdict::Failed(format!("simulation error: {e}")));
@@ -62,7 +63,7 @@ pub fn e6_wcw() -> ExperimentResult {
 /// exactly `⌈log|Σ|⌉·n(n+1)/2` bits — the trivial quadratic upper bound
 /// all specialized algorithms beat.
 #[must_use]
-pub fn e11_collect_all() -> ExperimentResult {
+pub fn e11_collect_all(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E11",
         "Collect-all: the universal Θ(n²) upper bound",
@@ -86,7 +87,7 @@ pub fn e11_collect_all() -> ExperimentResult {
     for lang in &languages {
         let proto = CollectAll::new(Arc::clone(lang));
         let config = SweepConfig::with_sizes(vec![33, 129, 513]);
-        let points = match sweep_protocol(&proto, lang.as_ref(), &config) {
+        let points = match sweep_protocol_with(&proto, lang.as_ref(), &config, exec) {
             Ok(p) => p,
             Err(e) => {
                 all_good = false;
@@ -121,17 +122,18 @@ pub fn e11_collect_all() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e6_reproduces() {
-        let r = e6_wcw();
+        let r = e6_wcw(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert!(r.rows.len() >= 5);
     }
 
     #[test]
     fn e11_reproduces() {
-        let r = e11_collect_all();
+        let r = e11_collect_all(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // 5 languages × 3 sizes.
         assert_eq!(r.rows.len(), 15);

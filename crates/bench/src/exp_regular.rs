@@ -1,7 +1,8 @@
 //! E1 and E5: regular languages cost `O(n)` bits, uni- and bidirectionally.
 
 use ringleader_analysis::{
-    fit_series, sweep_protocol, ExperimentResult, GrowthModel, SweepConfig, Verdict,
+    fit_series, sweep_protocol_with, ExperimentResult, GrowthModel, SweepConfig, SweepExecutor,
+    Verdict,
 };
 use ringleader_core::{BidirMeetInMiddle, DfaOnePass};
 use ringleader_langs::{regular_corpus, Language};
@@ -15,7 +16,7 @@ use crate::standard_sizes;
 /// match the closed-form bit count at every size, and (iii) fit the
 /// linear model.
 #[must_use]
-pub fn e1_regular_linear() -> ExperimentResult {
+pub fn e1_regular_linear(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E1",
         "Regular languages: one pass, n·ceil(log|Q|) bits",
@@ -33,7 +34,7 @@ pub fn e1_regular_linear() -> ExperimentResult {
     for lang in regular_corpus() {
         let proto = DfaOnePass::new(&lang);
         let config = SweepConfig::with_sizes(standard_sizes());
-        let points = match sweep_protocol(&proto, &lang, &config) {
+        let points = match sweep_protocol_with(&proto, &lang, &config, exec) {
             Ok(p) => p,
             Err(e) => {
                 result.push_note(format!("{}: simulation error {e}", lang.name()));
@@ -80,7 +81,7 @@ pub fn e1_regular_linear() -> ExperimentResult {
 /// the meet-in-the-middle protocol stays linear with constant-size
 /// messages, while genuinely using both directions.
 #[must_use]
-pub fn e5_bidirectional() -> ExperimentResult {
+pub fn e5_bidirectional(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E5",
         "Bidirectional regular recognition stays O(n)",
@@ -99,16 +100,17 @@ pub fn e5_bidirectional() -> ExperimentResult {
         let bidir = BidirMeetInMiddle::new(&lang);
         let unidir = DfaOnePass::new(&lang);
         let config = SweepConfig::with_sizes(standard_sizes());
-        let (bi_points, uni_points) =
-            match (sweep_protocol(&bidir, &lang, &config), sweep_protocol(&unidir, &lang, &config))
-            {
-                (Ok(b), Ok(u)) => (b, u),
-                _ => {
-                    result.push_note(format!("{}: simulation error", lang.name()));
-                    all_good = false;
-                    continue;
-                }
-            };
+        let (bi_points, uni_points) = match (
+            sweep_protocol_with(&bidir, &lang, &config, exec),
+            sweep_protocol_with(&unidir, &lang, &config, exec),
+        ) {
+            (Ok(b), Ok(u)) => (b, u),
+            _ => {
+                result.push_note(format!("{}: simulation error", lang.name()));
+                all_good = false;
+                continue;
+            }
+        };
         let last = bi_points.last().expect("non-empty sweep");
         let uni_last = uni_points.last().expect("non-empty sweep");
         let ratio =
@@ -177,10 +179,11 @@ pub fn e5_bidirectional() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e1_reproduces() {
-        let r = e1_regular_linear();
+        let r = e1_regular_linear(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), regular_corpus().len());
         // Every predicted column equals the measured column.
@@ -191,7 +194,7 @@ mod tests {
 
     #[test]
     fn e5_reproduces() {
-        let r = e5_bidirectional();
+        let r = e5_bidirectional(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), regular_corpus().len());
     }

@@ -1,6 +1,6 @@
 //! E4: the Theorem 5 cut-link transformation and its ≤4× bound.
 
-use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
 use ringleader_core::{CountRingSize, CutLinkAdapter, DfaOnePass, ThreeCounters};
 use ringleader_langs::{DfaLanguage, Language};
 use ringleader_sim::{validate_token_discipline, Protocol, RingRunner};
@@ -13,7 +13,7 @@ use ringleader_sim::{validate_token_discipline, Protocol, RingRunner};
 /// are uniform, so the fixed cut *is* a minimum-traffic link and the
 /// paper's accounting applies directly.
 #[must_use]
-pub fn e4_cut_link() -> ExperimentResult {
+pub fn e4_cut_link(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E4",
         "Cut-link rerouting: ≤ 4× bits, zero data on the cut",
@@ -34,41 +34,10 @@ pub fn e4_cut_link() -> ExperimentResult {
     let mut all_good = true;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
 
-    let mut run_case = |name: &str,
-                        inner: &dyn Protocol,
-                        adapted: &dyn Protocol,
-                        word: &ringleader_automata::Word,
-                        result: &mut ExperimentResult| {
-        let n = word.len();
-        let plain = RingRunner::new().run(inner, word).expect("plain run succeeds");
-        let mut runner = RingRunner::new();
-        runner.record_trace(true);
-        let rerouted = runner.run(adapted, word).expect("rerouted run succeeds");
-        if plain.decision != rerouted.decision {
-            all_good = false;
-        }
-        let ratio = rerouted.stats.total_bits as f64 / plain.stats.total_bits.max(1) as f64;
-        if ratio > 4.0 {
-            all_good = false;
-        }
-        let cut_bits = rerouted.stats.link_bits(n - 1);
-        if cut_bits != 0 {
-            all_good = false;
-        }
-        let token = rerouted.trace.as_ref().is_some_and(validate_token_discipline);
-        if !token {
-            all_good = false;
-        }
-        result.push_row(vec![
-            name.into(),
-            n.to_string(),
-            plain.stats.total_bits.to_string(),
-            rerouted.stats.total_bits.to_string(),
-            format!("{ratio:.2}"),
-            cut_bits.to_string(),
-            if token { "yes".into() } else { "NO".into() },
-        ]);
-    };
+    // Build all nine cases up front (workload RNG stays a single serial
+    // stream), then measure them independently through the executor.
+    type Case = (&'static str, Box<dyn Protocol>, Box<dyn Protocol>, ringleader_automata::Word);
+    let mut cases: Vec<Case> = Vec::new();
 
     for n in [16usize, 64, 256] {
         let word = lang
@@ -77,7 +46,7 @@ pub fn e4_cut_link() -> ExperimentResult {
             .expect("words exist at every length");
         let inner = DfaOnePass::new(&lang);
         let adapted = CutLinkAdapter::new(inner.clone());
-        run_case("dfa-one-pass[(a|b)*abb]", &inner, &adapted, &word, &mut result);
+        cases.push(("dfa-one-pass[(a|b)*abb]", Box::new(inner), Box::new(adapted), word));
     }
 
     let unary = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
@@ -86,7 +55,7 @@ pub fn e4_cut_link() -> ExperimentResult {
             ringleader_automata::Word::from_str(&"a".repeat(n), &unary).expect("unary words parse");
         let inner = CountRingSize::probe();
         let adapted = CutLinkAdapter::new(inner.clone());
-        run_case("count-ring-size", &inner, &adapted, &word, &mut result);
+        cases.push(("count-ring-size", Box::new(inner), Box::new(adapted), word));
     }
 
     let tri = ringleader_automata::Alphabet::from_chars("012").expect("valid alphabet");
@@ -96,7 +65,38 @@ pub fn e4_cut_link() -> ExperimentResult {
         let word = ringleader_automata::Word::from_str(&text, &tri).expect("words parse");
         let inner = ThreeCounters::new();
         let adapted = CutLinkAdapter::new(inner.clone());
-        run_case("three-counters", &inner, &adapted, &word, &mut result);
+        cases.push(("three-counters", Box::new(inner), Box::new(adapted), word));
+    }
+
+    let rows = run_independent(exec, cases.len(), |i| {
+        let (name, inner, adapted, word) = &cases[i];
+        let n = word.len();
+        let plain = RingRunner::new().run(inner.as_ref(), word).expect("plain run succeeds");
+        let mut runner = RingRunner::new();
+        runner.record_trace(true);
+        let rerouted = runner.run(adapted.as_ref(), word).expect("rerouted run succeeds");
+        let ratio = rerouted.stats.total_bits as f64 / plain.stats.total_bits.max(1) as f64;
+        let cut_bits = rerouted.stats.link_bits(n - 1);
+        let token = rerouted.trace.as_ref().is_some_and(validate_token_discipline);
+        let good = plain.decision == rerouted.decision && ratio <= 4.0 && cut_bits == 0 && token;
+        (
+            vec![
+                (*name).into(),
+                n.to_string(),
+                plain.stats.total_bits.to_string(),
+                rerouted.stats.total_bits.to_string(),
+                format!("{ratio:.2}"),
+                cut_bits.to_string(),
+                if token { "yes".into() } else { "NO".into() },
+            ],
+            good,
+        )
+    });
+    for (row, good) in rows {
+        if !good {
+            all_good = false;
+        }
+        result.push_row(row);
     }
 
     result.push_note("setup marker/ack are the paper's excluded line-setup messages (0 bits here)");
@@ -111,10 +111,11 @@ pub fn e4_cut_link() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::Serial;
 
     #[test]
     fn e4_reproduces() {
-        let r = e4_cut_link();
+        let r = e4_cut_link(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 9);
         for row in &r.rows {

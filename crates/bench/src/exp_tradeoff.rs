@@ -1,6 +1,6 @@
 //! E10: the pass/bit trade-off (Note 7.5), reproduced *exactly*.
 
-use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
 use ringleader_core::{OnePassParity, TwoPassParity};
 use ringleader_langs::Language;
 use ringleader_sim::RingRunner;
@@ -10,7 +10,7 @@ use ringleader_sim::RingRunner;
 /// asymptotics — the measured totals must equal them bit for bit, with
 /// the crossover at `k = 3`.
 #[must_use]
-pub fn e10_tradeoff() -> ExperimentResult {
+pub fn e10_tradeoff(exec: &dyn SweepExecutor) -> ExperimentResult {
     let n = 120usize;
     let mut result = ExperimentResult::new(
         "E10",
@@ -27,40 +27,47 @@ pub fn e10_tradeoff() -> ExperimentResult {
         ],
     );
     let mut all_good = true;
+    // Workloads are drawn serially from one RNG stream (byte-identical to
+    // the historical serial loop); only the independent runs fan out.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(12);
-    for k in 1..=5u32 {
-        let two = TwoPassParity::new(k);
-        let one = OnePassParity::new(k);
-        let lang = two.language().clone();
-        let word = lang.positive_example(n, &mut rng).expect("positives exist at every length");
-        let b2 = match RingRunner::new().run(&two, &word) {
-            Ok(o) => {
-                if !o.accepted() {
-                    all_good = false;
-                }
-                o.stats.total_bits
-            }
+    let cases: Vec<(u32, ringleader_automata::Word)> = (1..=5u32)
+        .map(|k| {
+            let lang = TwoPassParity::new(k).language().clone();
+            let word = lang.positive_example(n, &mut rng).expect("positives exist at every length");
+            (k, word)
+        })
+        .collect();
+    let outcomes = run_independent(exec, cases.len(), |i| {
+        let (k, word) = &cases[i];
+        let two = TwoPassParity::new(*k);
+        let one = OnePassParity::new(*k);
+        let b2 = RingRunner::new().run(&two, word).map(|o| (o.stats.total_bits, o.accepted()));
+        let b1 = RingRunner::new().run(&one, word).map(|o| (o.stats.total_bits, o.accepted()));
+        (b2, b1)
+    });
+    for ((k, _), (two_run, one_run)) in cases.iter().zip(outcomes) {
+        let k = *k;
+        let (b2, d2) = match two_run {
+            Ok(pair) => pair,
             Err(e) => {
                 all_good = false;
                 result.push_note(format!("two-pass k={k} failed: {e}"));
                 continue;
             }
         };
-        let b1 = match RingRunner::new().run(&one, &word) {
-            Ok(o) => {
-                if !o.accepted() {
-                    all_good = false;
-                }
-                o.stats.total_bits
-            }
+        let (b1, d1) = match one_run {
+            Ok(pair) => pair,
             Err(e) => {
                 all_good = false;
                 result.push_note(format!("one-pass k={k} failed: {e}"));
                 continue;
             }
         };
-        let f2 = two.predicted_bits(n);
-        let f1 = one.predicted_bits(n);
+        if !d2 || !d1 {
+            all_good = false;
+        }
+        let f2 = TwoPassParity::new(k).predicted_bits(n);
+        let f1 = OnePassParity::new(k).predicted_bits(n);
         if b2 != f2 || b1 != f1 {
             all_good = false;
         }
@@ -96,15 +103,24 @@ pub fn e10_tradeoff() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ringleader_analysis::{Parallel, Serial};
 
     #[test]
     fn e10_reproduces_exactly() {
-        let r = e10_tradeoff();
+        let r = e10_tradeoff(&Serial);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 5);
         for row in &r.rows {
             assert_eq!(row[2], row[3], "two-pass formula mismatch: {row:?}");
             assert_eq!(row[4], row[5], "one-pass formula mismatch: {row:?}");
         }
+    }
+
+    #[test]
+    fn e10_is_executor_independent() {
+        let serial = e10_tradeoff(&Serial);
+        let parallel = e10_tradeoff(&Parallel(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 }

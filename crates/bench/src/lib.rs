@@ -51,7 +51,7 @@ pub use exp_regular::{e1_regular_linear, e5_bidirectional};
 pub use exp_reroute::e4_cut_link;
 pub use exp_tradeoff::e10_tradeoff;
 
-use ringleader_analysis::ExperimentResult;
+use ringleader_analysis::{ExperimentResult, Serial, SweepExecutor};
 
 /// Standard sweep sizes used by the linear/`n log n` experiments.
 pub(crate) fn standard_sizes() -> Vec<usize> {
@@ -67,47 +67,60 @@ pub(crate) fn quadratic_sizes() -> Vec<usize> {
     vec![65, 129, 257, 513, 1025]
 }
 
-/// Runs every experiment in order.
+/// Runs every experiment in order with the given sweep executor.
 #[must_use]
-pub fn run_all() -> Vec<ExperimentResult> {
+pub fn run_all_with(exec: &dyn SweepExecutor) -> Vec<ExperimentResult> {
     vec![
-        e1_regular_linear(),
-        e2_message_graph(),
-        e3_info_states(),
-        e4_cut_link(),
-        e5_bidirectional(),
-        e6_wcw(),
-        e7_three_counters(),
-        e8_hierarchy(),
-        e9_known_n(),
-        e10_tradeoff(),
-        e11_collect_all(),
-        e12_model_validity(),
-        a1_encoding_ablation(),
-        a2_stateless_replay(),
+        e1_regular_linear(exec),
+        e2_message_graph(exec),
+        e3_info_states(exec),
+        e4_cut_link(exec),
+        e5_bidirectional(exec),
+        e6_wcw(exec),
+        e7_three_counters(exec),
+        e8_hierarchy(exec),
+        e9_known_n(exec),
+        e10_tradeoff(exec),
+        e11_collect_all(exec),
+        e12_model_validity(exec),
+        a1_encoding_ablation(exec),
+        a2_stateless_replay(exec),
     ]
 }
 
-/// Runs the experiment with the given id (`"e1"`…`"e12"`, case-insensitive).
+/// Runs every experiment in order on the serial executor.
 #[must_use]
-pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
+pub fn run_all() -> Vec<ExperimentResult> {
+    run_all_with(&Serial)
+}
+
+/// Runs the experiment with the given id (`"e1"`…`"e12"`,
+/// case-insensitive) with the given sweep executor.
+#[must_use]
+pub fn run_by_id_with(id: &str, exec: &dyn SweepExecutor) -> Option<ExperimentResult> {
     match id.to_ascii_lowercase().as_str() {
-        "e1" => Some(e1_regular_linear()),
-        "e2" => Some(e2_message_graph()),
-        "e3" => Some(e3_info_states()),
-        "e4" => Some(e4_cut_link()),
-        "e5" => Some(e5_bidirectional()),
-        "e6" => Some(e6_wcw()),
-        "e7" => Some(e7_three_counters()),
-        "e8" => Some(e8_hierarchy()),
-        "e9" => Some(e9_known_n()),
-        "e10" => Some(e10_tradeoff()),
-        "e11" => Some(e11_collect_all()),
-        "e12" => Some(e12_model_validity()),
-        "a1" => Some(a1_encoding_ablation()),
-        "a2" => Some(a2_stateless_replay()),
+        "e1" => Some(e1_regular_linear(exec)),
+        "e2" => Some(e2_message_graph(exec)),
+        "e3" => Some(e3_info_states(exec)),
+        "e4" => Some(e4_cut_link(exec)),
+        "e5" => Some(e5_bidirectional(exec)),
+        "e6" => Some(e6_wcw(exec)),
+        "e7" => Some(e7_three_counters(exec)),
+        "e8" => Some(e8_hierarchy(exec)),
+        "e9" => Some(e9_known_n(exec)),
+        "e10" => Some(e10_tradeoff(exec)),
+        "e11" => Some(e11_collect_all(exec)),
+        "e12" => Some(e12_model_validity(exec)),
+        "a1" => Some(a1_encoding_ablation(exec)),
+        "a2" => Some(a2_stateless_replay(exec)),
         _ => None,
     }
+}
+
+/// Runs the experiment with the given id on the serial executor.
+#[must_use]
+pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
+    run_by_id_with(id, &Serial)
 }
 
 #[cfg(test)]
@@ -128,8 +141,19 @@ mod tests {
     // here we only check the suite wiring stays intact.
     #[test]
     fn quick_experiment_reproduces() {
-        let r = e10_tradeoff();
+        let r = e10_tradeoff(&Serial);
         assert_eq!(r.id, "E10");
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // The acceptance bar for the parallel executor, on a fast
+        // experiment: byte-identical JSON for 1 vs 4 workers.
+        for id in ["e10", "a1", "a2"] {
+            let serial = run_by_id_with(id, &ringleader_analysis::Serial).unwrap();
+            let parallel = run_by_id_with(id, &ringleader_analysis::Parallel(4)).unwrap();
+            assert_eq!(serial.to_json(), parallel.to_json(), "{id}");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The machine-readable experiment pipeline: results serialize, round-trip,
 //! and carry everything EXPERIMENTS.md quotes.
 
-use ringleader_analysis::{ExperimentResult, Verdict};
+use ringleader_analysis::{ExperimentResult, Serial, Verdict};
 use ringleader_bench::{e10_tradeoff, run_by_id};
 
 #[test]
@@ -23,8 +23,8 @@ fn fast_experiments_roundtrip_through_json() {
 fn experiment_results_are_deterministic() {
     // Same seeds everywhere ⇒ byte-identical reruns. This is what makes
     // EXPERIMENTS.md quotable: the numbers cannot drift between runs.
-    let a = e10_tradeoff();
-    let b = e10_tradeoff();
+    let a = e10_tradeoff(&Serial);
+    let b = e10_tradeoff(&Serial);
     assert_eq!(a, b);
     assert_eq!(a.to_json(), b.to_json());
 }

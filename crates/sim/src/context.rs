@@ -167,7 +167,12 @@ pub trait Process: Send {
 /// The single [`follower`](Protocol::follower) factory enforces the
 /// paper's model requirement that *all processors other than the leader
 /// execute the same algorithm* (parameterized only by their input letter).
-pub trait Protocol {
+///
+/// Protocols are `Send + Sync`: a protocol value is an immutable factory
+/// (all per-run state lives in the [`Process`] instances it creates), so
+/// the parallel sweep executor can share one protocol across worker
+/// threads.
+pub trait Protocol: Send + Sync {
     /// Short name used in reports and benches.
     fn name(&self) -> &'static str;
 

@@ -76,6 +76,7 @@
 mod context;
 mod engine;
 mod error;
+pub mod pool;
 mod sched;
 mod stats;
 mod threaded;

@@ -11,6 +11,15 @@
 //! leader decides, a `Halt` envelope is flooded clockwise so every thread
 //! shuts down. Control envelopes carry no protocol bits and are excluded
 //! from the accounting.
+//!
+//! Threads park on a real blocking `select!` over their two data links
+//! and a shutdown channel — no polling. Shutdown is broadcast by
+//! *disconnecting* the shutdown channel (dropping its only sender, held
+//! in a shared slot): every parked worker observes the disconnect at
+//! once, which a single in-band message could not do. The watchdog
+//! deadline lives in exactly one place — the coordinating thread's
+//! `recv_timeout` on the decision channel — so a stuck protocol aborts
+//! within one configured timeout, not timeout-plus-slack.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -119,6 +128,13 @@ impl ThreadedRunner {
         let failure: Arc<Mutex<Option<SimError>>> = Arc::new(Mutex::new(None));
         let (decision_tx, decision_rx) = unbounded::<bool>();
 
+        // Shutdown broadcast: the channel's single sender lives in this
+        // shared slot; clearing the slot disconnects the channel, waking
+        // every worker parked on it. Workers hold the slot (not a sender
+        // clone) so a failing worker can broadcast too.
+        let (shutdown_tx, shutdown_rx) = unbounded::<()>();
+        let shutdown: Arc<Mutex<Option<Sender<()>>>> = Arc::new(Mutex::new(Some(shutdown_tx)));
+
         let known = self.known_ring_size.then_some(n);
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
@@ -143,13 +159,29 @@ impl ThreadedRunner {
                 message_count: Arc::clone(&message_count),
                 failure: Arc::clone(&failure),
                 decision_tx: decision_tx.clone(),
-                timeout: self.timeout,
+                shutdown_rx: shutdown_rx.clone(),
+                shutdown: Arc::clone(&shutdown),
             };
             handles.push(thread::spawn(move || worker.run()));
         }
         drop(decision_tx);
 
-        let decision = decision_rx.recv_timeout(self.timeout + Duration::from_secs(1));
+        // The watchdog's single source of truth: if no decision (and no
+        // abort — workers that fail drop their decision senders, which
+        // disconnects this channel promptly) arrives within the timeout,
+        // the run is declared stuck.
+        let decision = decision_rx.recv_timeout(self.timeout);
+        if decision.is_err() {
+            // Stall or abort: broadcast shutdown so parked workers exit.
+            // On a clean decision the coordinator must NOT broadcast —
+            // the halt flood retires every worker in FIFO order behind
+            // the data still on its link, whereas the out-of-band
+            // disconnect could win the select against deliverable
+            // envelopes and make the bit totals timing-dependent. (A
+            // worker that fails mid-flood broadcasts for itself, so the
+            // flood cannot strand anyone on this path.)
+            shutdown.lock().take();
+        }
         for h in handles {
             let _ = h.join();
         }
@@ -181,7 +213,8 @@ struct Worker {
     message_count: Arc<AtomicUsize>,
     failure: Arc<Mutex<Option<SimError>>>,
     decision_tx: Sender<bool>,
-    timeout: Duration,
+    shutdown_rx: Receiver<()>,
+    shutdown: Arc<Mutex<Option<Sender<()>>>>,
 }
 
 impl Worker {
@@ -196,17 +229,33 @@ impl Worker {
                 return;
             }
         }
-        let deadline = std::time::Instant::now() + self.timeout;
         loop {
-            // Poll both incoming channels fairly with short timeouts.
-            let envelope = crossbeam::channel::select! {
-                recv(self.from_ccw_neighbor) -> e => e.map(|e| (Direction::Clockwise, e)),
-                recv(self.from_cw_neighbor) -> e => e.map(|e| (Direction::CounterClockwise, e)),
-                default(Duration::from_millis(20)) => {
-                    if std::time::Instant::now() > deadline || self.failure.lock().is_some() {
+            // Queued protocol traffic takes strict priority over the
+            // shutdown broadcast: the select's tie-break rotates among
+            // ready channels (starvation-freedom), so without this
+            // ordered drain a worker could exit with deliverable
+            // envelopes still queued — and the bits their forwarding
+            // would have sent become a coin flip. Only a worker whose
+            // links are momentarily empty parks on the 3-way select.
+            let polled = match self.from_ccw_neighbor.try_recv() {
+                Ok(e) => Some((Direction::Clockwise, e)),
+                Err(_) => match self.from_cw_neighbor.try_recv() {
+                    Ok(e) => Some((Direction::CounterClockwise, e)),
+                    Err(_) => None,
+                },
+            };
+            let envelope = if let Some(hit) = polled {
+                Ok(hit)
+            } else {
+                // Park until a neighbour sends or shutdown is broadcast —
+                // a real blocking wait, no poll interval, no clock.
+                crossbeam::channel::select! {
+                    recv(self.from_ccw_neighbor) -> e => e.map(|e| (Direction::Clockwise, e)),
+                    recv(self.from_cw_neighbor) -> e => e.map(|e| (Direction::CounterClockwise, e)),
+                    recv(self.shutdown_rx) -> _signal => {
+                        // Message or disconnect: either way, stop.
                         return;
                     }
-                    continue;
                 }
             };
             let Ok((direction, envelope)) = envelope else {
@@ -271,6 +320,10 @@ impl Worker {
         if slot.is_none() {
             *slot = Some(err);
         }
+        drop(slot);
+        // Wake every sibling parked on the shutdown channel: clearing the
+        // slot drops the only sender, disconnecting the channel.
+        self.shutdown.lock().take();
     }
 }
 
@@ -379,6 +432,53 @@ mod tests {
         let mut runner = ThreadedRunner::new();
         runner.timeout(Duration::from_millis(200));
         assert!(matches!(runner.run(&Silent, &word(3)), Err(SimError::Stalled { .. })));
+    }
+
+    #[test]
+    fn watchdog_deadline_is_single_sourced() {
+        // The deadline used to be counted twice: each worker armed its
+        // own `timeout` clock *and* the coordinator waited `timeout + 1s`
+        // on top, so a stuck run aborted only after roughly double the
+        // configured budget. Now the coordinator's `recv_timeout` is the
+        // only clock: a stuck protocol must abort within ~1× timeout
+        // (plus scheduling slack), not 2× + 1s.
+        struct Mute;
+        impl Protocol for Mute {
+            fn name(&self) -> &'static str {
+                "mute"
+            }
+            fn topology(&self) -> Topology {
+                Topology::Unidirectional
+            }
+            fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+                struct L;
+                impl Process for L {
+                    fn on_message(
+                        &mut self,
+                        _d: Direction,
+                        _m: &BitString,
+                        _c: &mut Context,
+                    ) -> ProcessResult {
+                        Ok(())
+                    }
+                }
+                Box::new(L)
+            }
+            fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+                Box::new(Forwarder)
+            }
+        }
+        let timeout = Duration::from_millis(300);
+        let mut runner = ThreadedRunner::new();
+        runner.timeout(timeout);
+        let start = std::time::Instant::now();
+        let err = runner.run(&Mute, &word(4)).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, SimError::Stalled { .. }), "{err:?}");
+        assert!(elapsed >= timeout, "aborted before the budget: {elapsed:?}");
+        // Well under the old 2×timeout + 1s behaviour; generous slack
+        // for thread teardown on a loaded single-core runner.
+        assert!(elapsed < timeout * 3, "watchdog budget double-counted: {elapsed:?}");
     }
 
     #[test]

@@ -113,6 +113,33 @@ fn total_bits_is_schedule_invariant_for_token_protocols() {
 }
 
 #[test]
+fn pooled_grid_replays_serial_grid_exactly() {
+    // The sweep layer's foundation: fanning (n, seed) grid points out to
+    // a pool must reproduce the serial loop bit for bit — same decisions,
+    // same stats, same traces, same order. Run the contention-heavy
+    // workload over a grid and compare every worker count against the
+    // serial reference.
+    let grid: Vec<(usize, u64)> = [2usize, 3, 7, 16]
+        .into_iter()
+        .flat_map(|n| [0u64, 1, 42, 1337].into_iter().map(move |seed| (n, seed)))
+        .collect();
+    let reference: Vec<_> = grid
+        .iter()
+        .map(|&(n, seed)| {
+            let o = traced_run(n, Scheduler::Random { seed }).unwrap();
+            (o.decision, o.stats, o.trace)
+        })
+        .collect();
+    for workers in [1usize, 4, 16] {
+        let pooled = ringleader_sim::pool::ordered_map(workers, grid.clone(), |_, (n, seed)| {
+            let o = traced_run(n, Scheduler::Random { seed }).unwrap();
+            (o.decision, o.stats, o.trace)
+        });
+        assert_eq!(pooled, reference, "workers={workers}");
+    }
+}
+
+#[test]
 fn different_seeds_may_reorder_but_stay_consistent() {
     // With 16 processors and two counter-rotating tokens there are many
     // scheduling decisions; two far-apart seeds almost surely differ in

@@ -66,7 +66,8 @@ pub use ringleader_sim as sim;
 /// The names almost every user of this workspace needs.
 pub mod prelude {
     pub use ringleader_analysis::{
-        fit_series, sweep_protocol, ExperimentResult, FitResult, GrowthModel, SweepConfig, Verdict,
+        fit_series, sweep_protocol, sweep_protocol_with, ExperimentResult, FitResult, GrowthModel,
+        Parallel, Serial, SweepConfig, SweepExecutor, Verdict,
     };
     pub use ringleader_automata::{Alphabet, Dfa, Regex, Symbol, Word};
     pub use ringleader_bitio::{BitReader, BitString, BitWriter};

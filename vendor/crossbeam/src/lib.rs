@@ -2,12 +2,19 @@
 //!
 //! Implements the subset used by the workspace: [`channel::unbounded`]
 //! MPMC channels with cloneable senders/receivers, `send` / `try_recv` /
-//! `recv_timeout`, disconnection detection, and a [`select!`] macro
-//! supporting `recv(r) -> v` arms plus a `default(timeout)` arm.
+//! `recv` / `recv_timeout`, disconnection detection, and a [`select!`]
+//! macro supporting two or three blocking `recv(r) -> v` arms (deadline
+//! waits go through [`channel::wait_any_timeout`] or `recv_timeout`).
 //!
 //! The implementation is a `Mutex<VecDeque>` + `Condvar` queue — not
 //! lock-free, but correct, and the ring simulations here move a few
 //! thousand envelopes per run at most.
+//!
+//! All waits are real blocking waits: a receiver parks on its channel's
+//! condvar, and a multi-channel `select!` registers one [`SelectWaker`]
+//! with every watched channel so that any `send` (or the disconnecting
+//! drop of the last sender) wakes it. Nothing in this crate spins or
+//! sleeps on a poll interval.
 
 #![forbid(unsafe_code)]
 
@@ -21,11 +28,161 @@ pub mod channel {
 
     pub use crate::select;
 
+    /// A wakeup slot shared between one selecting thread and the channels
+    /// it watches (see [`wait_any`]).
+    ///
+    /// Senders [`notify`](SelectWaker::notify) every registered waker
+    /// after enqueuing a message and when the last sender disconnects;
+    /// the selecting thread parks on [`wait`](SelectWaker::wait) /
+    /// [`wait_deadline`](SelectWaker::wait_deadline).
+    pub struct SelectWaker {
+        signal: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Default for SelectWaker {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl SelectWaker {
+        /// A fresh, un-signaled waker.
+        #[must_use]
+        pub fn new() -> Self {
+            SelectWaker { signal: Mutex::new(false), cv: Condvar::new() }
+        }
+
+        /// Signals the waker, waking its parked thread if any.
+        pub fn notify(&self) {
+            let mut signaled = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+            *signaled = true;
+            drop(signaled);
+            self.cv.notify_all();
+        }
+
+        /// Parks until signaled; consumes the signal.
+        pub fn wait(&self) {
+            let mut signaled = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+            while !*signaled {
+                signaled = self.cv.wait(signaled).unwrap_or_else(|e| e.into_inner());
+            }
+            *signaled = false;
+        }
+
+        /// Parks until signaled or `deadline`; returns whether a signal
+        /// was consumed.
+        pub fn wait_deadline(&self, deadline: Instant) -> bool {
+            let mut signaled = self.signal.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if *signaled {
+                    *signaled = false;
+                    return true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(signaled, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                signaled = guard;
+            }
+        }
+    }
+
+    /// A channel end that a blocking `select!` can watch: readiness plus
+    /// waker registration. Object-safe so heterogeneous receivers can sit
+    /// in one slice.
+    pub trait Selectable {
+        /// Registers `waker` to be notified on arrival or disconnection.
+        fn watch(&self, waker: &Arc<SelectWaker>);
+        /// Removes a previously registered waker.
+        fn unwatch(&self, waker: &Arc<SelectWaker>);
+        /// Whether `try_recv` would return something other than `Empty`
+        /// (a message is queued, or the channel is disconnected).
+        fn ready(&self) -> bool;
+    }
+
+    /// Blocks until one of `channels` is ready (message queued or
+    /// disconnected) and returns its index.
+    ///
+    /// Ties are broken by a rotating start offset, mirroring upstream
+    /// crossbeam's randomized pick among ready operations: a permanently
+    /// ready channel (e.g. one that has disconnected) cannot starve the
+    /// others.
+    pub fn wait_any(channels: &[&dyn Selectable]) -> usize {
+        wait_any_deadline(channels, None).expect("readiness wait without deadline cannot time out")
+    }
+
+    /// Like [`wait_any`] but gives up after `timeout`, returning `None`.
+    pub fn wait_any_timeout(channels: &[&dyn Selectable], timeout: Duration) -> Option<usize> {
+        wait_any_deadline(channels, Instant::now().checked_add(timeout))
+    }
+
+    /// Per-process rotation for [`wait_any`]'s tie-break among ready
+    /// channels.
+    static SELECT_ROTATION: AtomicUsize = AtomicUsize::new(0);
+
+    fn wait_any_deadline(channels: &[&dyn Selectable], deadline: Option<Instant>) -> Option<usize> {
+        let waker = Arc::new(SelectWaker::new());
+        // Register before the first readiness check: a message that
+        // arrives between the check and the park signals the waker, so
+        // no wakeup can be missed.
+        for c in channels {
+            c.watch(&waker);
+        }
+        let offset = SELECT_ROTATION.fetch_add(1, Ordering::Relaxed);
+        let ready = loop {
+            let hit = (0..channels.len())
+                .map(|k| (offset + k) % channels.len())
+                .find(|&i| channels[i].ready());
+            if let Some(i) = hit {
+                break Some(i);
+            }
+            match deadline {
+                Some(d) => {
+                    if !waker.wait_deadline(d) {
+                        break None;
+                    }
+                }
+                None => waker.wait(),
+            }
+        };
+        for c in channels {
+            c.unwatch(&waker);
+        }
+        ready
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        watchers: Mutex<Vec<Arc<SelectWaker>>>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        /// Wakes one blocked receiver and every registered selector.
+        fn wake(&self) {
+            self.ready.notify_one();
+            let watchers = self.watchers.lock().unwrap_or_else(|e| e.into_inner());
+            for w in watchers.iter() {
+                w.notify();
+            }
+        }
+
+        /// Wakes all blocked receivers and every registered selector
+        /// (disconnection must be observed by everyone).
+        fn wake_all(&self) {
+            self.ready.notify_all();
+            let watchers = self.watchers.lock().unwrap_or_else(|e| e.into_inner());
+            for w in watchers.iter() {
+                w.notify();
+            }
+        }
     }
 
     /// The sending half of an unbounded channel.
@@ -81,6 +238,7 @@ pub mod channel {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -96,10 +254,20 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Last sender gone: wake blocked receivers so they observe
-                // the disconnect.
-                self.shared.ready.notify_all();
+            // Decrement under the queue lock: a blocking `recv` checks the
+            // sender count while holding that lock before parking on the
+            // condvar, so the count cannot reach zero in the gap between
+            // its check and its wait — the wake below therefore lands
+            // either before the check (observed directly) or after the
+            // park (delivered by the condvar). Without the lock the
+            // disconnect could slip into that gap and the wake be lost.
+            let queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let last = self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1;
+            drop(queue);
+            if last {
+                // Last sender gone: wake blocked receivers and selectors
+                // so they observe the disconnect.
+                self.shared.wake_all();
             }
         }
     }
@@ -133,7 +301,7 @@ pub mod channel {
             }
             queue.push_back(value);
             drop(queue);
-            self.shared.ready.notify_one();
+            self.shared.wake();
             Ok(())
         }
     }
@@ -166,30 +334,49 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (q, res) = self
+                let (q, _) = self
                     .shared
                     .ready
                     .wait_timeout(queue, deadline - now)
                     .unwrap_or_else(|e| e.into_inner());
                 queue = q;
-                if res.timed_out() && queue.is_empty() {
-                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
-                        return Err(RecvTimeoutError::Disconnected);
-                    }
-                    return Err(RecvTimeoutError::Timeout);
-                }
             }
         }
 
         /// Blocks until a message arrives or the channel disconnects.
+        ///
+        /// A true condvar park: the thread consumes no CPU until a sender
+        /// wakes it (or the last sender drops).
         pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                match self.recv_timeout(Duration::from_millis(50)) {
-                    Ok(v) => return Ok(v),
-                    Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
-                    Err(RecvTimeoutError::Timeout) => continue,
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
                 }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
+        }
+    }
+
+    impl<T> Selectable for Receiver<T> {
+        fn watch(&self, waker: &Arc<SelectWaker>) {
+            let mut watchers = self.shared.watchers.lock().unwrap_or_else(|e| e.into_inner());
+            watchers.push(Arc::clone(waker));
+        }
+
+        fn unwatch(&self, waker: &Arc<SelectWaker>) {
+            let mut watchers = self.shared.watchers.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(i) = watchers.iter().position(|w| Arc::ptr_eq(w, waker)) {
+                watchers.swap_remove(i);
+            }
+        }
+
+        fn ready(&self) -> bool {
+            let queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            !queue.is_empty() || self.shared.senders.load(Ordering::SeqCst) == 0
         }
     }
 
@@ -233,107 +420,191 @@ pub mod channel {
             let (_tx, rx) = unbounded::<u8>();
             assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
         }
+
+        #[test]
+        fn blocking_recv_wakes_on_send_and_disconnect() {
+            let (tx, rx) = unbounded();
+            let h = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(3u8).unwrap();
+                // Dropping tx here disconnects the channel.
+            });
+            assert_eq!(rx.recv(), Ok(3));
+            assert_eq!(rx.recv(), Err(RecvError));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn wait_any_returns_ready_index() {
+            let (tx1, rx1) = unbounded::<u8>();
+            let (tx2, rx2) = unbounded::<u8>();
+            tx2.send(5).unwrap();
+            assert_eq!(wait_any(&[&rx1, &rx2]), 1);
+            assert_eq!(rx2.try_recv(), Ok(5));
+            drop(tx1);
+            // rx1 is now disconnected — that counts as ready.
+            assert_eq!(wait_any(&[&rx1, &rx2]), 0);
+        }
+
+        #[test]
+        fn wait_any_blocks_until_cross_thread_send() {
+            let (tx, rx1) = unbounded::<u8>();
+            let (_keep, rx2) = unbounded::<u8>();
+            let h = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(1).unwrap();
+            });
+            assert_eq!(wait_any(&[&rx2, &rx1]), 1);
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn wait_any_timeout_expires() {
+            let (_t1, rx1) = unbounded::<u8>();
+            let (_t2, rx2) = unbounded::<u8>();
+            let start = Instant::now();
+            assert_eq!(wait_any_timeout(&[&rx1, &rx2], Duration::from_millis(30)), None);
+            assert!(start.elapsed() >= Duration::from_millis(30));
+        }
+
+        #[test]
+        fn watchers_are_deregistered_after_wait() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            assert_eq!(wait_any(&[&rx]), 0);
+            let watchers = rx.shared.watchers.lock().unwrap();
+            assert!(watchers.is_empty(), "wait_any leaked a waker registration");
+        }
     }
 }
 
 /// Waits on several channel operations at once.
 ///
-/// Supports the shape used in this workspace: any number of
-/// `recv(receiver) -> pattern => handler` arms followed by one
-/// `default(timeout) => handler` arm. Receivers are polled in order
-/// (head-of-line fairness is approximated by the short poll interval);
-/// if nothing arrives before the timeout, the default arm runs.
+/// Supports the shapes used in this workspace: two or three
+/// `recv(receiver) -> pattern => handler` arms — a real blocking select
+/// that parks until one channel has a message or disconnects (no
+/// polling). Callers that need a deadline instead wait on
+/// [`channel::wait_any_timeout`] or [`channel::Receiver::recv_timeout`]
+/// directly.
 ///
-/// Each `recv` arm's pattern binds a `Result<T, RecvError>`:
-/// `Ok(message)` normally, `Err(RecvError)` if that channel is drained
-/// and disconnected.
-/// Handlers are expanded *outside* the macro's internal polling loop, so
-/// `continue` / `break` / `return` inside an arm bind to the caller's
+/// When several channels are ready at once, the winner is chosen by a
+/// rotating tie-break (mirroring upstream crossbeam's randomized pick),
+/// **not** by arm order — a permanently ready arm, such as a
+/// disconnected channel, cannot starve the others, but arm order also
+/// confers no priority. Callers that need one channel drained before
+/// another must `try_recv` it first. Each `recv` arm's pattern binds a
+/// `Result<T, RecvError>`: `Ok(message)` normally, `Err(RecvError)` if
+/// that channel is drained and disconnected.
+///
+/// Handlers are expanded *outside* the macro's internal readiness loop,
+/// so `continue` / `break` / `return` inside an arm bind to the caller's
 /// enclosing scope exactly as with upstream crossbeam.
 #[macro_export]
 macro_rules! select {
+    // Two blocking arms.
+    (
+        recv($r1:expr) -> $v1:pat => $h1:expr,
+        recv($r2:expr) -> $v2:pat => $h2:expr $(,)?
+    ) => {{
+        let __r1 = &($r1);
+        let __r2 = &($r2);
+        // `Result` doubles as a two-way either: Ok = first arm, Err = second.
+        let __sel = loop {
+            let __idx = $crate::channel::wait_any(&[
+                __r1 as &dyn $crate::channel::Selectable,
+                __r2 as &dyn $crate::channel::Selectable,
+            ]);
+            match __idx {
+                0 => match $crate::channel::Receiver::try_recv(__r1) {
+                    ::std::result::Result::Ok(__m) => {
+                        break ::std::result::Result::Ok(::std::result::Result::Ok(__m));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                    }
+                    // Another receiver clone raced us to the message.
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
+                },
+                _ => match $crate::channel::Receiver::try_recv(__r2) {
+                    ::std::result::Result::Ok(__m) => {
+                        break ::std::result::Result::Err(::std::result::Result::Ok(__m));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break ::std::result::Result::Err(::std::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
+                },
+            }
+        };
+        match __sel {
+            ::std::result::Result::Ok($v1) => $h1,
+            ::std::result::Result::Err($v2) => $h2,
+        }
+    }};
+    // Three blocking arms.
     (
         recv($r1:expr) -> $v1:pat => $h1:expr,
         recv($r2:expr) -> $v2:pat => $h2:expr,
-        default($t:expr) => $hd:expr $(,)?
+        recv($r3:expr) -> $v3:pat => $h3:expr $(,)?
     ) => {{
-        let __timeout: ::std::time::Duration = $t;
-        let __deadline = ::std::time::Instant::now() + __timeout;
-        let mut __res1 = ::std::option::Option::None;
-        let mut __res2 = ::std::option::Option::None;
-        loop {
-            match ($r1).try_recv() {
-                ::std::result::Result::Ok(__msg) => {
-                    __res1 = ::std::option::Option::Some(::std::result::Result::Ok(__msg));
-                    break;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                    __res1 = ::std::option::Option::Some(::std::result::Result::Err(
-                        $crate::channel::RecvError,
-                    ));
-                    break;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+        let __r1 = &($r1);
+        let __r2 = &($r2);
+        let __r3 = &($r3);
+        // Nested eithers: Ok = arm 1, Err(Ok) = arm 2, Err(Err) = arm 3.
+        let __sel = loop {
+            let __idx = $crate::channel::wait_any(&[
+                __r1 as &dyn $crate::channel::Selectable,
+                __r2 as &dyn $crate::channel::Selectable,
+                __r3 as &dyn $crate::channel::Selectable,
+            ]);
+            match __idx {
+                0 => match $crate::channel::Receiver::try_recv(__r1) {
+                    ::std::result::Result::Ok(__m) => {
+                        break ::std::result::Result::Ok(::std::result::Result::Ok(__m));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
+                },
+                1 => match $crate::channel::Receiver::try_recv(__r2) {
+                    ::std::result::Result::Ok(__m) => {
+                        break ::std::result::Result::Err(::std::result::Result::Ok(
+                            ::std::result::Result::Ok(__m),
+                        ));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break ::std::result::Result::Err(::std::result::Result::Ok(
+                            ::std::result::Result::Err($crate::channel::RecvError),
+                        ));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
+                },
+                _ => match $crate::channel::Receiver::try_recv(__r3) {
+                    ::std::result::Result::Ok(__m) => {
+                        break ::std::result::Result::Err(::std::result::Result::Err(
+                            ::std::result::Result::Ok(__m),
+                        ));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break ::std::result::Result::Err(::std::result::Result::Err(
+                            ::std::result::Result::Err($crate::channel::RecvError),
+                        ));
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
+                },
             }
-            match ($r2).try_recv() {
-                ::std::result::Result::Ok(__msg) => {
-                    __res2 = ::std::option::Option::Some(::std::result::Result::Ok(__msg));
-                    break;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                    __res2 = ::std::option::Option::Some(::std::result::Result::Err(
-                        $crate::channel::RecvError,
-                    ));
-                    break;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
-            }
-            if ::std::time::Instant::now() >= __deadline {
-                break;
-            }
-            ::std::thread::sleep(::std::time::Duration::from_micros(500));
-        }
-        if let ::std::option::Option::Some(__r) = __res1 {
-            let $v1 = __r;
-            $h1
-        } else if let ::std::option::Option::Some(__r) = __res2 {
-            let $v2 = __r;
-            $h2
-        } else {
-            $hd
-        }
-    }};
-    (
-        recv($r1:expr) -> $v1:pat => $h1:expr,
-        default($t:expr) => $hd:expr $(,)?
-    ) => {{
-        let __timeout: ::std::time::Duration = $t;
-        let __deadline = ::std::time::Instant::now() + __timeout;
-        let mut __res1 = ::std::option::Option::None;
-        loop {
-            match ($r1).try_recv() {
-                ::std::result::Result::Ok(__msg) => {
-                    __res1 = ::std::option::Option::Some(::std::result::Result::Ok(__msg));
-                    break;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                    __res1 = ::std::option::Option::Some(::std::result::Result::Err(
-                        $crate::channel::RecvError,
-                    ));
-                    break;
-                }
-                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
-            }
-            if ::std::time::Instant::now() >= __deadline {
-                break;
-            }
-            ::std::thread::sleep(::std::time::Duration::from_micros(500));
-        }
-        if let ::std::option::Option::Some(__r) = __res1 {
-            let $v1 = __r;
-            $h1
-        } else {
-            $hd
+        };
+        match __sel {
+            ::std::result::Result::Ok($v1) => $h1,
+            ::std::result::Result::Err(::std::result::Result::Ok($v2)) => $h2,
+            ::std::result::Result::Err(::std::result::Result::Err($v3)) => $h3,
         }
     }};
 }
