@@ -1,0 +1,86 @@
+//! Engine-throughput benches: the per-delivery cost of the event loop.
+//!
+//! Unlike `protocols.rs` (one group per paper experiment), this group
+//! isolates the *simulator substrate*: three workload shapes chosen to
+//! stress the scheduler index and the message hot path at ring sizes where
+//! an O(n)-per-delivery engine becomes the bottleneck.
+//!
+//! * `one_pass` — unidirectional single token (`DfaOnePass`): exactly one
+//!   link is ever non-empty, the best case for the single-link fast path.
+//! * `bidir_collision` — `BidirMeetInMiddle` probes crossing in both
+//!   directions: two active links, exercises the index under churn.
+//! * `quadratic_stateless` — the Theorem 3 stateless replay
+//!   (`StatelessTwoPass`), whose pass-2 messages replay pass-1 history:
+//!   wider payloads and two full passes of deliveries.
+//!
+//! Run with `CRITERION_SNAPSHOT=out.jsonl` to dump machine-readable
+//! measurements; `BENCH_0003.json` in the repo root is the checked-in
+//! trajectory (pre- and post-incremental-index numbers for this group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringleader_automata::Word;
+use ringleader_core::{BidirMeetInMiddle, DfaOnePass, StatelessTwoPass};
+use ringleader_langs::{DfaLanguage, Language};
+use ringleader_sim::RingRunner;
+
+const SIZES: [usize; 3] = [64, 512, 4096];
+
+fn word_for(lang: &dyn Language, n: usize, seed: u64) -> Word {
+    let mut rng = StdRng::seed_from_u64(seed);
+    lang.positive_example(n, &mut rng)
+        .or_else(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            lang.negative_example(n, &mut rng)
+        })
+        .expect("language has examples at bench sizes")
+}
+
+/// Unidirectional one-pass run: n deliveries, one message in flight.
+fn bench_one_pass(c: &mut Criterion) {
+    let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let mut group = c.benchmark_group("engine_hot_loop/one_pass");
+    for n in SIZES {
+        let word = word_for(&lang, n, 0xE0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Bidirectional meet-in-the-middle: probes collide, two active links.
+fn bench_bidir_collision(c: &mut Criterion) {
+    let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(ab)*", &sigma).unwrap();
+    let proto = BidirMeetInMiddle::new(&lang);
+    let mut group = c.benchmark_group("engine_hot_loop/bidir_collision");
+    for n in SIZES {
+        let word = word_for(&lang, n, 0xE1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Stateless replay (Theorem 3 stage 1): two passes, replayed payloads.
+fn bench_quadratic_stateless(c: &mut Criterion) {
+    let proto = StatelessTwoPass::new(3);
+    let lang = proto.language().clone();
+    let mut group = c.benchmark_group("engine_hot_loop/quadratic_stateless");
+    for n in SIZES {
+        let word = word_for(&lang, n, 0xE2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| RingRunner::new().run(&proto, w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine_hot_loop, bench_one_pass, bench_bidir_collision, bench_quadratic_stateless);
+criterion_main!(engine_hot_loop);

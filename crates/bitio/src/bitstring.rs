@@ -2,7 +2,30 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Error as SerdeError, Serialize};
+
+/// Payloads of at most this many bytes are stored inline, with no heap
+/// allocation. 23 bytes = 184 bits covers every O(log n)-bit message the
+/// protocol suite sends (an Elias-delta counter for n = 2⁶⁴ is 77 bits);
+/// only history-carrying payloads (collect-all, stateless replay, wcw
+/// prefixes) spill to the heap.
+const INLINE_BYTES: usize = 23;
+
+/// The inline capacity in bits: 184.
+const INLINE_BITS: usize = INLINE_BYTES * 8;
+
+/// The backing store: a fixed inline buffer or a heap vector.
+///
+/// Invariants (upheld by every constructor and mutator):
+/// * `Heap(v)` always holds exactly `len.div_ceil(8)` bytes;
+/// * `Inline` bytes at positions ≥ `len.div_ceil(8)`, and bits of the
+///   last partial byte at positions ≥ `len`, are zero — so equality and
+///   hashing can compare raw bytes.
+#[derive(Clone)]
+enum Repr {
+    Inline([u8; INLINE_BYTES]),
+    Heap(Vec<u8>),
+}
 
 /// An immutable-by-convention, append-friendly sequence of bits.
 ///
@@ -13,7 +36,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Bits are stored packed, eight to a byte, least-significant-bit first
 /// within each byte. Bit `0` is the first bit written and the first bit a
-/// [`BitReader`](crate::BitReader) yields.
+/// [`BitReader`](crate::BitReader) yields. Strings of at most 184 bits
+/// (23 bytes) are stored inline on the stack — every O(log n)-bit message
+/// in the protocol suite stays allocation-free; longer strings spill to a
+/// heap buffer transparently.
 ///
 /// # Examples
 ///
@@ -28,14 +54,20 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.get(1), Some(false));
 /// assert_eq!(s.to_string(), "101");
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct BitString {
-    bytes: Vec<u8>,
+    repr: Repr,
     len: usize,
 }
 
+impl Default for BitString {
+    fn default() -> Self {
+        Self { repr: Repr::Inline([0; INLINE_BYTES]), len: 0 }
+    }
+}
+
 impl BitString {
-    /// Creates an empty bit string.
+    /// Creates an empty bit string (inline: no allocation).
     ///
     /// # Examples
     ///
@@ -49,10 +81,15 @@ impl BitString {
         Self::default()
     }
 
-    /// Creates an empty bit string with capacity for `bits` bits.
+    /// Creates an empty bit string with capacity for `bits` bits. Requests
+    /// within the inline capacity allocate nothing.
     #[must_use]
     pub fn with_capacity(bits: usize) -> Self {
-        Self { bytes: Vec::with_capacity(bits.div_ceil(8)), len: 0 }
+        if bits <= INLINE_BITS {
+            Self::default()
+        } else {
+            Self { repr: Repr::Heap(Vec::with_capacity(bits.div_ceil(8))), len: 0 }
+        }
     }
 
     /// Builds a bit string from an iterator of bools, first bit first.
@@ -109,15 +146,79 @@ impl BitString {
         self.len == 0
     }
 
+    /// Whether the bits currently live in the inline (stack) buffer.
+    ///
+    /// Strings never move back inline once spilled, so this is a pure
+    /// function of the construction history, not of `len` alone.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// The packed bytes holding the bits: exactly `len.div_ceil(8)` bytes,
+    /// least-significant-bit first within each byte, unused high bits of
+    /// the last byte zero.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        let nbytes = self.len.div_ceil(8);
+        match &self.repr {
+            Repr::Inline(buf) => &buf[..nbytes],
+            Repr::Heap(v) => &v[..nbytes],
+        }
+    }
+
+    /// Mutable view of the full backing store (inline buffer or heap
+    /// vector contents).
+    fn data_mut(&mut self) -> &mut [u8] {
+        match &mut self.repr {
+            Repr::Inline(buf) => &mut buf[..],
+            Repr::Heap(v) => &mut v[..],
+        }
+    }
+
+    /// Moves the bits to the heap, reserving room for `extra_bits` more.
+    fn spill(&mut self, extra_bits: usize) {
+        if let Repr::Inline(buf) = self.repr {
+            let nbytes = self.len.div_ceil(8);
+            let mut v =
+                Vec::with_capacity((self.len + extra_bits).div_ceil(8).max(2 * INLINE_BYTES));
+            v.extend_from_slice(&buf[..nbytes]);
+            self.repr = Repr::Heap(v);
+        }
+    }
+
+    /// Grows the backing store to hold `nbytes` zeroed bytes (logical
+    /// length is unchanged; callers set `len` afterwards).
+    fn grow_bytes(&mut self, nbytes: usize) {
+        debug_assert!(nbytes >= self.len.div_ceil(8));
+        if nbytes > INLINE_BYTES {
+            self.spill(nbytes * 8 - self.len);
+        }
+        match &mut self.repr {
+            Repr::Inline(_) => {} // already zeroed to full capacity
+            Repr::Heap(v) => v.resize(nbytes, 0),
+        }
+    }
+
     /// Appends a single bit.
     pub fn push(&mut self, bit: bool) {
         let byte_idx = self.len / 8;
         let bit_idx = self.len % 8;
         if bit_idx == 0 {
-            self.bytes.push(0);
+            match &mut self.repr {
+                Repr::Inline(_) if byte_idx < INLINE_BYTES => {} // pre-zeroed
+                Repr::Inline(_) => {
+                    self.spill(1);
+                    if let Repr::Heap(v) = &mut self.repr {
+                        v.push(0);
+                    }
+                }
+                Repr::Heap(v) => v.push(0),
+            }
         }
         if bit {
-            self.bytes[byte_idx] |= 1 << bit_idx;
+            self.data_mut()[byte_idx] |= 1 << bit_idx;
         }
         self.len += 1;
     }
@@ -128,10 +229,17 @@ impl BitString {
         if index >= self.len {
             return None;
         }
-        Some((self.bytes[index / 8] >> (index % 8)) & 1 == 1)
+        let byte = match &self.repr {
+            Repr::Inline(buf) => buf[index / 8],
+            Repr::Heap(v) => v[index / 8],
+        };
+        Some((byte >> (index % 8)) & 1 == 1)
     }
 
     /// Appends all bits of `other` after the bits of `self`.
+    ///
+    /// Byte-aligned appends (the common case: concatenating whole
+    /// messages) are bulk byte copies.
     ///
     /// # Examples
     ///
@@ -143,8 +251,16 @@ impl BitString {
     /// assert_eq!(a.to_string(), "10011");
     /// ```
     pub fn extend_from(&mut self, other: &BitString) {
-        for bit in other.iter() {
-            self.push(bit);
+        if self.len % 8 == 0 {
+            let src = other.as_bytes();
+            let start = self.len / 8;
+            self.grow_bytes(start + src.len());
+            self.data_mut()[start..start + src.len()].copy_from_slice(src);
+            self.len += other.len;
+        } else {
+            for bit in other.iter() {
+                self.push(bit);
+            }
         }
     }
 
@@ -156,10 +272,32 @@ impl BitString {
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> BitString {
         assert!(range.start <= range.end && range.end <= self.len, "slice out of bounds");
-        let mut out = BitString::with_capacity(range.len());
-        for i in range {
-            out.push(self.get(i).expect("index checked above"));
+        let len = range.len();
+        let mut out = BitString::with_capacity(len);
+        if len == 0 {
+            return out;
         }
+        let src = self.as_bytes();
+        let first = range.start / 8;
+        let shift = range.start % 8;
+        let nbytes = len.div_ceil(8);
+        out.grow_bytes(nbytes);
+        let dst = out.data_mut();
+        if shift == 0 {
+            dst[..nbytes].copy_from_slice(&src[first..first + nbytes]);
+        } else {
+            for (i, d) in dst[..nbytes].iter_mut().enumerate() {
+                let lo = src[first + i] >> shift;
+                let hi = src.get(first + i + 1).map_or(0, |b| b << (8 - shift));
+                *d = lo | hi;
+            }
+        }
+        // Zero the copied-in bits past the logical end (repr invariant).
+        let rem = len % 8;
+        if rem > 0 {
+            dst[nbytes - 1] &= (1u8 << rem) - 1;
+        }
+        out.len = len;
         out
     }
 
@@ -171,7 +309,7 @@ impl BitString {
     /// Counts the `true` bits.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.iter().filter(|&b| b).count()
+        self.as_bytes().iter().map(|b| b.count_ones() as usize).sum()
     }
 }
 
@@ -187,6 +325,68 @@ impl fmt::Display for BitString {
 impl fmt::Debug for BitString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BitString(\"{self}\")")
+    }
+}
+
+impl PartialEq for BitString {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for BitString {}
+
+impl std::hash::Hash for BitString {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Same recipe the derived (Vec<u8>, usize) impl used, so hashes
+        // are value-based and identical across inline/heap storage.
+        self.as_bytes().hash(state);
+        self.len.hash(state);
+    }
+}
+
+// Wire-compatible with the historical derived impls for
+// `struct BitString { bytes: Vec<u8>, len: usize }`: a map with the byte
+// sequence under "bytes" and the bit count under "len". The storage split
+// is invisible on the wire.
+impl Serialize for BitString {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                "bytes".to_string(),
+                Content::Seq(self.as_bytes().iter().map(|&b| Content::U64(u64::from(b))).collect()),
+            ),
+            ("len".to_string(), Content::U64(self.len as u64)),
+        ])
+    }
+}
+
+impl Deserialize for BitString {
+    fn from_content(content: &Content) -> Result<Self, SerdeError> {
+        let bytes_content = content
+            .map_get("bytes")
+            .ok_or_else(|| SerdeError::missing_field("BitString", "bytes"))?;
+        let bytes: Vec<u8> = Deserialize::from_content(bytes_content)?;
+        let len: usize = match content.map_get("len") {
+            Some(c) => Deserialize::from_content(c)?,
+            None => return Err(SerdeError::missing_field("BitString", "len")),
+        };
+        if bytes.len() != len.div_ceil(8) {
+            return Err(SerdeError::custom(format!(
+                "BitString: {} bytes cannot hold exactly {len} bits",
+                bytes.len()
+            )));
+        }
+        let mut s = BitString::with_capacity(len);
+        s.grow_bytes(bytes.len());
+        s.data_mut()[..bytes.len()].copy_from_slice(&bytes);
+        s.len = len;
+        // Preserve the zero-tail invariant even for hand-written input.
+        let rem = len % 8;
+        if rem > 0 {
+            s.data_mut()[bytes.len() - 1] &= (1u8 << rem) - 1;
+        }
+        Ok(s)
     }
 }
 
@@ -249,6 +449,7 @@ mod tests {
         assert_eq!(s.get(0), None);
         assert_eq!(s.to_string(), "");
         assert_eq!(format!("{s:?}"), "BitString(\"\")");
+        assert!(s.is_inline());
     }
 
     #[test]
@@ -345,5 +546,72 @@ mod tests {
         assert_eq!(s.len(), 1000);
         assert_eq!(s.to_string(), text);
         assert_eq!(s.count_ones(), 334);
+    }
+
+    #[test]
+    fn spills_exactly_past_inline_capacity() {
+        let mut s = BitString::new();
+        for i in 0..INLINE_BITS {
+            s.push(i % 2 == 0);
+            assert!(s.is_inline(), "bit {i} still fits inline");
+        }
+        assert_eq!(s.len(), 184);
+        s.push(true);
+        assert!(!s.is_inline(), "bit 185 forces the spill");
+        assert_eq!(s.len(), 185);
+        assert_eq!(s.get(184), Some(true));
+        for i in 0..INLINE_BITS {
+            assert_eq!(s.get(i), Some(i % 2 == 0), "bit {i} preserved across spill");
+        }
+    }
+
+    #[test]
+    fn equality_and_hash_cross_the_repr_boundary() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Same value, different storage: inline via push, heap via
+        // with_capacity past the inline limit.
+        let bits: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let inline = BitString::from_bits(bits.iter().copied());
+        let mut heap = BitString::with_capacity(1000);
+        heap.extend(bits.iter().copied());
+        assert!(inline.is_inline());
+        assert!(!heap.is_inline());
+        assert_eq!(inline, heap);
+        let digest = |s: &BitString| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&inline), digest(&heap));
+    }
+
+    #[test]
+    fn as_bytes_is_lsb_first_packed() {
+        let s = BitString::parse("10110001").unwrap();
+        assert_eq!(s.as_bytes(), &[0b1000_1101]);
+        let s = BitString::parse("111").unwrap();
+        assert_eq!(s.as_bytes(), &[0b0000_0111]);
+    }
+
+    #[test]
+    fn serde_format_is_bytes_plus_len() {
+        let s = BitString::parse("10110").unwrap();
+        let content = s.to_content();
+        let map = content.as_map().unwrap();
+        assert_eq!(map[0].0, "bytes");
+        assert_eq!(map[1].0, "len");
+        assert_eq!(map[0].1.as_seq().unwrap().len(), 1);
+        let back = BitString::from_content(&content).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_len() {
+        let content = Content::Map(vec![
+            ("bytes".to_string(), Content::Seq(vec![Content::U64(7)])),
+            ("len".to_string(), Content::U64(100)),
+        ]);
+        assert!(BitString::from_content(&content).is_err());
     }
 }

@@ -121,6 +121,27 @@ impl Context {
     pub(crate) fn take(self) -> (Vec<(Direction, BitString)>, Option<bool>) {
         (self.outbox, self.decision)
     }
+
+    /// Clears the buffered effects for the next event handler, keeping the
+    /// outbox's allocation. The engine reuses one context per run (the
+    /// ring size mode never changes mid-run, so only the leader flag is
+    /// refreshed).
+    pub(crate) fn reset(&mut self, is_leader: bool) {
+        self.outbox.clear();
+        self.decision = None;
+        self.is_leader = is_leader;
+    }
+
+    /// Removes and returns the buffered decision.
+    pub(crate) fn take_decision(&mut self) -> Option<bool> {
+        self.decision.take()
+    }
+
+    /// Drains the buffered sends in order, leaving the outbox's capacity
+    /// in place for the next event.
+    pub(crate) fn drain_outbox(&mut self) -> std::vec::Drain<'_, (Direction, BitString)> {
+        self.outbox.drain(..)
+    }
 }
 
 /// One processor's algorithm: a state machine driven by message events.

@@ -6,7 +6,7 @@ use ringleader_automata::Word;
 use ringleader_bitio::BitString;
 
 use crate::context::{Context, Process, Protocol};
-use crate::sched::LinkView;
+use crate::sched::LinkIndex;
 use crate::trace::{EventKind, Trace, TraceEvent};
 use crate::{Direction, ExecStats, Scheduler, SimError, Topology};
 
@@ -117,49 +117,37 @@ impl RingRunner {
             processes.push(if i == 0 { protocol.leader(sym) } else { protocol.follower(sym) });
         }
 
-        // Link queues. Link ids: 0..n are clockwise links (i → i+1 mod n);
-        // n..2n are counter-clockwise links (i+1 → i, stored at n + i).
-        let mut queues: Vec<VecDeque<(u64, BitString)>> = vec![VecDeque::new(); 2 * n];
+        let mut links = Links::new(n, self.scheduler.build_index(2 * n));
         let mut stats = ExecStats::new(n);
         let mut trace = if self.record_trace { Some(Trace::default()) } else { None };
-        let mut chooser = self.scheduler.build();
         let mut seq: u64 = 0;
         let mut deliveries: usize = 0;
         let known = self.known_ring_size.then_some(n);
 
-        // Start the leader.
+        // One context for the whole run; reset per event so the outbox
+        // buffer's allocation is reused across deliveries.
         let mut ctx = Context::new(true, known);
+
+        // Start the leader.
         processes[0]
             .on_start(&mut ctx)
             .map_err(|source| SimError::Process { position: 0, source })?;
         let decision =
-            apply_effects(ctx, 0, n, topology, &mut queues, &mut stats, &mut trace, &mut seq)?;
+            apply_effects(&mut ctx, 0, n, topology, &mut links, &mut stats, &mut trace, &mut seq)?;
         if let Some(d) = decision {
+            stats.deliveries = deliveries;
             return Ok(Outcome { decision: Some(d), stats, trace });
         }
 
         loop {
-            // Collect non-empty links for the scheduler.
-            let views: Vec<LinkView> = queues
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| !q.is_empty())
-                .map(|(id, q)| LinkView {
-                    id,
-                    backlog: q.len(),
-                    head_seq: q.front().expect("filtered non-empty").0,
-                })
-                .collect();
-            if views.is_empty() {
+            let Some(link) = links.choose() else {
                 return Err(SimError::Stalled { deliveries });
-            }
+            };
             if deliveries >= self.max_events {
                 return Err(SimError::EventLimitExceeded { limit: self.max_events });
             }
-            let link = chooser.choose(&views);
-            let (_, payload) = queues[link].pop_front().expect("chosen link non-empty");
+            let payload = links.pop(link);
             deliveries += 1;
-            stats.deliveries = deliveries;
 
             // Decode link id back to (receiver, direction of travel).
             let (receiver, direction) = if link < n {
@@ -178,45 +166,104 @@ impl RingRunner {
                 seq += 1;
             }
 
-            let mut ctx = Context::new(receiver == 0, known);
+            ctx.reset(receiver == 0);
             processes[receiver]
                 .on_message(direction, &payload, &mut ctx)
                 .map_err(|source| SimError::Process { position: receiver, source })?;
             let decision = apply_effects(
-                ctx,
-                receiver,
-                n,
-                topology,
-                &mut queues,
-                &mut stats,
-                &mut trace,
-                &mut seq,
+                &mut ctx, receiver, n, topology, &mut links, &mut stats, &mut trace, &mut seq,
             )?;
             if let Some(d) = decision {
+                stats.deliveries = deliveries;
                 return Ok(Outcome { decision: Some(d), stats, trace });
             }
         }
     }
 }
 
-/// Applies a handler's buffered sends/decision. Returns the decision if the
-/// leader made one.
+/// The link queues plus the scheduler's incrementally maintained view of
+/// them.
+///
+/// Every queue mutation flows through [`push`](Links::push) /
+/// [`pop`](Links::pop) so the [`LinkIndex`] stays exactly in sync; the
+/// occupancy count and the xor of non-empty link ids make the unique
+/// non-empty link recoverable in O(1) for the single-link fast path —
+/// the common case for unidirectional one-pass protocols, where at most
+/// one message is ever in flight.
+struct Links {
+    /// Link ids: 0..n are clockwise links (i → i+1 mod n); n..2n are
+    /// counter-clockwise links (i+1 → i, stored at n + i).
+    queues: Vec<VecDeque<(u64, BitString)>>,
+    index: Box<dyn LinkIndex>,
+    /// Number of non-empty links.
+    occupied: usize,
+    /// Xor of the ids of all non-empty links; equals the unique non-empty
+    /// link's id whenever `occupied == 1`.
+    id_xor: usize,
+}
+
+impl Links {
+    fn new(n: usize, index: Box<dyn LinkIndex>) -> Self {
+        let mut queues = Vec::with_capacity(2 * n);
+        queues.resize_with(2 * n, VecDeque::new);
+        Self { queues, index, occupied: 0, id_xor: 0 }
+    }
+
+    fn push(&mut self, link: usize, seq: u64, payload: BitString) {
+        let queue = &mut self.queues[link];
+        queue.push_back((seq, payload));
+        let backlog = queue.len();
+        if backlog == 1 {
+            self.occupied += 1;
+            self.id_xor ^= link;
+        }
+        self.index.on_push(link, seq, backlog);
+    }
+
+    /// The scheduling policy's pick, or `None` when the ring is quiescent.
+    /// Skips the index when only one link is non-empty.
+    fn choose(&mut self) -> Option<usize> {
+        match self.occupied {
+            0 => None,
+            1 => {
+                self.index.on_trivial_choose();
+                Some(self.id_xor)
+            }
+            _ => Some(self.index.choose()),
+        }
+    }
+
+    fn pop(&mut self, link: usize) -> BitString {
+        let queue = &mut self.queues[link];
+        let (_, payload) = queue.pop_front().expect("chosen link non-empty");
+        let backlog = queue.len();
+        if backlog == 0 {
+            self.occupied -= 1;
+            self.id_xor ^= link;
+        }
+        self.index.on_pop(link, queue.front().map(|&(s, _)| s), backlog);
+        payload
+    }
+}
+
+/// Applies a handler's buffered sends/decision, draining the context for
+/// reuse. Returns the decision if the leader made one.
 #[allow(clippy::too_many_arguments)]
 fn apply_effects(
-    ctx: Context,
+    ctx: &mut Context,
     position: usize,
     n: usize,
     topology: Topology,
-    queues: &mut [VecDeque<(u64, BitString)>],
+    links: &mut Links,
     stats: &mut ExecStats,
     trace: &mut Option<Trace>,
     seq: &mut u64,
 ) -> Result<Option<bool>, SimError> {
-    let (outbox, decision) = ctx.take();
+    let decision = ctx.take_decision();
     if decision.is_some() && position != 0 {
         return Err(SimError::FollowerDecided { position });
     }
-    for (direction, payload) in outbox {
+    for (direction, payload) in ctx.drain_outbox() {
         if !topology.allows(position, direction, n) {
             return Err(SimError::IllegalSend { position, direction });
         }
@@ -235,7 +282,7 @@ fn apply_effects(
             // p_i sending counter-clockwise feeds the queue stored at n + (i-1 mod n).
             Direction::CounterClockwise => n + (position + n - 1) % n,
         };
-        queues[link].push_back((*seq, payload));
+        links.push(link, *seq, payload);
         *seq += 1;
     }
     Ok(decision)

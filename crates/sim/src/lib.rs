@@ -87,6 +87,8 @@ pub use context::{Context, Process, ProcessError, ProcessResult, Protocol};
 pub use engine::{Outcome, RingRunner};
 pub use error::SimError;
 pub use sched::Scheduler;
+#[doc(hidden)]
+pub use sched::{testkit as sched_testkit, LinkIndex};
 pub use stats::ExecStats;
 pub use threaded::ThreadedRunner;
 pub use token::{token_violations, validate_token_discipline};

@@ -4,12 +4,18 @@
 //! [`Criterion`], [`BenchmarkId`], groups, `Bencher::iter`) with a
 //! lightweight measurement loop: each benchmark is warmed once, then timed
 //! adaptively for a small budget and reported as mean ns/iter on stdout.
-//! No statistics, plots, or baselines — just enough to keep `cargo bench`
-//! useful for spotting order-of-magnitude regressions offline.
+//! No statistics or plots — just enough to keep `cargo bench` useful for
+//! spotting order-of-magnitude regressions offline.
+//!
+//! One `--save-baseline`-style extra: when `CRITERION_SNAPSHOT` names a
+//! file, every measurement is also appended to it as one JSON object per
+//! line (`{"label":…,"ns_per_iter":…,"iters":…}`), so a bench run can be
+//! diffed against a checked-in baseline (see `BENCH_0003.json`).
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -169,6 +175,28 @@ fn run_one(label: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
         format!("{mean:.1} ns/iter")
     };
     println!("bench {label:<50} {human:>16}   ({} iters)", bencher.iters);
+    snapshot_append(label, mean, bencher.iters);
+}
+
+/// Appends one measurement to the `CRITERION_SNAPSHOT` file, if set.
+///
+/// The format is JSON-lines so concurrent bench binaries can append
+/// without coordination; a snapshot consumer parses line by line.
+fn snapshot_append(label: &str, ns_per_iter: f64, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_SNAPSHOT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        eprintln!("criterion: cannot open snapshot file {path}");
+        return;
+    };
+    // Labels never contain quotes or backslashes (bench names are code
+    // identifiers plus parameters), so plain interpolation is valid JSON.
+    let _ =
+        writeln!(f, "{{\"label\":\"{label}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters\":{iters}}}");
 }
 
 /// Bundles benchmark functions into one callable group.
