@@ -2,7 +2,7 @@
 //!
 //! The paper's claims are asymptotic (`O(n)`, `Θ(n log n)`, `Θ(n²)`,
 //! `Θ(g(n))`); reproducing them means measuring bit counts across ring
-//! sizes and checking the measured *shape*. This crate provides the three
+//! sizes and checking the measured *shape*. This crate provides the four
 //! pieces every experiment shares:
 //!
 //! * sweeping — [`sweep_protocol`] runs a protocol over a size sweep with
@@ -12,7 +12,13 @@
 //!   paper's growth models (`n`, `n log n`, `n^1.5`, `n²`) by ratio
 //!   stability and log-log slope;
 //! * reporting — [`ExperimentResult`] renders experiment tables (text for
-//!   the terminal, JSON for `EXPERIMENTS.md` regeneration).
+//!   the terminal, JSON for `EXPERIMENTS.md` regeneration);
+//! * the registry — [`ExperimentSpec`] declares an experiment as data
+//!   (grids per [`Scale`] profile, factories, expected model), a
+//!   [`Registry`] is the single source of truth for listing and dispatch,
+//!   and an [`ExperimentHarness`] executes specs — see the
+//!   [`registry`](crate::registry#adding-an-experiment) module docs for
+//!   the ~20-line "add an experiment" walkthrough.
 //!
 //! # Examples
 //!
@@ -30,10 +36,15 @@
 #![warn(missing_docs)]
 
 mod fit;
+pub mod registry;
 mod report;
 mod sweep;
 
 pub use fit::{fit_series, log_log_slope, FitResult, GrowthModel};
+pub use registry::{
+    fit_label, fit_note, run_schedule_matrix, ExperimentHarness, ExperimentSpec, GridProfile,
+    Registry, RunCtx, Scale, ScaleGrid, ScenarioOutcome, ScheduleScenario, SweepPlan,
+};
 pub use report::{ExperimentResult, Verdict};
 pub use sweep::{
     bits_across_schedules, executor_for, run_independent, sweep_protocol, sweep_protocol_with,

@@ -1,0 +1,128 @@
+//! Property-based tests for the growth-model fitter on large-`n` series.
+//!
+//! The scale profiles push sweeps to rings of 10⁵ processors, where the
+//! conditioning of the log-log fit starts to matter: `shape(n)` spans ten
+//! orders of magnitude across a grid, so a numerically sloppy fitter
+//! could lose the model or the constant. These properties pin that
+//! [`fit_series`] stays model-correct and numerically stable across the
+//! whole size range the registry can ask for.
+
+use proptest::prelude::*;
+use ringleader_analysis::{fit_series, log_log_slope, GrowthModel};
+
+/// A geometric grid from `2^lo` to `2^hi` inclusive — the shape every
+/// registered sweep uses, up past n = 10⁵ (2¹⁷ = 131072).
+fn grid(lo: u32, hi: u32) -> Vec<usize> {
+    (lo..=hi).map(|k| 1usize << k).collect()
+}
+
+fn model_for(index: usize) -> GrowthModel {
+    GrowthModel::all()[index % 4]
+}
+
+proptest! {
+    /// Noise-free series: the exact model wins, the constant is recovered
+    /// to relative precision, and the dispersion is numerically zero —
+    /// even when the measurements reach `c · n²` at `n = 131072` (≈10¹⁴,
+    /// where absolute f64 error would dwarf a sloppy accumulation).
+    #[test]
+    fn exact_large_n_series_recover_model_and_constant(
+        model_index in 0usize..4,
+        c_milli in 50u64..50_000,
+        lo in 5u32..9,
+    ) {
+        let model = model_for(model_index);
+        let c = c_milli as f64 / 1000.0;
+        let points: Vec<(usize, f64)> =
+            grid(lo, 17).into_iter().map(|n| (n, c * model.shape(n))).collect();
+        let fit = fit_series(&points);
+        prop_assert_eq!(fit.best_model, model);
+        prop_assert!((fit.constant - c).abs() / c < 1e-9, "constant {} vs {c}", fit.constant);
+        prop_assert!(fit.dispersion < 1e-9, "dispersion {}", fit.dispersion);
+        prop_assert!(fit.constant.is_finite() && fit.dispersion.is_finite());
+    }
+
+    /// Bounded multiplicative noise (up to ±8%) never flips the model on
+    /// a wide grid: the candidate shapes diverge by factors ≥ log n,
+    /// which dwarfs the noise band at every size the registry sweeps.
+    #[test]
+    fn noisy_large_n_series_keep_their_model(
+        model_index in 0usize..4,
+        c_milli in 100u64..10_000,
+        signs in proptest::collection::vec(any::<bool>(), 13),
+        eps_milli in 0u64..80,
+    ) {
+        let model = model_for(model_index);
+        let c = c_milli as f64 / 1000.0;
+        let eps = eps_milli as f64 / 1000.0;
+        let points: Vec<(usize, f64)> = grid(5, 17)
+            .into_iter()
+            .zip(signs.iter().cycle())
+            .map(|(n, &up)| {
+                let noise = if up { 1.0 + eps } else { 1.0 - eps };
+                (n, c * model.shape(n) * noise)
+            })
+            .collect();
+        let fit = fit_series(&points);
+        prop_assert_eq!(fit.best_model, model, "noise {eps} flipped the model");
+        // The recovered constant stays inside the noise band.
+        prop_assert!(
+            (fit.constant - c).abs() / c <= eps + 1e-9,
+            "constant {} vs {c} under ±{eps}",
+            fit.constant
+        );
+        // CV can edge slightly past eps when the signs are unbalanced
+        // (the mean ratio shifts below c while the spread stays ~eps·c).
+        prop_assert!(fit.dispersion <= eps * 1.1 + 1e-9, "dispersion {}", fit.dispersion);
+    }
+
+    /// The log-log slope stays a well-conditioned exponent estimate at
+    /// large n: pure powers recover their exponent almost exactly, and
+    /// `n log n` lands strictly between them.
+    #[test]
+    fn log_log_slope_is_stable_at_large_n(
+        c_milli in 50u64..50_000,
+        lo in 5u32..12,
+    ) {
+        let c = c_milli as f64 / 1000.0;
+        let sizes = grid(lo, 17);
+        let series = |f: &dyn Fn(f64) -> f64| -> Vec<(usize, f64)> {
+            sizes.iter().map(|&n| (n, c * f(n as f64))).collect()
+        };
+        let linear = log_log_slope(&series(&|n| n));
+        let nlogn = log_log_slope(&series(&|n| n * n.log2()));
+        let quad = log_log_slope(&series(&|n| n * n));
+        prop_assert!((linear - 1.0).abs() < 1e-9, "linear slope {linear}");
+        prop_assert!((quad - 2.0).abs() < 1e-9, "quadratic slope {quad}");
+        prop_assert!(nlogn > linear && nlogn < quad, "n log n slope {nlogn}");
+        prop_assert!(nlogn < 1.35, "n log n slope should stay near 1: {nlogn}");
+    }
+
+    /// Scaling every measurement by a constant scales the fitted constant
+    /// and changes nothing else — no hidden absolute-magnitude effects
+    /// even when the scale factor pushes values toward f64's integer
+    /// precision limit.
+    #[test]
+    fn fit_is_scale_equivariant(
+        model_index in 0usize..4,
+        scale_milli in 1u64..1_000_000,
+    ) {
+        let model = model_for(model_index);
+        let scale = scale_milli as f64 / 1000.0;
+        let base: Vec<(usize, f64)> =
+            grid(5, 17).into_iter().map(|n| (n, 3.0 * model.shape(n))).collect();
+        let scaled: Vec<(usize, f64)> = base.iter().map(|&(n, y)| (n, y * scale)).collect();
+        let fit_base = fit_series(&base);
+        let fit_scaled = fit_series(&scaled);
+        prop_assert_eq!(fit_base.best_model, fit_scaled.best_model);
+        prop_assert!(
+            (fit_scaled.constant - fit_base.constant * scale).abs()
+                / (fit_base.constant * scale)
+                < 1e-9
+        );
+        prop_assert!(
+            (fit_scaled.log_log_slope - fit_base.log_log_slope).abs() < 1e-9,
+            "slope moved under scaling"
+        );
+    }
+}

@@ -1,95 +1,155 @@
 //! Regenerates every quantitative claim of Mansour & Zaks (PODC 1986).
 //!
 //! ```text
-//! experiments            # run all twelve experiments, print tables
-//! experiments e7 e10     # run a subset
-//! experiments --json out.json       # also dump machine-readable results
+//! experiments                       # run all fourteen experiments
+//! experiments e7 e10                # run a subset, in argument order
+//! experiments --filter counter      # run experiments matching a substring
+//! experiments --scale large         # smoke | paper (default) | large grids
+//! experiments --json out.json       # also dump the versioned JSON envelope
 //! experiments --workers 8           # parallel sweeps on 8 threads
 //! experiments --workers 0           # one thread per CPU
 //! experiments --list                # list experiment ids and titles
 //! ```
 //!
-//! `--workers N` fans every sweep's grid points out to `N` worker
-//! threads; results (tables and JSON) are byte-identical for every `N` —
-//! only wall-clock time changes.
+//! The id table, `--list`, and dispatch all derive from
+//! [`ringleader_bench::registry`] — there is no second experiment table
+//! to drift. `--workers N` fans every sweep's grid points out to `N`
+//! worker threads; results (tables and JSON) are byte-identical for
+//! every `N` — only wall-clock time changes. Unknown flags are rejected
+//! (a typo like `--jsn` must not silently run the full suite).
+//!
+//! The JSON envelope is versioned: `schema_version`, the scale profile,
+//! and each experiment's grid metadata ride alongside the result
+//! records, so downstream diffs are self-describing. At `--scale paper`
+//! the `result` records are byte-identical to the historical
+//! (pre-registry) output.
 //!
 //! Exit code 0 iff every executed experiment's verdict is REPRODUCED.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use ringleader_analysis::{executor_for, Verdict};
-use ringleader_bench::{run_all_with, run_by_id_with};
+use ringleader_analysis::{
+    executor_for, ExperimentHarness, ExperimentResult, Scale, ScaleGrid, Verdict,
+};
+use ringleader_bench::registry;
+use serde::Serialize;
+
+/// Schema version of the `--json` envelope. Bump when the envelope
+/// layout (not the experiment grids) changes shape.
+const SCHEMA_VERSION: u32 = 1;
+
+const KNOWN_FLAGS: &str = "--list, --scale <smoke|paper|large>, --filter <substring>, \
+     --workers <n>, --json <path>";
+
+#[derive(Serialize)]
+struct EnvelopeEntry {
+    id: String,
+    grid: ScaleGrid,
+    result: serde_json::Value,
+}
+
+#[derive(Serialize)]
+struct Envelope {
+    schema_version: u32,
+    scale: String,
+    experiments: Vec<EnvelopeEntry>,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-
-    if args.iter().any(|a| a == "--list") {
-        for (id, title) in [
-            ("e1", "Theorem 1: regular languages in n*ceil(log|Q|) bits"),
-            ("e2", "Theorem 2: message graphs (finite = regular)"),
-            ("e3", "Theorem 4: information-state census"),
-            ("e4", "Theorem 5: cut-link rerouting <= 4x"),
-            ("e5", "Theorems 6/7: bidirectional O(n)"),
-            ("e6", "Note 7.1: wcw is Theta(n^2)"),
-            ("e7", "Note 7.2: 0^n1^n2^n is Theta(n log n)"),
-            ("e8", "Note 7.3: the L_g hierarchy"),
-            ("e9", "Note 7.4: known n closes the gap"),
-            ("e10", "Note 7.5: pass/bit trade-off (exact)"),
-            ("e11", "Section 1: collect-all upper bound"),
-            ("e12", "Model validity: schedules and threads"),
-            ("a1", "Ablation: counter encodings"),
-            ("a2", "Ablation: Theorem 3 stateless replay"),
-        ] {
-            println!("{id:>4}  {title}");
-        }
-        return ExitCode::SUCCESS;
-    }
+    let registry = registry();
 
     let mut json_path: Option<String> = None;
     let mut workers = 1usize;
+    let mut scale = Scale::Paper;
+    let mut filter: Option<String> = None;
+    let mut list = false;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--json" {
-            match iter.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--json" => match iter.next() {
                 Some(path) => json_path = Some(path),
                 None => {
                     eprintln!("--json requires a path");
                     return ExitCode::FAILURE;
                 }
-            }
-        } else if arg == "--workers" {
-            match iter.next().as_deref().map(str::parse::<usize>) {
+            },
+            "--workers" => match iter.next().as_deref().map(str::parse::<usize>) {
                 Some(Ok(n)) => workers = n,
                 _ => {
                     eprintln!("--workers requires a thread count (0 = one per CPU)");
                     return ExitCode::FAILURE;
                 }
+            },
+            "--scale" => match iter.next().as_deref().map(Scale::parse) {
+                Some(Some(s)) => scale = s,
+                Some(None) => {
+                    eprintln!("--scale must be one of: smoke, paper, large");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--scale requires a profile (smoke, paper, large)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--filter" => match iter.next() {
+                Some(needle) => filter = Some(needle),
+                None => {
+                    eprintln!("--filter requires a substring");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?} (known flags: {KNOWN_FLAGS})");
+                return ExitCode::FAILURE;
             }
-        } else {
-            ids.push(arg);
+            _ => ids.push(arg),
         }
+    }
+
+    if list {
+        for spec in registry.specs() {
+            println!("{:>4}  {}", spec.id().to_ascii_lowercase(), spec.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Selection: explicit ids in argument order (duplicates allowed, like
+    // the historical CLI), then any filter matches not already selected,
+    // in registry order; no selectors at all means the full suite.
+    let mut selected = Vec::new();
+    for id in &ids {
+        match registry.get(id) {
+            Some(spec) => selected.push(spec),
+            None => {
+                eprintln!("unknown experiment id {id:?} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(needle) = &filter {
+        let matches = registry.filter(needle);
+        if matches.is_empty() {
+            eprintln!("no experiment id or title matches --filter {needle:?} (try --list)");
+            return ExitCode::FAILURE;
+        }
+        for spec in matches {
+            if !selected.iter().any(|s| s.id() == spec.id()) {
+                selected.push(spec);
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = registry.specs().iter().collect();
     }
 
     // 0 means "one worker per CPU" — executor_for shares the convention.
     let exec = executor_for(workers);
-
-    let results = if ids.is_empty() {
-        run_all_with(exec.as_ref())
-    } else {
-        let mut out = Vec::new();
-        for id in &ids {
-            match run_by_id_with(id, exec.as_ref()) {
-                Some(r) => out.push(r),
-                None => {
-                    eprintln!("unknown experiment id {id:?} (try --list)");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        out
-    };
+    let harness = ExperimentHarness::new(exec.as_ref(), scale);
+    let results: Vec<ExperimentResult> = selected.iter().map(|spec| harness.run(spec)).collect();
 
     let mut all_reproduced = true;
     for r in &results {
@@ -106,14 +166,23 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = json_path {
-        let payload: Vec<serde_json::Value> = results
-            .iter()
-            .map(|r| serde_json::to_value(r).expect("string-only structs serialize"))
-            .collect();
+        let envelope = Envelope {
+            schema_version: SCHEMA_VERSION,
+            scale: scale.label().to_owned(),
+            experiments: selected
+                .iter()
+                .zip(&results)
+                .map(|(spec, r)| EnvelopeEntry {
+                    id: spec.id().to_owned(),
+                    grid: spec.grid(scale).clone(),
+                    result: serde_json::to_value(r).expect("string-only structs serialize"),
+                })
+                .collect(),
+        };
         match std::fs::File::create(&path) {
             Ok(mut f) => {
                 if let Err(e) =
-                    writeln!(f, "{}", serde_json::to_string_pretty(&payload).expect("valid JSON"))
+                    writeln!(f, "{}", serde_json::to_string_pretty(&envelope).expect("valid JSON"))
                 {
                     eprintln!("failed writing {path}: {e}");
                     return ExitCode::FAILURE;

@@ -1,6 +1,8 @@
 //! A1 and A2: ablations of design choices DESIGN.md calls out.
 
-use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
+use ringleader_analysis::{
+    run_independent, ExperimentResult, ExperimentSpec, GridProfile, RunCtx, Verdict,
+};
 use ringleader_core::{CountRingSize, CounterEncoding, StatelessTwoPass, TwoPassParity};
 use ringleader_langs::Language;
 use ringleader_sim::RingRunner;
@@ -14,21 +16,29 @@ use ringleader_sim::RingRunner;
 /// constant); unary demotes the pass to `Θ(n²)` — an entire complexity
 /// tier lost to an encoding choice; a fixed 64-bit field *looks* linear
 /// but is a capped algorithm (wrong for `n ≥ 2⁶⁴`), which is why the
-/// honest protocols never use it.
-#[must_use]
-pub fn a1_encoding_ablation(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+/// honest protocols never use it. The ratio bounds are tuned to the two
+/// fixed probe sizes, so the case list does not scale.
+pub(crate) fn a1_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "A1",
         "Ablation: counter encodings vs the Θ(n log n) claim",
         "Summary §8 uses one-pass counting at O(n log n) bits; the class depends on the counter being self-delimiting and logarithmic",
-        vec![
-            "encoding".into(),
-            "bits(n=256)".into(),
-            "bits(n=1024)".into(),
-            "ratio (4× size)".into(),
-            "class".into(),
-        ],
-    );
+        GridProfile::fixed(vec![256, 1024]),
+        run_a1,
+    )
+}
+
+fn run_a1(ctx: &RunCtx<'_>) -> ExperimentResult {
+    // The class bounds below are tuned to a 4× step between the grid's
+    // two probe sizes; the grid declares [n, 4n].
+    let (small, big) = (ctx.sizes()[0], ctx.max_size());
+    let mut result = ctx.new_result(vec![
+        "encoding".into(),
+        format!("bits(n={small})"),
+        format!("bits(n={big})"),
+        "ratio (4× size)".into(),
+        "class".into(),
+    ]);
     let unary_alphabet = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
     let word = |n: usize| {
         ringleader_automata::Word::from_str(&"a".repeat(n), &unary_alphabet)
@@ -43,14 +53,14 @@ pub fn a1_encoding_ablation(exec: &dyn SweepExecutor) -> ExperimentResult {
     ];
     // The eight runs (4 encodings × 2 sizes) are independent; fan them
     // out and fold in case order.
-    let measured = run_independent(exec, cases.len(), |i| {
+    let measured = run_independent(ctx.exec(), cases.len(), |i| {
         let proto = CountRingSize::probe_with_encoding(cases[i].0);
-        let b256 = RingRunner::new().run(&proto, &word(256)).map(|o| o.stats.total_bits);
-        let b1024 = RingRunner::new().run(&proto, &word(1024)).map(|o| o.stats.total_bits);
-        (b256, b1024)
+        let b_small = RingRunner::new().run(&proto, &word(small)).map(|o| o.stats.total_bits);
+        let b_big = RingRunner::new().run(&proto, &word(big)).map(|o| o.stats.total_bits);
+        (b_small, b_big)
     });
-    for ((encoding, class, lo, hi), (r256, r1024)) in cases.into_iter().zip(measured) {
-        let b256 = match r256 {
+    for ((encoding, class, lo, hi), (small_run, big_run)) in cases.into_iter().zip(measured) {
+        let b_small = match small_run {
             Ok(b) => b,
             Err(e) => {
                 all_good = false;
@@ -58,7 +68,7 @@ pub fn a1_encoding_ablation(exec: &dyn SweepExecutor) -> ExperimentResult {
                 continue;
             }
         };
-        let b1024 = match r1024 {
+        let b_big = match big_run {
             Ok(b) => b,
             Err(e) => {
                 all_good = false;
@@ -67,18 +77,19 @@ pub fn a1_encoding_ablation(exec: &dyn SweepExecutor) -> ExperimentResult {
             }
         };
         // Exactness against the closed forms.
-        if b256 != encoding.predicted_pass_bits(256) || b1024 != encoding.predicted_pass_bits(1024)
+        if b_small != encoding.predicted_pass_bits(small)
+            || b_big != encoding.predicted_pass_bits(big)
         {
             all_good = false;
         }
-        let ratio = b1024 as f64 / b256 as f64;
+        let ratio = b_big as f64 / b_small as f64;
         if ratio < lo || ratio > hi {
             all_good = false;
         }
         result.push_row(vec![
             format!("{encoding:?}"),
-            b256.to_string(),
-            b1024.to_string(),
+            b_small.to_string(),
+            b_big.to_string(),
             format!("{ratio:.2}"),
             class.into(),
         ]);
@@ -95,22 +106,27 @@ pub fn a1_encoding_ablation(exec: &dyn SweepExecutor) -> ExperimentResult {
 
 /// A2 — the Theorem 3 Stage-1 construction: making processors stateless
 /// by replaying message history costs a bounded factor, never a
-/// complexity class.
-#[must_use]
-pub fn a2_stateless_replay(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let n = 90usize;
-    let mut result = ExperimentResult::new(
+/// complexity class. The grid's single size is the ring the closed forms
+/// are evaluated on.
+pub(crate) fn a2_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "A2",
         "Ablation: Theorem 3's stateless-replay construction",
         "Theorem 3 Stage 1: an equivalent algorithm that keeps no processor state, at BIT ≤ π_A·BIT_A — a bounded blow-up",
-        vec![
-            "k".into(),
-            format!("stateful bits (n={n})"),
-            format!("stateless bits (n={n})"),
-            "blow-up".into(),
-            "≤ 2× (π_A = 2)?".into(),
-        ],
-    );
+        GridProfile::fixed(vec![90]),
+        run_a2,
+    )
+}
+
+fn run_a2(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let n = ctx.max_size();
+    let mut result = ctx.new_result(vec![
+        "k".into(),
+        format!("stateful bits (n={n})"),
+        format!("stateless bits (n={n})"),
+        "blow-up".into(),
+        "≤ 2× (π_A = 2)?".into(),
+    ]);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
     let mut all_good = true;
     // Serial workload generation (one RNG stream), parallel measurement.
@@ -123,7 +139,7 @@ pub fn a2_stateless_replay(exec: &dyn SweepExecutor) -> ExperimentResult {
             (k, word)
         })
         .collect();
-    let outcomes = run_independent(exec, cases.len(), |i| {
+    let outcomes = run_independent(ctx.exec(), cases.len(), |i| {
         let (k, word) = &cases[i];
         let stateful = RingRunner::new()
             .run(&TwoPassParity::new(*k), word)
@@ -183,19 +199,18 @@ pub fn a2_stateless_replay(exec: &dyn SweepExecutor) -> ExperimentResult {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial, Verdict};
 
     #[test]
     fn a1_reproduces() {
-        let r = a1_encoding_ablation(&Serial);
+        let r = super::a1_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 4);
     }
 
     #[test]
     fn a2_reproduces() {
-        let r = a2_stateless_replay(&Serial);
+        let r = super::a2_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 5);
         assert!(r.rows.iter().all(|row| row[4] == "yes"));

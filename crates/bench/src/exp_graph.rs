@@ -1,6 +1,8 @@
 //! E2: the Theorem 2 message-graph construction, both directions.
 
-use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
+use ringleader_analysis::{
+    run_independent, ExperimentResult, ExperimentSpec, GridProfile, RunCtx, Verdict,
+};
 use ringleader_core::{
     CountRingSize, DfaOnePass, GraphOutcome, MessageGraphExplorer, OnePassParity, ThreeCounters,
     WcWPrefixForward,
@@ -15,20 +17,25 @@ use ringleader_langs::{regular_corpus, Language};
 /// the reference automaton (exact symmetric-difference check, not
 /// sampling). For the counter protocols the exploration must exceed its
 /// budget, with the growth profile showing *why* (one new message per
-/// depth for counting; superlinear for richer tokens).
-#[must_use]
-pub fn e2_message_graph(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+/// depth for counting; superlinear for richer tokens). Graph exploration
+/// has no ring-size dimension, so the spec is scale-independent.
+pub(crate) fn e2_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "E2",
         "Message graphs: finite = regular, divergent = non-regular",
         "Theorem 2: O(n) one-pass => finite message graph => DFA; Corollary 1: non-regular one-pass uses infinitely many messages",
-        vec![
-            "algorithm".into(),
-            "graph".into(),
-            "messages".into(),
-            "language check".into(),
-        ],
-    );
+        GridProfile::fixed(vec![]),
+        run_e2,
+    )
+}
+
+fn run_e2(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "algorithm".into(),
+        "graph".into(),
+        "messages".into(),
+        "language check".into(),
+    ]);
     let mut all_good = true;
     let explorer = MessageGraphExplorer::new(4000);
 
@@ -36,7 +43,7 @@ pub fn e2_message_graph(exec: &dyn SweepExecutor) -> ExperimentResult {
     // language exactly. Each exploration is independent — fan out, fold
     // rows in corpus order.
     let corpus = regular_corpus();
-    let corpus_rows = run_independent(exec, corpus.len(), |i| {
+    let corpus_rows = run_independent(ctx.exec(), corpus.len(), |i| {
         let lang = &corpus[i];
         let proto = DfaOnePass::new(lang);
         match explorer.explore(&proto) {
@@ -95,7 +102,7 @@ pub fn e2_message_graph(exec: &dyn SweepExecutor) -> ExperimentResult {
     // Infinite side: counter algorithms must blow the budget. Three
     // independent explorations, fanned out the same way.
     let divergent_names = ["count-ring-size", "three-counters", "wcw-prefix-forward"];
-    let divergent_outcomes = run_independent(exec, divergent_names.len(), |i| match i {
+    let divergent_outcomes = run_independent(ctx.exec(), divergent_names.len(), |i| match i {
         0 => explorer.explore(&CountRingSize::probe()),
         1 => explorer.explore(&ThreeCounters::new()),
         _ => explorer.explore(&WcWPrefixForward::new()),
@@ -152,11 +159,11 @@ fn growth_summary(growth: &[usize]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial};
 
     #[test]
     fn e2_reproduces() {
-        let r = e2_message_graph(&Serial);
+        let r = e2_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // Corpus languages + parity + 3 divergent protocols.
         assert_eq!(r.rows.len(), regular_corpus().len() + 1 + 3);

@@ -1,7 +1,8 @@
 //! E8: the `L_g` bit-complexity hierarchy is dense (Note 7.3).
 
 use ringleader_analysis::{
-    log_log_slope, sweep_protocol_with, ExperimentResult, SweepConfig, SweepExecutor, Verdict,
+    log_log_slope, sweep_protocol_with, ExperimentResult, ExperimentSpec, GridProfile, RunCtx,
+    ScaleGrid, Verdict,
 };
 use ringleader_core::LgRecognizer;
 use ringleader_langs::{GrowthFunction, Language, LgLanguage};
@@ -13,28 +14,41 @@ use ringleader_langs::{GrowthFunction, Language, LgLanguage};
 /// measured-bits-to-`g(n)` ratio must be stable (bounded above and below
 /// across sizes), and the log-log slopes must come out *ordered* the same
 /// way the functions are — the hierarchy is real and dense.
-#[must_use]
-pub fn e8_hierarchy(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+pub(crate) fn e8_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "E8",
         "The L_g hierarchy: Θ(g(n)) for every g in the band",
         "Note 7.3: for every g, Ω(n log n) ≤ g ≤ O(n²), L_g requires Θ(g(n)) bits",
-        vec!["g".into(), "n".into(), "bits".into(), "g(n)".into(), "bits/g(n)".into()],
-    );
+        GridProfile::per_scale(
+            ScaleGrid::new(vec![32, 64, 128], 2),
+            ScaleGrid::new(vec![32, 64, 128, 256, 512], 3),
+            ScaleGrid::new(vec![1024, 4096, 16384], 1),
+        ),
+        run_e8,
+    )
+}
+
+fn run_e8(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "g".into(),
+        "n".into(),
+        "bits".into(),
+        "g(n)".into(),
+        "bits/g(n)".into(),
+    ]);
     let growths = [
         GrowthFunction::NLogN,
         GrowthFunction::NQuarterLog,
         GrowthFunction::NSqrtN,
         GrowthFunction::NSquaredHalf,
     ];
-    let sizes = vec![32usize, 64, 128, 256, 512];
     let mut all_good = true;
     let mut slopes = Vec::new();
     for g in growths {
         let lang = LgLanguage::new(g);
         let proto = LgRecognizer::new(&lang);
-        let config = SweepConfig::with_sizes(sizes.clone());
-        let points = match sweep_protocol_with(&proto, &lang, &config, exec) {
+        let config = ctx.sweep_config();
+        let points = match sweep_protocol_with(&proto, &lang, &config, ctx.exec()) {
             Ok(p) => p,
             Err(e) => {
                 all_good = false;
@@ -86,13 +100,20 @@ pub fn e8_hierarchy(exec: &dyn SweepExecutor) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial};
 
     #[test]
     fn e8_reproduces() {
-        let r = e8_hierarchy(&Serial);
+        let r = e8_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // 4 growth functions × 5 sizes.
         assert_eq!(r.rows.len(), 20);
+    }
+
+    #[test]
+    fn e8_smoke_keeps_the_band_ordered() {
+        let r = e8_spec().run(&Serial, Scale::Smoke);
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        assert_eq!(r.rows.len(), 12);
     }
 }

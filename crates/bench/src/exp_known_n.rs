@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use ringleader_analysis::{
-    sweep_protocol_with, ExperimentResult, SweepConfig, SweepExecutor, Verdict,
+    sweep_protocol_with, ExperimentResult, ExperimentSpec, GridProfile, RunCtx, ScaleGrid,
+    ScheduleScenario, Verdict,
 };
 use ringleader_core::{CountRingSize, LengthPredicateKnownN, LgRecognizer};
 use ringleader_langs::{GrowthFunction, Language, LgLanguage, PowerOfTwoLength};
@@ -15,28 +16,49 @@ use ringleader_sim::RingRunner;
 /// Measured claims:
 ///
 /// 1. `{a^{2^k}}` costs exactly `n` bits known-`n` vs `Θ(n log n)`
-///    unknown-`n` — the gap, on the same language;
+///    unknown-`n` — the gap, on the same language — at every
+///    power-of-two grid size;
 /// 2. the fully-periodic `L_g` recognizer in known-`n` mode sends
 ///    window-only messages: the counting term vanishes and the measured
 ///    bits track `n·m` for every period (down to the `g(n) = Θ(n)` tier,
 ///    where `Ω(n log n)` would forbid it if `n` were unknown).
-#[must_use]
-pub fn e9_known_n(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+///
+/// Carries the matrix's `count-ring-size` scenario (the unknown-`n`
+/// counting pass is deterministic, so schedules cannot change its bits).
+pub(crate) fn e9_spec() -> ExperimentSpec {
+    let unary = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
+    let word =
+        ringleader_automata::Word::from_str(&"a".repeat(50), &unary).expect("unary words parse");
+    ExperimentSpec::new(
         "E9",
         "Known n: the gap closes",
         "Note 7.4: if n is known no gap exists; there are non-regular languages recognizable in O(n) bits",
-        vec![
-            "workload".into(),
-            "n".into(),
-            "known-n bits".into(),
-            "unknown-n bits".into(),
-            "gap factor".into(),
-        ],
-    );
+        GridProfile::per_scale(
+            ScaleGrid::new(vec![64, 256], 2),
+            ScaleGrid::new(vec![64, 256, 1024], 3),
+            ScaleGrid::new(vec![1024, 4096, 16384], 2),
+        ),
+        run_e9,
+    )
+    .with_scenario(ScheduleScenario::new(
+        "count-ring-size",
+        || Box::new(CountRingSize::probe()),
+        word,
+    ))
+}
+
+fn run_e9(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "workload".into(),
+        "n".into(),
+        "known-n bits".into(),
+        "unknown-n bits".into(),
+        "gap factor".into(),
+    ]);
     let mut all_good = true;
 
-    // Part 1: the power-of-two length language both ways.
+    // Part 1: the power-of-two length language both ways, at the grid's
+    // power-of-two sizes.
     let lang = PowerOfTwoLength::new();
     let known = LengthPredicateKnownN::new(
         ringleader_automata::Symbol(0),
@@ -44,8 +66,7 @@ pub fn e9_known_n(exec: &dyn SweepExecutor) -> ExperimentResult {
     );
     let unknown = CountRingSize::new(Arc::new(|n: usize| n.is_power_of_two()));
     let unary = lang.alphabet().clone();
-    for k in [6u32, 8, 10] {
-        let n = 1usize << k;
+    for &n in ctx.sizes().iter().filter(|n| n.is_power_of_two()) {
         let word =
             ringleader_automata::Word::from_str(&"a".repeat(n), &unary).expect("unary words parse");
         let known_bits = {
@@ -92,14 +113,12 @@ pub fn e9_known_n(exec: &dyn SweepExecutor) -> ExperimentResult {
     for g in [GrowthFunction::NLogN, GrowthFunction::NSqrtN] {
         let lang = LgLanguage::fully_periodic(g);
         let proto = LgRecognizer::new(&lang);
-        let sizes = vec![64usize, 256, 1024];
         let known_points = {
-            let mut config = SweepConfig::with_sizes(sizes.clone());
+            let mut config = ctx.sweep_config();
             config.known_ring_size = true;
-            sweep_protocol_with(&proto, &lang, &config, exec)
+            sweep_protocol_with(&proto, &lang, &config, ctx.exec())
         };
-        let unknown_points =
-            sweep_protocol_with(&proto, &lang, &SweepConfig::with_sizes(sizes), exec);
+        let unknown_points = sweep_protocol_with(&proto, &lang, &ctx.sweep_config(), ctx.exec());
         match (known_points, unknown_points) {
             (Ok(kp), Ok(up)) => {
                 for (k, u) in kp.iter().zip(&up) {
@@ -136,11 +155,11 @@ pub fn e9_known_n(exec: &dyn SweepExecutor) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial};
 
     #[test]
     fn e9_reproduces() {
-        let r = e9_known_n(&Serial);
+        let r = e9_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // 3 power-of-two rows + 2 growths × 3 sizes.
         assert_eq!(r.rows.len(), 9);

@@ -2,8 +2,8 @@
 //! upper bound.
 
 use ringleader_analysis::{
-    fit_series, sweep_protocol_with, ExperimentResult, GrowthModel, SweepConfig, SweepExecutor,
-    Verdict,
+    fit_series, sweep_protocol_with, ExperimentResult, ExperimentSpec, GridProfile, GrowthModel,
+    RunCtx, ScaleGrid, Verdict,
 };
 use ringleader_core::infostate::exhaustive_words;
 use ringleader_core::{analyze_info_states, CollectAll, CountRingSize, ThreeCounters};
@@ -19,21 +19,32 @@ use std::sync::Arc;
 /// 2. distinct states grow with `n`, so naming one takes `Ω(log n)` bits;
 /// 3. the max message width of the counter protocols grows like `log n` —
 ///    `Θ(log n)`-bit messages × `n` messages = the `Θ(n log n)` total.
-#[must_use]
-pub fn e3_info_states(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+///
+/// The grid drives consequence 3's width sweep; the censuses are
+/// scale-independent.
+pub(crate) fn e3_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "E3",
         "Information states: the Ω(n log n) mechanism",
         "Theorem 4: at most two processors share an information state on shortest witness words; ceil(n/2) distinct states need Ω(log n) bits",
-        vec![
-            "protocol".into(),
-            "words".into(),
-            "distinct IS".into(),
-            "max mult (shortest)".into(),
-            "bits to name".into(),
-            "max msg bits".into(),
-        ],
-    );
+        GridProfile::per_scale(
+            ScaleGrid::new(vec![24, 96, 384], 2),
+            ScaleGrid::new(vec![24, 96, 384, 1536], 3),
+            ScaleGrid::new(vec![96, 384, 1536, 6144, 24576], 1),
+        ),
+        run_e3,
+    )
+}
+
+fn run_e3(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "protocol".into(),
+        "words".into(),
+        "distinct IS".into(),
+        "max mult (shortest)".into(),
+        "bits to name".into(),
+        "max msg bits".into(),
+    ]);
     let mut all_good = true;
 
     // Exhaustive census for the three-counter protocol, |w| <= 6.
@@ -99,8 +110,9 @@ pub fn e3_info_states(exec: &dyn SweepExecutor) -> ExperimentResult {
     // Message-width growth: max message bits across n must grow (log-like),
     // unlike any O(n) protocol's constant width.
     let lang = AnBnCn::new();
-    let config = SweepConfig::with_sizes(vec![24, 96, 384, 1536]);
-    match sweep_protocol_with(&ThreeCounters::new(), &lang, &config, exec) {
+    let config = ctx.sweep_config();
+    let (lo, hi) = (config.sizes.first().copied().unwrap_or(0), ctx.max_size());
+    match sweep_protocol_with(&ThreeCounters::new(), &lang, &config, ctx.exec()) {
         Ok(points) => {
             let widths: Vec<usize> = points.iter().map(|p| p.max_message_bits).collect();
             let grows = widths.windows(2).all(|w| w[1] > w[0]);
@@ -108,7 +120,7 @@ pub fn e3_info_states(exec: &dyn SweepExecutor) -> ExperimentResult {
                 all_good = false;
             }
             result.push_note(format!(
-                "three-counters max message bits across n=24..1536: {widths:?} (growing ≈ log n)"
+                "three-counters max message bits across n={lo}..{hi}: {widths:?} (growing ≈ log n)"
             ));
         }
         Err(e) => {
@@ -127,28 +139,42 @@ pub fn e3_info_states(exec: &dyn SweepExecutor) -> ExperimentResult {
 
 /// E7 — Note 7.2: `0ⁿ1ⁿ2ⁿ` (context-sensitive!) in `Θ(n log n)` bits,
 /// with the collect-all baseline crossing over at small `n`.
-#[must_use]
-pub fn e7_three_counters(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+pub(crate) fn e7_spec() -> ExperimentSpec {
+    let word = crate::counter_scenario_word();
+    ExperimentSpec::new(
         "E7",
         "0^n 1^n 2^n via three counters: Θ(n log n)",
         "Note 7.2: a context-sensitive, non-context-free language recognized in O(n log n) bits using three counters",
-        vec![
-            "n".into(),
-            "counters bits".into(),
-            "collect-all bits".into(),
-            "winner".into(),
-            "counters bits/(n log n)".into(),
-        ],
-    );
+        GridProfile::per_scale(
+            ScaleGrid::new(vec![6, 12, 24, 48, 96, 192], 2),
+            ScaleGrid::new(vec![6, 12, 24, 48, 96, 192, 384, 768, 1536], 3),
+            ScaleGrid::new(vec![1536, 3072, 6144, 12288, 24576], 1),
+        ),
+        run_e7,
+    )
+    .with_expected_model(GrowthModel::NLogN)
+    .with_scenario(ringleader_analysis::ScheduleScenario::new(
+        "three-counters",
+        || Box::new(ThreeCounters::new()),
+        word,
+    ))
+}
+
+fn run_e7(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "n".into(),
+        "counters bits".into(),
+        "collect-all bits".into(),
+        "winner".into(),
+        "counters bits/(n log n)".into(),
+    ]);
     let lang = AnBnCn::new();
     let counters = ThreeCounters::new();
     let collect = CollectAll::new(Arc::new(AnBnCn::new()));
-    let sizes = vec![6usize, 12, 24, 48, 96, 192, 384, 768, 1536];
-    let config = SweepConfig::with_sizes(sizes);
+    let config = ctx.sweep_config();
     let (counter_points, collect_points) = match (
-        sweep_protocol_with(&counters, &lang, &config, exec),
-        sweep_protocol_with(&collect, &lang, &config, exec),
+        sweep_protocol_with(&counters, &lang, &config, ctx.exec()),
+        sweep_protocol_with(&collect, &lang, &config, ctx.exec()),
     ) {
         (Ok(a), Ok(b)) => (a, b),
         _ => {
@@ -204,22 +230,28 @@ pub fn e7_three_counters(exec: &dyn SweepExecutor) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial};
 
     #[test]
     fn e3_reproduces() {
-        let r = e3_info_states(&Serial);
+        let r = e3_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 2);
     }
 
     #[test]
     fn e7_reproduces() {
-        let r = e7_three_counters(&Serial);
+        let r = e7_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert!(r.rows.len() >= 8);
         // The last rows must be counter wins (n log n < n^2 eventually).
         let last = r.rows.last().unwrap();
         assert_eq!(last[3], "counters");
+    }
+
+    #[test]
+    fn e7_smoke_still_finds_the_crossover() {
+        let r = e7_spec().run(&Serial, Scale::Smoke);
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
     }
 }

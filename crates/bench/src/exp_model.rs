@@ -1,137 +1,58 @@
 //! E12: model validity — schedule-independence and real-threads agreement.
 
-use std::sync::Arc;
-
-use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
-use ringleader_core::{CollectAll, CountRingSize, DfaOnePass, ThreeCounters};
-use ringleader_langs::{AnBnCn, DfaLanguage, Language};
-use ringleader_sim::{Protocol, RingRunner, Scheduler, ThreadedRunner};
+use ringleader_analysis::{
+    run_schedule_matrix, ExperimentResult, ExperimentSpec, GridProfile, RunCtx, ScheduleScenario,
+    Verdict,
+};
 
 /// E12 — the substitution check of DESIGN.md §5: the discrete-event
 /// simulator stands in for a physical asynchronous ring.
 ///
-/// Two measurable obligations:
+/// Two measurable obligations, replayed for **every scenario registered
+/// in the experiment registry** (each deterministic-protocol spec
+/// contributes its representative via
+/// [`ExperimentSpec::with_scenario`]):
 ///
-/// 1. **Schedule independence** — for the deterministic token protocols,
-///    decisions *and* exact bit counts are identical under FIFO, random
-///    (multiple seeds), and adversarial longest-queue delivery; the
-///    worst-case quantifier in `BIT_A(n)` is vacuous for them, as the
-///    theory expects.
+/// 1. **Schedule independence** — decisions *and* exact bit counts are
+///    identical under FIFO, random (multiple seeds), and adversarial
+///    longest-queue delivery; the worst-case quantifier in `BIT_A(n)` is
+///    vacuous for them, as the theory expects.
 /// 2. **Threaded agreement** — the same protocols on real OS threads with
 ///    crossbeam channels produce the same decisions and bit totals as the
 ///    event-driven engine.
-#[must_use]
-pub fn e12_model_validity(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+///
+/// Unlike the other specs this one is built against the rest of the
+/// registry: its case list *is* the registry's scenario matrix, so
+/// registering a new deterministic experiment automatically extends the
+/// model-validity check.
+pub(crate) fn e12_spec(scenarios: Vec<ScheduleScenario>) -> ExperimentSpec {
+    ExperimentSpec::new(
         "E12",
         "Simulator validity: schedules and real threads agree",
         "Model §2: asynchronous, arbitrary finite delays — deterministic protocols must measure identically under every delivery schedule and on real concurrency",
-        vec![
-            "protocol".into(),
-            "n".into(),
-            "schedules".into(),
-            "bit counts".into(),
-            "threads".into(),
-        ],
-    );
+        GridProfile::fixed(vec![]),
+        move |ctx| run_e12(ctx, &scenarios),
+    )
+}
+
+fn run_e12(ctx: &RunCtx<'_>, scenarios: &[ScheduleScenario]) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "protocol".into(),
+        "n".into(),
+        "schedules".into(),
+        "bit counts".into(),
+        "threads".into(),
+    ]);
     let mut all_good = true;
 
-    let sigma = ringleader_automata::Alphabet::from_chars("ab").expect("valid alphabet");
-    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).expect("pattern compiles");
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
-    let dfa_word = lang.positive_example(64, &mut rng).expect("positives exist");
-
-    let tri = ringleader_automata::Alphabet::from_chars("012").expect("valid alphabet");
-    let counter_word = ringleader_automata::Word::from_str(
-        &("0".repeat(21) + &"1".repeat(21) + &"2".repeat(21)),
-        &tri,
-    )
-    .expect("word parses");
-
-    let unary = ringleader_automata::Alphabet::from_chars("a").expect("valid alphabet");
-    let unary_word =
-        ringleader_automata::Word::from_str(&"a".repeat(50), &unary).expect("word parses");
-
-    let cases: Vec<(&str, Box<dyn Protocol>, ringleader_automata::Word)> = vec![
-        ("dfa-one-pass", Box::new(DfaOnePass::new(&lang)), dfa_word),
-        ("three-counters", Box::new(ThreeCounters::new()), counter_word.clone()),
-        ("count-ring-size", Box::new(CountRingSize::probe()), unary_word),
-        (
-            "collect-all[0^n1^n2^n]",
-            Box::new(CollectAll::new(Arc::new(AnBnCn::new()))),
-            counter_word,
-        ),
-    ];
-
-    // Each case (schedule matrix + threaded cross-check) is independent
-    // of the others; fan the cases out and fold notes/rows in case order.
-    let outcomes = run_independent(exec, cases.len(), |i| {
-        let (name, proto, word) = &cases[i];
-        let mut notes: Vec<String> = Vec::new();
-        let mut good = true;
-        let mut schedules = vec![Scheduler::Fifo, Scheduler::LongestQueue];
-        for seed in 0..5 {
-            schedules.push(Scheduler::Random { seed });
-        }
-        let mut bits = Vec::new();
-        let mut decisions = Vec::new();
-        for sched in &schedules {
-            let mut runner = RingRunner::new();
-            runner.scheduler(sched.clone());
-            match runner.run(proto.as_ref(), word) {
-                Ok(o) => {
-                    bits.push(o.stats.total_bits);
-                    decisions.push(o.accepted());
-                }
-                Err(e) => {
-                    good = false;
-                    notes.push(format!("{name} under {sched:?}: {e}"));
-                }
-            }
-        }
-        let bits_agree = bits.windows(2).all(|w| w[0] == w[1]);
-        let decisions_agree = decisions.windows(2).all(|w| w[0] == w[1]);
-        if !bits_agree || !decisions_agree {
-            good = false;
-        }
-
-        let threaded = ThreadedRunner::new().run(proto.as_ref(), word);
-        let threads_agree = match threaded {
-            Ok(t) => {
-                !bits.is_empty()
-                    && t.total_bits == bits[0]
-                    && Some(t.decision) == decisions.first().copied()
-            }
-            Err(e) => {
-                notes.push(format!("{name} threaded: {e}"));
-                false
-            }
-        };
-        if !threads_agree {
-            good = false;
-        }
-
-        let row = vec![
-            (*name).into(),
-            word.len().to_string(),
-            format!("{} tested", schedules.len()),
-            if bits_agree {
-                format!("identical ({})", bits.first().copied().unwrap_or(0))
-            } else {
-                format!("DIVERGED {bits:?}")
-            },
-            if threads_agree { "agree".into() } else { "DISAGREE".into() },
-        ];
-        (notes, row, good)
-    });
-    for (notes, row, good) in outcomes {
-        for note in notes {
+    for outcome in run_schedule_matrix(ctx.exec(), scenarios, 5) {
+        for note in outcome.notes {
             result.push_note(note);
         }
-        if !good {
+        if !outcome.good {
             all_good = false;
         }
-        result.push_row(row);
+        result.push_row(outcome.row);
     }
 
     result.push_note("bidirectional probe protocols may legitimately vary bits across schedules (verdict paths differ); decision invariance for those is covered by E5's scheduler sweep");
@@ -145,17 +66,38 @@ pub fn e12_model_validity(exec: &dyn SweepExecutor) -> ExperimentResult {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use ringleader_analysis::Serial;
+    use crate::registry;
+    use ringleader_analysis::{ExperimentHarness, Scale, Serial, Verdict};
 
     #[test]
     fn e12_reproduces() {
-        let r = e12_model_validity(&Serial);
+        let registry = registry();
+        let r = ExperimentHarness::new(&Serial, Scale::Paper)
+            .run_id(&registry, "e12")
+            .expect("registered");
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 4);
         for row in &r.rows {
             assert!(row[3].starts_with("identical"), "{row:?}");
             assert_eq!(row[4], "agree", "{row:?}");
         }
+    }
+
+    #[test]
+    fn e12_matrix_follows_registry_scenarios() {
+        // The case list is the registry's scenario matrix, in
+        // registration order — no duplicated scenario table in E12.
+        let registry = registry();
+        let labels: Vec<String> =
+            registry.schedule_scenarios().iter().map(|s| s.label().to_owned()).collect();
+        assert_eq!(
+            labels,
+            vec!["dfa-one-pass", "three-counters", "count-ring-size", "collect-all[0^n1^n2^n]"]
+        );
+        let r = ExperimentHarness::new(&Serial, Scale::Paper)
+            .run_id(&registry, "e12")
+            .expect("registered");
+        let row_names: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
+        assert_eq!(row_names, labels.iter().map(String::as_str).collect::<Vec<_>>());
     }
 }

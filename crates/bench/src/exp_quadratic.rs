@@ -4,78 +4,71 @@
 use std::sync::Arc;
 
 use ringleader_analysis::{
-    fit_series, sweep_protocol_with, ExperimentResult, GrowthModel, SweepConfig, SweepExecutor,
-    Verdict,
+    sweep_protocol_with, ExperimentResult, ExperimentSpec, GridProfile, GrowthModel, RunCtx,
+    ScaleGrid, ScheduleScenario, SweepPlan, Verdict,
 };
 use ringleader_core::{CollectAll, WcWPrefixForward};
 use ringleader_langs::{AnBn, AnBnCn, EqualAB, Language, Palindrome, WcW};
 
-use crate::quadratic_sizes;
-
 /// E6 — Note 7.1: `{wcw}` costs `Θ(n²)` bits.
 ///
-/// The prefix-forwarding recognizer is swept over odd ring sizes; the
-/// measured totals must fit the quadratic model (matching the paper's
-/// `Ω(n²)` lower bound), with message widths growing linearly in `n` —
-/// the transport of `w` across the ring is visible on the wire.
-#[must_use]
-pub fn e6_wcw(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+/// Fully declarative: the harness sweeps the prefix-forwarding
+/// recognizer over odd ring sizes and requires the quadratic fit
+/// (matching the paper's `Ω(n²)` lower bound). Message widths growing
+/// linearly in `n` — the transport of `w` across the ring — are visible
+/// in the `max msg bits` column.
+pub(crate) fn e6_spec() -> ExperimentSpec {
+    ExperimentSpec::sweep(
         "E6",
         "wcw costs Θ(n²)",
         "Note 7.1: every algorithm recognizing {wcw} satisfies BIT_A(n) = Ω(n²)",
-        vec!["n".into(), "bits".into(), "bits/n²".into(), "max msg bits".into()],
-    );
-    let lang = WcW::new();
-    let proto = WcWPrefixForward::new();
-    let config = SweepConfig::with_sizes(quadratic_sizes());
-    let points = match sweep_protocol_with(&proto, &lang, &config, exec) {
-        Ok(p) => p,
-        Err(e) => {
-            result.set_verdict(Verdict::Failed(format!("simulation error: {e}")));
-            return result;
-        }
-    };
-    for p in &points {
-        let norm = p.bits as f64 / (p.n as f64 * p.n as f64);
-        result.push_row(vec![
-            p.n.to_string(),
-            p.bits.to_string(),
-            format!("{norm:.4}"),
-            p.max_message_bits.to_string(),
-        ]);
-    }
-    let series: Vec<(usize, f64)> = points.iter().map(|p| (p.n, p.bits as f64)).collect();
-    let fit = fit_series(&series);
-    result.push_note(format!(
-        "fit: {} (c={:.3}, dispersion={:.3}, log-log slope {:.3})",
-        fit.best_model, fit.constant, fit.dispersion, fit.log_log_slope
-    ));
-    result.set_verdict(if fit.best_model == GrowthModel::Quadratic {
-        Verdict::Reproduced
-    } else {
-        Verdict::Failed(format!("expected n², measured {}", fit.best_model))
-    });
-    result
+        GridProfile::per_scale(
+            ScaleGrid::new(vec![65, 129, 257], 2),
+            ScaleGrid::new(vec![65, 129, 257, 513, 1025], 3),
+            ScaleGrid::new(vec![1025, 4097, 16385], 1),
+        ),
+        SweepPlan::new(
+            || Box::new(WcWPrefixForward::new()),
+            || Box::new(WcW::new()),
+            GrowthModel::Quadratic,
+        )
+        .norm_label("bits/n²"),
+    )
 }
 
 /// E11 — §1: the collect-all protocol recognizes *every* language in
 /// exactly `⌈log|Σ|⌉·n(n+1)/2` bits — the trivial quadratic upper bound
-/// all specialized algorithms beat.
-#[must_use]
-pub fn e11_collect_all(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+/// all specialized algorithms beat. Carries the matrix's
+/// `collect-all[0^n1^n2^n]` scenario.
+pub(crate) fn e11_spec() -> ExperimentSpec {
+    let word = crate::counter_scenario_word();
+    ExperimentSpec::new(
         "E11",
         "Collect-all: the universal Θ(n²) upper bound",
         "§1: the leader can obtain all information in O(n²) bits — every function is computable in n(n+1)/2 letters of traffic",
-        vec![
-            "language".into(),
-            "n".into(),
-            "bits".into(),
-            "closed form".into(),
-            "exact?".into(),
-        ],
-    );
+        GridProfile::per_scale(
+            ScaleGrid::new(vec![33, 129], 2),
+            ScaleGrid::new(vec![33, 129, 513], 3),
+            ScaleGrid::new(vec![1035, 4101, 16389], 1),
+        ),
+        run_e11,
+    )
+    .with_expected_model(GrowthModel::Quadratic)
+    .with_scenario(ScheduleScenario::new(
+        "collect-all[0^n1^n2^n]",
+        || Box::new(CollectAll::new(Arc::new(AnBnCn::new()))),
+        word,
+    ))
+}
+
+fn run_e11(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "language".into(),
+        "n".into(),
+        "bits".into(),
+        "closed form".into(),
+        "exact?".into(),
+    ]);
     let languages: Vec<Arc<dyn Language>> = vec![
         Arc::new(AnBn::new()),
         Arc::new(AnBnCn::new()),
@@ -86,8 +79,8 @@ pub fn e11_collect_all(exec: &dyn SweepExecutor) -> ExperimentResult {
     let mut all_good = true;
     for lang in &languages {
         let proto = CollectAll::new(Arc::clone(lang));
-        let config = SweepConfig::with_sizes(vec![33, 129, 513]);
-        let points = match sweep_protocol_with(&proto, lang.as_ref(), &config, exec) {
+        let config = ctx.sweep_config();
+        let points = match sweep_protocol_with(&proto, lang.as_ref(), &config, ctx.exec()) {
             Ok(p) => p,
             Err(e) => {
                 all_good = false;
@@ -122,21 +115,28 @@ pub fn e11_collect_all(exec: &dyn SweepExecutor) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial};
 
     #[test]
     fn e6_reproduces() {
-        let r = e6_wcw(&Serial);
+        let r = e6_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert!(r.rows.len() >= 5);
     }
 
     #[test]
     fn e11_reproduces() {
-        let r = e11_collect_all(&Serial);
+        let r = e11_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         // 5 languages × 3 sizes.
         assert_eq!(r.rows.len(), 15);
         assert!(r.rows.iter().all(|row| row[4] == "yes"));
+    }
+
+    #[test]
+    fn e6_smoke_still_classifies_quadratic() {
+        let r = e6_spec().run(&Serial, Scale::Smoke);
+        assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
+        assert_eq!(r.rows.len(), 3);
     }
 }

@@ -1,6 +1,8 @@
 //! E4: the Theorem 5 cut-link transformation and its ≤4× bound.
 
-use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
+use ringleader_analysis::{
+    run_independent, ExperimentResult, ExperimentSpec, GridProfile, RunCtx, Verdict,
+};
 use ringleader_core::{CountRingSize, CutLinkAdapter, DfaOnePass, ThreeCounters};
 use ringleader_langs::{DfaLanguage, Language};
 use ringleader_sim::{validate_token_discipline, Protocol, RingRunner};
@@ -11,23 +13,30 @@ use ringleader_sim::{validate_token_discipline, Protocol, RingRunner};
 ///
 /// Inner protocols are token-style one-pass algorithms whose link loads
 /// are uniform, so the fixed cut *is* a minimum-traffic link and the
-/// paper's accounting applies directly.
-#[must_use]
-pub fn e4_cut_link(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
+/// paper's accounting applies directly. The bound is size-independent,
+/// so the case list is fixed across scales; the grid records every ring
+/// size the cases measure (three-counters rounds down to multiples of
+/// three: 15/60/240).
+pub(crate) fn e4_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "E4",
         "Cut-link rerouting: ≤ 4× bits, zero data on the cut",
         "Theorem 5: the ring→line transformation at most doubles bits twice (tag + reroute), total ≤ 4×; the cut link carries no original traffic",
-        vec![
-            "inner protocol".into(),
-            "n".into(),
-            "plain bits".into(),
-            "rerouted bits".into(),
-            "ratio".into(),
-            "cut-link data bits".into(),
-            "token?".into(),
-        ],
-    );
+        GridProfile::fixed(vec![15, 16, 60, 64, 240, 256]),
+        run_e4,
+    )
+}
+
+fn run_e4(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let mut result = ctx.new_result(vec![
+        "inner protocol".into(),
+        "n".into(),
+        "plain bits".into(),
+        "rerouted bits".into(),
+        "ratio".into(),
+        "cut-link data bits".into(),
+        "token?".into(),
+    ]);
     let sigma = ringleader_automata::Alphabet::from_chars("ab").expect("valid alphabet");
     let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).expect("pattern compiles");
 
@@ -68,7 +77,7 @@ pub fn e4_cut_link(exec: &dyn SweepExecutor) -> ExperimentResult {
         cases.push(("three-counters", Box::new(inner), Box::new(adapted), word));
     }
 
-    let rows = run_independent(exec, cases.len(), |i| {
+    let rows = run_independent(ctx.exec(), cases.len(), |i| {
         let (name, inner, adapted, word) = &cases[i];
         let n = word.len();
         let plain = RingRunner::new().run(inner.as_ref(), word).expect("plain run succeeds");
@@ -111,11 +120,11 @@ pub fn e4_cut_link(exec: &dyn SweepExecutor) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Serial;
+    use ringleader_analysis::{Scale, Serial};
 
     #[test]
     fn e4_reproduces() {
-        let r = e4_cut_link(&Serial);
+        let r = e4_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 9);
         for row in &r.rows {

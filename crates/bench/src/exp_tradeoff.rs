@@ -1,6 +1,8 @@
 //! E10: the pass/bit trade-off (Note 7.5), reproduced *exactly*.
 
-use ringleader_analysis::{run_independent, ExperimentResult, SweepExecutor, Verdict};
+use ringleader_analysis::{
+    run_independent, ExperimentResult, ExperimentSpec, GridProfile, RunCtx, Verdict,
+};
 use ringleader_core::{OnePassParity, TwoPassParity};
 use ringleader_langs::Language;
 use ringleader_sim::RingRunner;
@@ -8,24 +10,29 @@ use ringleader_sim::RingRunner;
 /// E10 — Note 7.5: the two-pass algorithm costs `(2k+1)·n` bits and the
 /// one-pass algorithm `(k + 2^k − 1)·n`. These are closed forms, not
 /// asymptotics — the measured totals must equal them bit for bit, with
-/// the crossover at `k = 3`.
-#[must_use]
-pub fn e10_tradeoff(exec: &dyn SweepExecutor) -> ExperimentResult {
-    let n = 120usize;
-    let mut result = ExperimentResult::new(
+/// the crossover at `k = 3`. The grid's single size is the ring the
+/// closed forms are evaluated on.
+pub(crate) fn e10_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
         "E10",
         "Two passes beat one pass, exponentially in k",
         "Note 7.5: a language needing (2k+1)n bits in two passes needs (k+2^k-1)n bits in one pass",
-        vec![
-            "k".into(),
-            "|Σ|".into(),
-            format!("2-pass bits (n={n})"),
-            "formula (2k+1)n".into(),
-            format!("1-pass bits (n={n})"),
-            "formula (k+2^k-1)n".into(),
-            "winner".into(),
-        ],
-    );
+        GridProfile::fixed(vec![120]),
+        run_e10,
+    )
+}
+
+fn run_e10(ctx: &RunCtx<'_>) -> ExperimentResult {
+    let n = ctx.max_size();
+    let mut result = ctx.new_result(vec![
+        "k".into(),
+        "|Σ|".into(),
+        format!("2-pass bits (n={n})"),
+        "formula (2k+1)n".into(),
+        format!("1-pass bits (n={n})"),
+        "formula (k+2^k-1)n".into(),
+        "winner".into(),
+    ]);
     let mut all_good = true;
     // Workloads are drawn serially from one RNG stream (byte-identical to
     // the historical serial loop); only the independent runs fan out.
@@ -37,7 +44,7 @@ pub fn e10_tradeoff(exec: &dyn SweepExecutor) -> ExperimentResult {
             (k, word)
         })
         .collect();
-    let outcomes = run_independent(exec, cases.len(), |i| {
+    let outcomes = run_independent(ctx.exec(), cases.len(), |i| {
         let (k, word) = &cases[i];
         let two = TwoPassParity::new(*k);
         let one = OnePassParity::new(*k);
@@ -103,11 +110,11 @@ pub fn e10_tradeoff(exec: &dyn SweepExecutor) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::{Parallel, Serial};
+    use ringleader_analysis::{Parallel, Scale, Serial};
 
     #[test]
     fn e10_reproduces_exactly() {
-        let r = e10_tradeoff(&Serial);
+        let r = e10_spec().run(&Serial, Scale::Paper);
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
         assert_eq!(r.rows.len(), 5);
         for row in &r.rows {
@@ -118,8 +125,8 @@ mod tests {
 
     #[test]
     fn e10_is_executor_independent() {
-        let serial = e10_tradeoff(&Serial);
-        let parallel = e10_tradeoff(&Parallel(4));
+        let serial = e10_spec().run(&Serial, Scale::Paper);
+        let parallel = e10_spec().run(&Parallel(4), Scale::Paper);
         assert_eq!(serial, parallel);
         assert_eq!(serial.to_json(), parallel.to_json());
     }

@@ -2,12 +2,14 @@
 //! Mansour & Zaks (PODC 1986).
 //!
 //! The paper publishes no numeric tables (it is a theory paper); its
-//! "evaluation" is the set of theorems and Section-7 notes. Each function
-//! here measures one of those claims on the simulator and returns an
-//! [`ExperimentResult`] whose verdict states whether the claimed *shape*
-//! (linear / `n log n` / `n²` / exact formula) was observed. The
-//! `experiments` binary prints all of them; the Criterion benches in
-//! `benches/` time the same workloads.
+//! "evaluation" is the set of theorems and Section-7 notes. Each claim is
+//! declared as a [`ringleader_analysis::ExperimentSpec`] registered in
+//! [`registry`]; running a spec measures the claim on the simulator and
+//! returns an [`ExperimentResult`] whose verdict states whether the
+//! claimed *shape* (linear / `n log n` / `n²` / exact formula) was
+//! observed. The `experiments` binary derives its `--list` and dispatch
+//! from the same registry; the Criterion benches in `benches/` time the
+//! same workloads.
 //!
 //! | id | claim |
 //! |----|-------|
@@ -22,9 +24,14 @@
 //! | E9 | Note 7.4: known `n` ⇒ non-regular in exactly `n` bits |
 //! | E10 | Note 7.5: `(2k+1)n` two-pass vs `(k+2^k−1)n` one-pass, exact |
 //! | E11 | §1: collect-all is a universal `Θ(n²)` upper bound |
-//! | E12 | model validity: schedule-independence & threaded agreement |
+//! | E12 | model validity: the registry's scenario matrix × all schedules |
 //! | A1 | ablation: counter encodings decide the complexity class |
 //! | A2 | ablation: Theorem 3's stateless replay costs a bounded factor |
+//!
+//! Every spec carries three [`Scale`](ringleader_analysis::Scale)
+//! profiles: `smoke` (seconds-fast CI slice), `paper` (the historical
+//! grids, byte-identical to the seed output), and `large` (asymptotic
+//! experiments at rings of 16384+ processors, the nightly soak).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,93 +47,79 @@ mod exp_regular;
 mod exp_reroute;
 mod exp_tradeoff;
 
-pub use exp_ablation::{a1_encoding_ablation, a2_stateless_replay};
-pub use exp_graph::e2_message_graph;
-pub use exp_hierarchy::e8_hierarchy;
-pub use exp_known_n::e9_known_n;
-pub use exp_lower::{e3_info_states, e7_three_counters};
-pub use exp_model::e12_model_validity;
-pub use exp_quadratic::{e11_collect_all, e6_wcw};
-pub use exp_regular::{e1_regular_linear, e5_bidirectional};
-pub use exp_reroute::e4_cut_link;
-pub use exp_tradeoff::e10_tradeoff;
+use ringleader_analysis::{ExperimentHarness, ExperimentResult, Registry, Scale, Serial};
 
-use ringleader_analysis::{ExperimentResult, Serial, SweepExecutor};
-
-/// Standard sweep sizes used by the linear/`n log n` experiments.
-pub(crate) fn standard_sizes() -> Vec<usize> {
-    vec![16, 32, 64, 128, 256, 512, 1024]
+/// The `0²¹1²¹2²¹` probe word shared by E7's (three-counters) and E11's
+/// (collect-all) schedule scenarios: the two matrix entries deliberately
+/// measure the *same* workload under different protocols, so the word has
+/// a single source.
+pub(crate) fn counter_scenario_word() -> ringleader_automata::Word {
+    let tri = ringleader_automata::Alphabet::from_chars("012").expect("valid alphabet");
+    ringleader_automata::Word::from_str(&("0".repeat(21) + &"1".repeat(21) + &"2".repeat(21)), &tri)
+        .expect("word parses")
 }
 
-/// Sweep for quadratic-cost protocols: starts at `n = 65` because below
-/// that the `Θ(n log n)` message framing (two delta-coded fields per hop)
-/// still rivals the quadratic payload and muddies the fit; capped at 1025
-/// because the `n²` totals make bigger rings slow without adding
-/// information.
-pub(crate) fn quadratic_sizes() -> Vec<usize> {
-    vec![65, 129, 257, 513, 1025]
-}
-
-/// Runs every experiment in order with the given sweep executor.
+/// Builds the full experiment registry: E1–E12, A1, A2, in presentation
+/// order.
+///
+/// E12 is registered last of the paper experiments because its case list
+/// is the scenario matrix collected from every spec registered before it
+/// ([`Registry::schedule_scenarios`]) — registering a new deterministic
+/// experiment with a scenario (before E12) automatically extends the
+/// model-validity check. A spec with a scenario registered *after* E12
+/// would be silently excluded from the matrix, so `registry()` panics in
+/// that case rather than let coverage drift.
+///
+/// # Panics
+///
+/// Panics if a scenario-bearing spec is registered after E12 (its
+/// scenario would be missing from E12's matrix).
 #[must_use]
-pub fn run_all_with(exec: &dyn SweepExecutor) -> Vec<ExperimentResult> {
-    vec![
-        e1_regular_linear(exec),
-        e2_message_graph(exec),
-        e3_info_states(exec),
-        e4_cut_link(exec),
-        e5_bidirectional(exec),
-        e6_wcw(exec),
-        e7_three_counters(exec),
-        e8_hierarchy(exec),
-        e9_known_n(exec),
-        e10_tradeoff(exec),
-        e11_collect_all(exec),
-        e12_model_validity(exec),
-        a1_encoding_ablation(exec),
-        a2_stateless_replay(exec),
-    ]
+pub fn registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register(exp_regular::e1_spec());
+    registry.register(exp_graph::e2_spec());
+    registry.register(exp_lower::e3_spec());
+    registry.register(exp_reroute::e4_spec());
+    registry.register(exp_regular::e5_spec());
+    registry.register(exp_quadratic::e6_spec());
+    registry.register(exp_lower::e7_spec());
+    registry.register(exp_hierarchy::e8_spec());
+    registry.register(exp_known_n::e9_spec());
+    registry.register(exp_tradeoff::e10_spec());
+    registry.register(exp_quadratic::e11_spec());
+    let scenarios = registry.schedule_scenarios();
+    let matrix_len = scenarios.len();
+    registry.register(exp_model::e12_spec(scenarios));
+    registry.register(exp_ablation::a1_spec());
+    registry.register(exp_ablation::a2_spec());
+    assert_eq!(
+        registry.schedule_scenarios().len(),
+        matrix_len,
+        "a spec with a schedule scenario is registered after E12 — move its registration \
+         above e12_spec so the model-validity matrix replays it"
+    );
+    registry
 }
 
-/// Runs every experiment in order on the serial executor.
+/// Runs every experiment in order on the serial executor at paper scale —
+/// the historical (seed-identical) suite.
 #[must_use]
 pub fn run_all() -> Vec<ExperimentResult> {
-    run_all_with(&Serial)
+    ExperimentHarness::new(&Serial, Scale::Paper).run_all(&registry())
 }
 
-/// Runs the experiment with the given id (`"e1"`…`"e12"`,
-/// case-insensitive) with the given sweep executor.
-#[must_use]
-pub fn run_by_id_with(id: &str, exec: &dyn SweepExecutor) -> Option<ExperimentResult> {
-    match id.to_ascii_lowercase().as_str() {
-        "e1" => Some(e1_regular_linear(exec)),
-        "e2" => Some(e2_message_graph(exec)),
-        "e3" => Some(e3_info_states(exec)),
-        "e4" => Some(e4_cut_link(exec)),
-        "e5" => Some(e5_bidirectional(exec)),
-        "e6" => Some(e6_wcw(exec)),
-        "e7" => Some(e7_three_counters(exec)),
-        "e8" => Some(e8_hierarchy(exec)),
-        "e9" => Some(e9_known_n(exec)),
-        "e10" => Some(e10_tradeoff(exec)),
-        "e11" => Some(e11_collect_all(exec)),
-        "e12" => Some(e12_model_validity(exec)),
-        "a1" => Some(a1_encoding_ablation(exec)),
-        "a2" => Some(a2_stateless_replay(exec)),
-        _ => None,
-    }
-}
-
-/// Runs the experiment with the given id on the serial executor.
+/// Runs the experiment with the given id (`"e1"`…`"e12"`, `"a1"`, `"a2"`,
+/// case-insensitive) on the serial executor at paper scale.
 #[must_use]
 pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
-    run_by_id_with(id, &Serial)
+    ExperimentHarness::new(&Serial, Scale::Paper).run_id(&registry(), id)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ringleader_analysis::Verdict;
+    use ringleader_analysis::{Parallel, Verdict};
 
     #[test]
     fn ids_resolve() {
@@ -137,11 +130,63 @@ mod tests {
         assert!(run_by_id("").is_none());
     }
 
+    #[test]
+    fn registry_lists_all_fourteen_claims() {
+        let registry = registry();
+        assert_eq!(
+            registry.ids(),
+            vec![
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1",
+                "A2"
+            ]
+        );
+        // Result ids match spec ids — dispatch cannot drift from listing.
+        for spec in registry.specs() {
+            let r = ExperimentHarness::new(&Serial, Scale::Paper)
+                .run_id(&registry, spec.id())
+                .expect("listed id runs");
+            assert_eq!(r.id, spec.id());
+            assert_eq!(r.title, spec.title());
+        }
+    }
+
+    #[test]
+    fn large_grids_reach_the_soak_floor() {
+        // The asymptotic experiments must exercise rings of at least
+        // 16384 processors at large scale (ROADMAP: "grow the experiment
+        // grid sizes now that big rings are cheap").
+        let registry = registry();
+        for id in ["e1", "e5", "e6", "e7", "e8", "e11"] {
+            let spec = registry.get(id).expect("registered");
+            let max = spec.grid(Scale::Large).max_size().expect("sized grid");
+            assert!(max >= 16384, "{id} large grid tops out at {max}");
+        }
+    }
+
+    #[test]
+    fn smoke_grids_are_strictly_smaller_sweeps() {
+        // Smoke must stay a fast slice: never more grid points than paper
+        // and never a larger top size.
+        let registry = registry();
+        for spec in registry.specs() {
+            let smoke = spec.grid(Scale::Smoke);
+            let paper = spec.grid(Scale::Paper);
+            let points =
+                |g: &ringleader_analysis::ScaleGrid| g.sizes.len() * g.samples_per_size.max(1);
+            assert!(points(smoke) <= points(paper), "{}: smoke grid too big", spec.id());
+            assert!(
+                smoke.max_size().unwrap_or(0) <= paper.max_size().unwrap_or(0),
+                "{}: smoke tops out above paper",
+                spec.id()
+            );
+        }
+    }
+
     // Each experiment's full run is asserted REPRODUCED in its own module;
     // here we only check the suite wiring stays intact.
     #[test]
     fn quick_experiment_reproduces() {
-        let r = e10_tradeoff(&Serial);
+        let r = run_by_id("e10").expect("registered");
         assert_eq!(r.id, "E10");
         assert_eq!(r.verdict, Verdict::Reproduced, "{r}");
     }
@@ -150,9 +195,14 @@ mod tests {
     fn worker_count_does_not_change_results() {
         // The acceptance bar for the parallel executor, on a fast
         // experiment: byte-identical JSON for 1 vs 4 workers.
+        let registry = registry();
         for id in ["e10", "a1", "a2"] {
-            let serial = run_by_id_with(id, &ringleader_analysis::Serial).unwrap();
-            let parallel = run_by_id_with(id, &ringleader_analysis::Parallel(4)).unwrap();
+            let serial = ExperimentHarness::new(&Serial, Scale::Paper)
+                .run_id(&registry, id)
+                .expect("registered");
+            let parallel = ExperimentHarness::new(&Parallel(4), Scale::Paper)
+                .run_id(&registry, id)
+                .expect("registered");
             assert_eq!(serial.to_json(), parallel.to_json(), "{id}");
         }
     }

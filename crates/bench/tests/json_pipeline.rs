@@ -1,8 +1,8 @@
 //! The machine-readable experiment pipeline: results serialize, round-trip,
 //! and carry everything EXPERIMENTS.md quotes.
 
-use ringleader_analysis::{ExperimentResult, Serial, Verdict};
-use ringleader_bench::{e10_tradeoff, run_by_id};
+use ringleader_analysis::{ExperimentHarness, ExperimentResult, Scale, Serial, Verdict};
+use ringleader_bench::{registry, run_by_id};
 
 #[test]
 fn fast_experiments_roundtrip_through_json() {
@@ -23,8 +23,10 @@ fn fast_experiments_roundtrip_through_json() {
 fn experiment_results_are_deterministic() {
     // Same seeds everywhere ⇒ byte-identical reruns. This is what makes
     // EXPERIMENTS.md quotable: the numbers cannot drift between runs.
-    let a = e10_tradeoff(&Serial);
-    let b = e10_tradeoff(&Serial);
+    let registry = registry();
+    let harness = ExperimentHarness::new(&Serial, Scale::Paper);
+    let a = harness.run_id(&registry, "e10").expect("registered");
+    let b = harness.run_id(&registry, "e10").expect("registered");
     assert_eq!(a, b);
     assert_eq!(a.to_json(), b.to_json());
 }

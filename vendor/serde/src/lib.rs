@@ -67,6 +67,16 @@ impl Content {
         }
     }
 
+    /// Returns the value as a `u64` if this is a non-negative integer
+    /// (mirrors `serde_json::Value::as_u64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
     /// Looks up `key` if this is a map.
     pub fn map_get(&self, key: &str) -> Option<&Content> {
         self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
