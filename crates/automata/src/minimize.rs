@@ -5,7 +5,7 @@
 //! Theorem 2 message-graph extraction, whose output is minimized before
 //! being compared with the reference automaton.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::{Dfa, StateId};
 
@@ -51,7 +51,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     };
 
     // Worklist of (block index, symbol) splitters.
-    let mut work: HashSet<(u32, u16)> = HashSet::new();
+    let mut work: BTreeSet<(u32, u16)> = BTreeSet::new();
     if blocks.len() == 2 {
         let smaller = u32::from(blocks[1].len() < blocks[0].len());
         for s in 0..k as u16 {
@@ -66,7 +66,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     while let Some(&(block_idx, sym)) = work.iter().next() {
         work.remove(&(block_idx, sym));
         // X = states with a `sym`-transition into the splitter block.
-        let mut x: HashSet<u32> = HashSet::new();
+        let mut x: BTreeSet<u32> = BTreeSet::new();
         for &t in &blocks[block_idx as usize] {
             for &src in &rev[sym as usize][t as usize] {
                 x.insert(src);
@@ -76,7 +76,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
             continue;
         }
         // For each block B hit by X, split into B∩X and B\X.
-        let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut touched: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         for &q in &x {
             touched.entry(block_of[q as usize]).or_default().push(q);
         }
@@ -88,7 +88,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
             // New block gets the intersection (the smaller side is pushed
             // to the worklist below).
             let new_idx = blocks.len() as u32;
-            let inter_set: HashSet<u32> = inter.iter().copied().collect();
+            let inter_set: BTreeSet<u32> = inter.iter().copied().collect();
             blocks[b as usize].retain(|q| !inter_set.contains(q));
             for &q in &inter {
                 block_of[q as usize] = new_idx;
@@ -113,7 +113,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
     // Rebuild a DFA over blocks, renumbered by BFS from the start block.
     let start_block = block_of[start.index()];
     let mut order: Vec<u32> = Vec::with_capacity(blocks.len());
-    let mut pos: HashMap<u32, u32> = HashMap::new();
+    let mut pos: BTreeMap<u32, u32> = BTreeMap::new();
     let mut queue = std::collections::VecDeque::from([start_block]);
     pos.insert(start_block, 0);
     order.push(start_block);
@@ -121,7 +121,7 @@ pub(crate) fn minimize(dfa: &Dfa) -> Dfa {
         let repr = blocks[b as usize][0];
         for s in 0..k {
             let t_block = block_of[transitions[repr as usize][s].index()];
-            if let std::collections::hash_map::Entry::Vacant(e) = pos.entry(t_block) {
+            if let std::collections::btree_map::Entry::Vacant(e) = pos.entry(t_block) {
                 e.insert(order.len() as u32);
                 order.push(t_block);
                 queue.push_back(t_block);

@@ -1,6 +1,6 @@
 //! Nondeterministic finite automata with ε-transitions.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::{Alphabet, Dfa, StateId, Symbol, Word};
 
@@ -164,7 +164,7 @@ impl Nfa {
     pub fn determinize(&self) -> Dfa {
         let k = self.alphabet.len();
         let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
-        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
         let mut transitions: Vec<Vec<StateId>> = Vec::new();
         let mut accepting: Vec<bool> = Vec::new();
 

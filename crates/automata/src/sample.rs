@@ -222,7 +222,7 @@ mod tests {
                 assert!(dfa.accepts(w));
             }
             // Distinct.
-            let set: std::collections::HashSet<_> = words.iter().collect();
+            let set: std::collections::BTreeSet<_> = words.iter().collect();
             assert_eq!(set.len(), words.len());
         }
     }
@@ -248,7 +248,7 @@ mod tests {
         let sampler = WordSampler::new(&dfa, 3);
         assert_eq!(sampler.count(3), 4);
         let mut rng = StdRng::seed_from_u64(42);
-        let mut histogram = std::collections::HashMap::new();
+        let mut histogram = std::collections::BTreeMap::new();
         let draws = 4000;
         for _ in 0..draws {
             let w = sampler.sample(3, &mut rng).unwrap();

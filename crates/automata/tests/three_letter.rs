@@ -98,7 +98,7 @@ fn sampler_uniformity_on_constrained_language() {
     let sampler = WordSampler::new(&lang, 3);
     assert_eq!(sampler.count(3), 12);
     let mut rng = StdRng::seed_from_u64(99);
-    let mut seen = std::collections::HashMap::new();
+    let mut seen = std::collections::BTreeMap::new();
     for _ in 0..2400 {
         let w = sampler.sample(3, &mut rng).unwrap();
         *seen.entry(w.render(&sigma)).or_insert(0usize) += 1;
@@ -126,9 +126,9 @@ fn enumerate_agrees_with_brute_force() {
     let dfa = Regex::parse("a.*c", &sigma).unwrap().compile();
     let sampler = WordSampler::new(&dfa, 6);
     for len in 0..=6usize {
-        let enumerated: std::collections::HashSet<String> =
+        let enumerated: std::collections::BTreeSet<String> =
             sampler.enumerate(len).into_iter().map(|w| w.render(&sigma)).collect();
-        let brute: std::collections::HashSet<String> = all_words(len)
+        let brute: std::collections::BTreeSet<String> = all_words(len)
             .into_iter()
             .filter(|w| dfa.accepts(w))
             .map(|w| w.render(&sigma))

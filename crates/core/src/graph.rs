@@ -16,6 +16,7 @@
 //! case — counter algorithms, whose message set is infinite exactly as the
 //! theorem predicts).
 
+// detlint: allow(nondet-hash-iter): lookup-only intern table; BitString has no Ord
 use std::collections::HashMap;
 
 use ringleader_automata::{Alphabet, Dfa, StateId, Symbol};
@@ -115,6 +116,7 @@ impl MessageGraphExplorer {
         let k = alphabet.len();
 
         // State 0 is v0; messages get states 1.. in discovery order.
+        // detlint: allow(nondet-hash-iter): never iterated; ids come from discovery order
         let mut index: HashMap<BitString, usize> = HashMap::new();
         let mut messages: Vec<BitString> = Vec::new();
         let mut transitions: Vec<Vec<usize>> = vec![Vec::with_capacity(k)];
@@ -160,6 +162,7 @@ impl MessageGraphExplorer {
 
 /// Interns a message, enqueueing it on first sight. Returns its state id.
 fn intern(
+    // detlint: allow(nondet-hash-iter): lookup-only (see `explore`)
     index: &mut HashMap<BitString, usize>,
     messages: &mut Vec<BitString>,
     transitions: &mut Vec<Vec<usize>>,

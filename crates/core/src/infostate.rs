@@ -13,6 +13,7 @@
 //! distinct-state counts, the multiplicity bound on shortest-witness
 //! words, and the message-width growth the bound forces.
 
+// detlint: allow(nondet-hash-iter): InfoState has no Ord; maps below never leak order
 use std::collections::HashMap;
 
 use ringleader_automata::{Alphabet, Symbol, Word};
@@ -50,6 +51,7 @@ pub fn analyze_info_states(
     let mut runner = RingRunner::new();
     runner.record_trace(true);
     // state → index of the shortest word that witnessed it.
+    // detlint: allow(nondet-hash-iter): only `.values()` feed an order-insensitive set
     let mut witness: HashMap<InfoState, usize> = HashMap::new();
     let mut per_word_states: Vec<Vec<InfoState>> = Vec::with_capacity(words.len());
     let mut max_message_bits = 0usize;
@@ -71,9 +73,10 @@ pub fn analyze_info_states(
     }
 
     // Multiplicity check on shortest-witness words.
-    let witness_words: std::collections::HashSet<usize> = witness.values().copied().collect();
+    let witness_words: std::collections::BTreeSet<usize> = witness.values().copied().collect();
     let mut max_multiplicity = 0usize;
     for &w in &witness_words {
+        // detlint: allow(nondet-hash-iter): reduced via max(); order cannot escape
         let mut counts: HashMap<&InfoState, usize> = HashMap::new();
         for state in &per_word_states[w] {
             *counts.entry(state).or_insert(0) += 1;
@@ -124,7 +127,7 @@ mod tests {
         let sigma = Alphabet::from_chars("ab").unwrap();
         let words = exhaustive_words(&sigma, 3);
         assert_eq!(words.len(), 8);
-        let set: std::collections::HashSet<String> =
+        let set: std::collections::BTreeSet<String> =
             words.iter().map(|w| w.render(&sigma)).collect();
         assert_eq!(set.len(), 8);
         assert!(set.contains("aba"));

@@ -1,0 +1,342 @@
+//! Per-file context: path classification, `#[cfg(test)]` regions, and
+//! `// detlint: allow(...)` directives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::report::Finding;
+
+/// Which cargo target family a file belongs to, by path convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `src/` — library or binary code shipped in the crate.
+    Src,
+    /// `tests/` — integration tests.
+    Tests,
+    /// `benches/` — benchmarks.
+    Benches,
+    /// `examples/` — example programs.
+    Examples,
+}
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Short crate name: `core`, `automata`, … for `crates/<name>`,
+    /// `ringleader` for the root package, or the vendor crate name for
+    /// `vendor/<name>`.
+    pub crate_name: String,
+    /// True for `vendor/*` shims.
+    pub is_vendor: bool,
+    /// Target family.
+    pub section: Section,
+}
+
+/// Classifies a workspace-relative, `/`-separated path.
+#[must_use]
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let section_of = |s: &str| match s {
+        "tests" => Section::Tests,
+        "benches" => Section::Benches,
+        "examples" => Section::Examples,
+        _ => Section::Src,
+    };
+    match parts.as_slice() {
+        ["crates", name, sec, ..] => FileClass {
+            crate_name: (*name).to_string(),
+            is_vendor: false,
+            section: section_of(sec),
+        },
+        ["vendor", name, sec, ..] => {
+            FileClass { crate_name: (*name).to_string(), is_vendor: true, section: section_of(sec) }
+        }
+        [sec, ..] => FileClass {
+            crate_name: "ringleader".to_string(),
+            is_vendor: false,
+            section: section_of(sec),
+        },
+        [] => FileClass {
+            crate_name: "ringleader".to_string(),
+            is_vendor: false,
+            section: Section::Src,
+        },
+    }
+}
+
+/// Byte ranges covered by `#[test]` / `#[cfg(test)]` items (usually the
+/// trailing `mod tests { … }` block). Rules that only apply to shipped
+/// library code skip findings inside these.
+#[must_use]
+pub fn test_regions(lx: &Lexed) -> Vec<(usize, usize)> {
+    let sig: Vec<(usize, Token)> = lx.significant().map(|(i, t)| (i, *t)).collect();
+    let text = |t: &Token| lx.text(t);
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if text(&sig[i].1) != "#" || i + 1 >= sig.len() || text(&sig[i + 1].1) != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        let mut inner: Vec<&str> = Vec::new();
+        while j < sig.len() && depth > 0 {
+            match text(&sig[j].1) {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                s if depth >= 1 => inner.push(s),
+                _ => {}
+            }
+            if depth > 0 {
+                j += 1;
+            }
+        }
+        let attr_end = j; // index of the closing `]`
+        let is_test_attr = inner == ["test"] || inner == ["cfg", "(", "test", ")"];
+        if !is_test_attr {
+            i = attr_end.min(sig.len() - 1) + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = attr_end + 1;
+        while k + 1 < sig.len() && text(&sig[k].1) == "#" && text(&sig[k + 1].1) == "[" {
+            let mut d = 1usize;
+            k += 2;
+            while k < sig.len() && d > 0 {
+                match text(&sig[k].1) {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Scan to the item's body `{` (or a bodiless `;`) at bracket
+        // depth 0 — `fn f(x: [u8; 3])` must not end the item early.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut end_offset = None;
+        while k < sig.len() {
+            match text(&sig[k].1) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if paren == 0 && bracket == 0 => {
+                    end_offset = Some(sig[k].1.end);
+                    break;
+                }
+                "{" if paren == 0 && bracket == 0 => {
+                    // Match braces to the end of the body.
+                    let mut braces = 0usize;
+                    while k < sig.len() {
+                        match text(&sig[k].1) {
+                            "{" => braces += 1,
+                            "}" => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    end_offset = Some(sig[k].1.end);
+                                }
+                            }
+                            _ => {}
+                        }
+                        if end_offset.is_some() {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let start = sig[i].1.start;
+        let end = end_offset.unwrap_or(lx.src().len());
+        regions.push((start, end));
+        // Resume after the region (nested test attrs inside are moot).
+        while i < sig.len() && sig[i].1.start < end {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// True when `offset` falls inside any of `regions`.
+#[must_use]
+pub fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+/// Parsed `// detlint: allow(<rule>): <justification>` directives for
+/// one file: which rules are suppressed on which lines, plus findings
+/// for malformed directives (wrong syntax, unknown rule, or an empty
+/// justification — the escape hatch *requires* a reason).
+#[derive(Debug, Default)]
+pub struct Allows {
+    by_line: BTreeMap<u32, BTreeSet<String>>,
+    /// Diagnostics for malformed directives; never suppressible.
+    pub malformed: Vec<Finding>,
+}
+
+impl Allows {
+    /// Whether `rule` is allowed on `line`.
+    #[must_use]
+    pub fn covers(&self, line: u32, rule: &str) -> bool {
+        self.by_line.get(&line).is_some_and(|rules| rules.contains(rule))
+    }
+}
+
+/// Scans comments for allow directives. An inline directive covers its
+/// own line; a directive alone on its line covers the next line that
+/// holds a significant token.
+#[must_use]
+pub fn parse_allows(rel_path: &str, lx: &Lexed, known_rules: &[&str]) -> Allows {
+    let mut allows = Allows::default();
+    for (idx, token) in lx.tokens().iter().enumerate() {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = lx.text(token).trim_start_matches('/');
+        // Doc comments (`///`, `//!`) are prose, not directives.
+        if lx.text(token).starts_with("///") || lx.text(token).starts_with("//!") {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("detlint:") else {
+            continue;
+        };
+        let (line, col) = lx.line_col(token.start);
+        let mut bad = |message: String| {
+            allows.malformed.push(Finding {
+                rule: "detlint-allow",
+                path: rel_path.to_string(),
+                line,
+                col,
+                message,
+            });
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad("malformed directive: expected `detlint: allow(<rule>): <justification>`"
+                .to_string());
+            continue;
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            bad("malformed directive: missing `)` after rule name".to_string());
+            continue;
+        };
+        let rule = rule.trim();
+        if !known_rules.contains(&rule) {
+            bad(format!("unknown rule `{rule}` in allow directive"));
+            continue;
+        }
+        let Some(justification) = after.trim_start().strip_prefix(':') else {
+            bad(format!("allow({rule}) is missing its `: <justification>`"));
+            continue;
+        };
+        if justification.trim().is_empty() {
+            bad(format!("allow({rule}) must carry a non-empty justification"));
+            continue;
+        }
+        // Inline (code before the comment on the same line) covers this
+        // line; standalone covers the next significant line.
+        let standalone = !lx.tokens()[..idx]
+            .iter()
+            .rev()
+            .take_while(|t| {
+                lx.line_of(t.start) == line || lx.line_of(t.end.saturating_sub(1)) == line
+            })
+            .any(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            });
+        let target = if standalone {
+            lx.significant().map(|(_, t)| lx.line_of(t.start)).find(|&l| l > line)
+        } else {
+            Some(line)
+        };
+        if let Some(target) = target {
+            allows.by_line.entry(target).or_default().insert(rule.to_string());
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/core/src/graph.rs"),
+            FileClass { crate_name: "core".into(), is_vendor: false, section: Section::Src }
+        );
+        assert!(classify("vendor/rand/src/lib.rs").is_vendor);
+        assert_eq!(classify("crates/sim/tests/determinism.rs").section, Section::Tests);
+        assert_eq!(classify("crates/bench/benches/protocols.rs").section, Section::Benches);
+        assert_eq!(classify("src/bin/ringsim.rs").crate_name, "ringleader");
+        assert_eq!(classify("tests/end_to_end.rs").section, Section::Tests);
+        assert_eq!(classify("examples/quickstart.rs").section, Section::Examples);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let lx = Lexed::new(src.to_string());
+        let regions = test_regions(&lx);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = src.find("unwrap").expect("present");
+        let tail_at = src.find("tail").expect("present");
+        assert!(in_regions(&regions, unwrap_at));
+        assert!(!in_regions(&regions, tail_at));
+        assert!(!in_regions(&regions, 0));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() {} }\n";
+        let lx = Lexed::new(src.to_string());
+        assert!(test_regions(&lx).is_empty());
+    }
+
+    #[test]
+    fn test_fn_with_tricky_signature() {
+        let src = "#[test]\nfn f(x: [u8; 3]) { body(); }\nfn after() {}\n";
+        let lx = Lexed::new(src.to_string());
+        let regions = test_regions(&lx);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, src.find("body").expect("present")));
+        assert!(!in_regions(&regions, src.find("after").expect("present")));
+    }
+
+    #[test]
+    fn allow_inline_and_standalone() {
+        let src = "\
+use x::HashMap; // detlint: allow(nondet-hash-iter): lookup only\n\
+// detlint: allow(wallclock-in-sim): watchdog, not sim state\n\
+let t = Instant::now();\n";
+        let lx = Lexed::new(src.to_string());
+        let allows = parse_allows("f.rs", &lx, &["nondet-hash-iter", "wallclock-in-sim"]);
+        assert!(allows.malformed.is_empty(), "{:?}", allows.malformed);
+        assert!(allows.covers(1, "nondet-hash-iter"));
+        assert!(allows.covers(3, "wallclock-in-sim"));
+        assert!(!allows.covers(2, "wallclock-in-sim"));
+    }
+
+    #[test]
+    fn allow_requires_justification_and_known_rule() {
+        let src = "let a = 1; // detlint: allow(nondet-hash-iter):\nlet b = 2; // detlint: allow(bogus): why\n";
+        let lx = Lexed::new(src.to_string());
+        let allows = parse_allows("f.rs", &lx, &["nondet-hash-iter"]);
+        assert_eq!(allows.malformed.len(), 2);
+        assert!(!allows.covers(1, "nondet-hash-iter"));
+        assert!(allows.malformed[0].message.contains("justification"));
+        assert!(allows.malformed[1].message.contains("unknown rule"));
+    }
+}

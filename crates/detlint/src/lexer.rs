@@ -1,0 +1,392 @@
+//! Hand-rolled Rust lexer with exact span tiling.
+//!
+//! The rule engine needs just enough lexical structure to tell *code*
+//! apart from comments and string literals (so `"HashMap"` in a message
+//! is not a finding but `HashMap` in code is), to read `// detlint:
+//! allow(...)` directives out of comments, and to walk significant
+//! tokens with lookahead/lookbehind. A full parser is out of scope by
+//! policy — the offline environment has neither `syn` nor `quote`, and
+//! the vendored `serde_derive` sets the precedent of working directly
+//! on token streams.
+//!
+//! The one hard invariant, enforced by proptests in
+//! `tests/span_props.rs`, is that token spans **tile** the input: the
+//! first token starts at byte 0, every token ends where the next one
+//! starts, the last token ends at `len`, and every span is a non-empty,
+//! char-boundary-valid slice. Whitespace is itself a token so the tiling
+//! has no gaps, which in turn means no byte of input is ever silently
+//! skipped or double-counted — a lexer bug cannot hide code from the
+//! rules.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A maximal run of whitespace.
+    Whitespace,
+    /// `// ...` to end of line, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* ... */`, nesting-aware, including `/** */` and `/*! */`.
+    BlockComment,
+    /// String-ish literal: `"…"`, `b"…"`, `c"…"`, `r"…"`, `r#"…"#`,
+    /// `br#"…"#`, `cr"…"` — escapes and hash-delimited raw forms.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// Numeric literal, including suffixes and exponents.
+    Number,
+    /// Identifier or keyword, including raw `r#ident` forms.
+    Ident,
+    /// Any single other character (`{`, `::` is two tokens, etc.).
+    Punct,
+}
+
+/// One lexed token; `start..end` is a byte range into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+/// A source file tokenized once, with a line table for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    src: String,
+    tokens: Vec<Token>,
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// Tokenizes `src`.
+    #[must_use]
+    pub fn new(src: String) -> Self {
+        let tokens = lex(&src);
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { src, tokens, line_starts }
+    }
+
+    /// The original source text.
+    #[must_use]
+    pub fn src(&self) -> &str {
+        &self.src
+    }
+
+    /// All tokens, in source order, tiling the input.
+    #[must_use]
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The text of one token.
+    #[must_use]
+    pub fn text(&self, token: &Token) -> &str {
+        &self.src[token.start..token.end]
+    }
+
+    /// 1-based line number containing byte `offset`.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> u32 {
+        self.line_starts.partition_point(|s| *s <= offset) as u32
+    }
+
+    /// 1-based (line, column) of byte `offset`; columns count chars.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = self.line_starts.partition_point(|s| *s <= offset);
+        let line_start = self.line_starts[line - 1];
+        let col = self.src[line_start..offset].chars().count() + 1;
+        (line as u32, col as u32)
+    }
+
+    /// Indices and tokens that are neither whitespace nor comments.
+    pub fn significant(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens.iter().enumerate().filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Advances from `pos` while `pred` holds; returns the new offset.
+fn scan_while(src: &str, pos: usize, pred: impl Fn(char) -> bool) -> usize {
+    let rest = &src[pos..];
+    let len = rest.char_indices().find(|&(_, c)| !pred(c)).map_or(rest.len(), |(i, _)| i);
+    pos + len
+}
+
+/// Scans a quote-delimited body with `\`-escapes starting *inside* the
+/// quotes at `pos`; returns the offset past the closing quote (or EOF
+/// for an unterminated literal).
+fn scan_escaped(src: &str, pos: usize, quote: char) -> usize {
+    let mut iter = src[pos..].char_indices();
+    while let Some((i, c)) = iter.next() {
+        if c == '\\' {
+            iter.next();
+        } else if c == quote {
+            return pos + i + c.len_utf8();
+        }
+    }
+    src.len()
+}
+
+/// Scans a nesting block comment starting at `pos` (which holds `/*`).
+fn scan_block_comment(src: &str, pos: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = pos;
+    while i < src.len() {
+        if src[i..].starts_with("/*") {
+            depth += 1;
+            i += 2;
+        } else if src[i..].starts_with("*/") {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            // `i` stays on a char boundary: we only ever advance by 2
+            // over the ASCII delimiters or by one whole char here.
+            let c = src[i..].chars().next();
+            i += c.map_or(1, char::len_utf8);
+        }
+    }
+    src.len()
+}
+
+/// Recognizes string-like literals (and raw identifiers) at `pos`.
+/// Returns `None` when `pos` does not start one — e.g. a plain ident
+/// that merely begins with `b`, `c`, or `r`.
+fn scan_string_like(src: &str, pos: usize) -> Option<(usize, TokenKind)> {
+    let rest = &src.as_bytes()[pos..];
+    let mut i = 0;
+    if matches!(rest.first(), Some(b'b' | b'c')) {
+        i = 1;
+    }
+    let raw = rest.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while rest.get(i + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    let next = rest.get(i + hashes).copied();
+    if raw && next == Some(b'"') {
+        // Raw string: body runs to `"` followed by `hashes` hashes.
+        let body = pos + i + hashes + 1;
+        let mut closer = String::from('"');
+        closer.extend(std::iter::repeat_n('#', hashes));
+        let end = src[body..].find(&closer).map_or(src.len(), |j| body + j + closer.len());
+        return Some((end, TokenKind::Str));
+    }
+    if raw && i == 1 && hashes == 1 {
+        // `r#ident` raw identifier.
+        let after = pos + i + hashes;
+        if src[after..].chars().next().is_some_and(is_ident_start) {
+            return Some((scan_while(src, after, is_ident_continue), TokenKind::Ident));
+        }
+    }
+    if !raw && hashes == 0 && next == Some(b'"') {
+        return Some((scan_escaped(src, pos + i + 1, '"'), TokenKind::Str));
+    }
+    if !raw && hashes == 0 && i == 1 && rest.first() == Some(&b'b') && next == Some(b'\'') {
+        return Some((scan_escaped(src, pos + 2, '\''), TokenKind::Char));
+    }
+    None
+}
+
+/// Disambiguates `'x'` char literals from `'a` lifetimes at a `'`.
+fn scan_quote(src: &str, pos: usize) -> (usize, TokenKind) {
+    let mut iter = src[pos + 1..].char_indices();
+    match iter.next() {
+        None => (src.len(), TokenKind::Punct),
+        Some((_, '\\')) => (scan_escaped(src, pos + 1, '\''), TokenKind::Char),
+        Some((_, c1)) => {
+            if let Some((i2, '\'')) = iter.next() {
+                if c1 != '\'' {
+                    return (pos + 1 + i2 + 1, TokenKind::Char);
+                }
+            }
+            if is_ident_start(c1) {
+                (scan_while(src, pos + 1, is_ident_continue), TokenKind::Lifetime)
+            } else {
+                (pos + 1, TokenKind::Punct)
+            }
+        }
+    }
+}
+
+/// Scans a numeric literal: digits, `0x`/`0b`/`0o` bodies, `_`
+/// separators, type suffixes, one fractional part, and a signed
+/// exponent. Range dots (`1..n`) are left to the next token.
+fn scan_number(src: &str, pos: usize) -> usize {
+    let alnum = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut end = scan_while(src, pos, alnum);
+    if src[end..].starts_with('.')
+        && src[end + 1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        end = scan_while(src, end + 1, alnum);
+    }
+    if (src[..end].ends_with('e') || src[..end].ends_with('E'))
+        && matches!(src[end..].chars().next(), Some('+' | '-'))
+        && src[end + 1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        end = scan_while(src, end + 1, alnum);
+    }
+    end
+}
+
+/// Tokenizes `src` into a tiling sequence of [`Token`]s.
+fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    while pos < src.len() {
+        let start = pos;
+        let c = src[pos..].chars().next().expect("pos is kept on a char boundary");
+        let kind = if c.is_whitespace() {
+            pos = scan_while(src, pos, char::is_whitespace);
+            TokenKind::Whitespace
+        } else if src[pos..].starts_with("//") {
+            pos = src[pos..].find('\n').map_or(src.len(), |i| pos + i);
+            TokenKind::LineComment
+        } else if src[pos..].starts_with("/*") {
+            pos = scan_block_comment(src, pos);
+            TokenKind::BlockComment
+        } else if let Some((end, kind)) = scan_string_like(src, pos) {
+            pos = end;
+            kind
+        } else if c == '\'' {
+            let (end, kind) = scan_quote(src, pos);
+            pos = end;
+            kind
+        } else if c.is_ascii_digit() {
+            pos = scan_number(src, pos);
+            TokenKind::Number
+        } else if is_ident_start(c) {
+            pos = scan_while(src, pos, is_ident_continue);
+            TokenKind::Ident
+        } else {
+            pos += c.len_utf8();
+            TokenKind::Punct
+        };
+        debug_assert!(pos > start, "every token must make progress");
+        tokens.push(Token { kind, start, end: pos });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let lx = Lexed::new(src.to_string());
+        lx.tokens().iter().map(|t| (t.kind, lx.text(t).to_string())).collect()
+    }
+
+    fn tiles(src: &str) {
+        let lx = Lexed::new(src.to_string());
+        let mut at = 0;
+        for t in lx.tokens() {
+            assert_eq!(t.start, at, "gap/overlap at {at} in {src:?}");
+            assert!(t.end > t.start);
+            assert!(lx.src().get(t.start..t.end).is_some(), "span off char boundary");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "input not fully consumed: {src:?}");
+    }
+
+    #[test]
+    fn idents_strings_and_comments_classify() {
+        let got = kinds("let x = \"HashMap\"; // HashMap\n");
+        assert!(got.contains(&(TokenKind::Str, "\"HashMap\"".into())));
+        assert!(got.contains(&(TokenKind::LineComment, "// HashMap".into())));
+        assert!(got.iter().any(|(k, s)| *k == TokenKind::Ident && s == "x"));
+        assert!(!got.iter().any(|(k, s)| *k == TokenKind::Ident && s == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let got = kinds(r###"r#"quote " inside"# r#struct br##"x"## b"bytes""###);
+        assert_eq!(got[0], (TokenKind::Str, "r#\"quote \" inside\"#".into()));
+        assert_eq!(got[2], (TokenKind::Ident, "r#struct".into()));
+        assert_eq!(got[4], (TokenKind::Str, "br##\"x\"##".into()));
+        assert_eq!(got[6], (TokenKind::Str, "b\"bytes\"".into()));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let got = kinds("'a' '\\n' &'static str <'a> b'z'");
+        assert_eq!(got[0], (TokenKind::Char, "'a'".into()));
+        assert_eq!(got[2], (TokenKind::Char, "'\\n'".into()));
+        assert!(got.contains(&(TokenKind::Lifetime, "'static".into())));
+        assert!(got.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(got.contains(&(TokenKind::Char, "b'z'".into())));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        let got = kinds("1..n 0x1F_u32 1.5e-3 2e10 7usize 1.max(2)");
+        assert_eq!(got[0], (TokenKind::Number, "1".into()));
+        assert!(got.contains(&(TokenKind::Number, "0x1F_u32".into())));
+        assert!(got.contains(&(TokenKind::Number, "1.5e-3".into())));
+        assert!(got.contains(&(TokenKind::Number, "2e10".into())));
+        assert!(got.contains(&(TokenKind::Number, "7usize".into())));
+        // `1.max(2)` keeps the dot out of the number.
+        assert!(got.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("/* a /* b */ c */ x");
+        assert_eq!(got[0], (TokenKind::BlockComment, "/* a /* b */ c */".into()));
+        assert_eq!(got[2], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn tiling_on_awkward_inputs() {
+        for src in [
+            "",
+            "é🦀 'é' \"🦀\"",
+            "fn f(x: [u8; 3]) -> &'_ str { \"\\\"\" }",
+            "r\"unterminated",
+            "\"unterminated",
+            "/* unterminated /* nested",
+            "'",
+            "1.",
+            "b cr#\"raw c\"#",
+        ] {
+            tiles(src);
+        }
+    }
+
+    #[test]
+    fn line_col_counts_chars() {
+        let lx = Lexed::new("é x\ny\n".to_string());
+        // `x` is the third char on line 1 (byte offset 3).
+        assert_eq!(lx.line_col(3), (1, 3));
+        let y = lx.src().find('y').expect("y present");
+        assert_eq!(lx.line_col(y), (2, 1));
+        assert_eq!(lx.line_of(y), 2);
+    }
+}

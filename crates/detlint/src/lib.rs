@@ -1,0 +1,202 @@
+//! detlint — the workspace determinism & concurrency lint pass.
+//!
+//! The ringleader workspace reproduces a theory result (Mansour–Zaks,
+//! PODC 1986), so its experiments must be *byte-identical* across
+//! reruns, worker counts, and machines. `rustc` and `clippy` cannot see
+//! the repo-specific contracts that make that true, so this crate
+//! hand-rolls a Rust lexer (no `syn` — the workspace is offline and
+//! vendors only thin shims) and enforces them token-structurally over
+//! every workspace and vendor source file. CI runs it deny-by-default:
+//! any finding is a non-zero exit.
+//!
+//! # Rules
+//!
+//! - **`nondet-hash-iter`** — `HashMap`/`HashSet` are banned in
+//!   result-affecting crates (`core`, `automata`, `sim`, `analysis`,
+//!   `bench`, the root `ringleader` package, and `detlint` itself),
+//!   tests included. Hash iteration order varies per process (and per
+//!   `RandomState`), so any escape of that order — into a golden file,
+//!   a proof transcript, a renumbering — silently breaks reproduction.
+//!   Use `BTreeMap`/`BTreeSet` or a sorted collect; allow-annotate only
+//!   where order provably cannot escape (e.g. a lookup-only intern
+//!   table keyed by a type without `Ord`).
+//! - **`wallclock-in-sim`** — `Instant`/`SystemTime` are banned in
+//!   shipped `src/` code. Simulated executions must depend only on
+//!   inputs and seeds; wall-clock reads belong in `tests/`/`benches/`
+//!   (structurally exempt) or the vendored timing shims (crossbeam's
+//!   deadline plumbing, criterion's timer — vendor is exempt), or
+//!   behind an explicit allow naming the watchdog role.
+//! - **`unseeded-rng`** — `from_entropy`, `thread_rng`, `OsRng`,
+//!   `getrandom`, and `rand::random` are banned *everywhere*, vendor
+//!   and tests included. Every random stream must derive from an
+//!   explicit seed (`StdRng::seed_from_u64`) so reruns and
+//!   `--workers 1` vs `--workers 8` sweeps agree byte-for-byte.
+//! - **`panic-in-lib`** — `.unwrap()`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!`, and `.expect` without a non-empty
+//!   string literal are banned in shipped `src/` code outside
+//!   `#[cfg(test)]` regions. The sanctioned form is
+//!   `.expect("reason")` — the message is the machine-checked
+//!   justification. Tests, benches, and examples may panic freely;
+//!   vendor shims are exempt (they mirror upstream APIs whose contract
+//!   panics).
+//! - **`vendor-surface`** — every `vendor/*/src/lib.rs` must open with
+//!   its `//! Offline vendored …` policy doc header (including a
+//!   `Policy:` line), and every module-level `pub` item a shim exports
+//!   must be referenced by the workspace. Dead shim surface is
+//!   unreviewed, untested-by-use code; delete it or start using it.
+//!   See [`vendor_surface`] for the liveness analysis.
+//! - **`ignored-test-has-owner`** — every `#[ignore]` needs a
+//!   non-empty reason string *and* an owner in
+//!   `.github/workflows/soak.yml` (named there, or covered by a
+//!   blanket `--workspace … --include-ignored` pass). An ignored test
+//!   nobody runs is dead coverage.
+//!
+//! # The escape hatch
+//!
+//! ```text
+//! // detlint: allow(<rule>): <justification>
+//! ```
+//!
+//! Inline (after code) it covers its own line; alone on a line it
+//! covers the next line holding code. The justification is mandatory
+//! and must be non-empty; an empty justification, an unknown rule
+//! name, or malformed syntax is itself reported (rule `detlint-allow`)
+//! and suppresses nothing — a broken allow never hides the finding it
+//! meant to excuse.
+//!
+//! # Diagnostics
+//!
+//! Findings render rustc-style, `file:line:col: deny[rule]: message`,
+//! sorted by `(path, line, col, rule)` so output is stable across runs
+//! — the linter holds itself to the determinism bar it enforces.
+
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod vendor_surface;
+
+use std::collections::BTreeSet;
+
+use context::{classify, parse_allows, test_regions, Allows, FileClass};
+use lexer::{Lexed, TokenKind};
+use report::Finding;
+
+/// One source file, lexed and classified, ready for the rules.
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub rel_path: String,
+    /// The lexed source.
+    pub lexed: Lexed,
+    /// Path-derived crate/section classification.
+    pub class: FileClass,
+    /// Byte ranges of `#[test]` / `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Every identifier token in the file (for cross-file liveness).
+    pub idents: BTreeSet<String>,
+    /// Parsed allow directives.
+    pub allows: Allows,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `src` as the file at `rel_path`.
+    #[must_use]
+    pub fn new(rel_path: String, src: String) -> Self {
+        let lexed = Lexed::new(src);
+        let class = classify(&rel_path);
+        let test_regions = test_regions(&lexed);
+        let idents = lexed
+            .tokens()
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| lexed.text(t).to_string())
+            .collect();
+        let allows = parse_allows(&rel_path, &lexed, rules::RULES);
+        Self { rel_path, lexed, class, test_regions, idents, allows }
+    }
+}
+
+/// Lints a set of files as one workspace: runs every per-file rule and
+/// the cross-file vendor-surface rule, applies allow directives, adds
+/// findings for malformed directives, and returns the result sorted by
+/// `(path, line, col, rule)`.
+#[must_use]
+pub fn lint(files: &[SourceFile], soak_yml: Option<&str>) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    for file in files {
+        rules::run_file_rules(file, soak_yml, &mut raw);
+    }
+    vendor_surface::run(files, &mut raw);
+
+    let mut findings = Vec::new();
+    for finding in raw {
+        let suppressed = files
+            .iter()
+            .find(|f| f.rel_path == finding.path)
+            .is_some_and(|f| f.allows.covers(finding.line, finding.rule));
+        if !suppressed {
+            findings.push(finding);
+        }
+    }
+    for file in files {
+        findings.extend(file.allows.malformed.iter().cloned());
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel_path: &str, src: &str) -> Vec<SourceFile> {
+        vec![SourceFile::new(rel_path.to_string(), src.to_string())]
+    }
+
+    #[test]
+    fn allow_suppresses_matching_rule_only() {
+        let files = one(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap; // detlint: allow(nondet-hash-iter): lookup only\n\
+             fn f() { let t = Instant::now(); }\n",
+        );
+        let findings = lint(&files, None);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "wallclock-in-sim");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn malformed_allow_reports_and_does_not_suppress() {
+        let files = one(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap; // detlint: allow(nondet-hash-iter):\n",
+        );
+        let findings = lint(&files, None);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"nondet-hash-iter"), "{findings:?}");
+        assert!(rules.contains(&"detlint-allow"), "{findings:?}");
+    }
+
+    #[test]
+    fn findings_are_sorted() {
+        let files = vec![
+            SourceFile::new(
+                "crates/sim/src/b.rs".to_string(),
+                "fn f() { x.unwrap(); let t = Instant::now(); }\n".to_string(),
+            ),
+            SourceFile::new(
+                "crates/core/src/a.rs".to_string(),
+                "use std::collections::HashSet;\n".to_string(),
+            ),
+        ];
+        let findings = lint(&files, None);
+        let mut sorted = findings.clone();
+        sorted.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        assert_eq!(findings, sorted);
+        assert_eq!(findings[0].path, "crates/core/src/a.rs");
+    }
+}

@@ -1,0 +1,106 @@
+//! The detlint binary: walk the workspace, lint every `.rs` file, and
+//! exit non-zero on any finding (deny-by-default). Exit codes: 0 clean,
+//! 1 findings, 2 I/O or environment error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use detlint::{lint, SourceFile};
+
+/// Directories under the workspace root that hold lintable sources.
+const ROOTS: &[&str] = &["src", "tests", "benches", "examples", "crates", "vendor"];
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("detlint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut rel_paths = Vec::new();
+    for top in ROOTS {
+        if let Err(message) = collect_rs(&root, &root.join(top), &mut rel_paths) {
+            eprintln!("detlint: {message}");
+            return ExitCode::from(2);
+        }
+    }
+    rel_paths.sort();
+
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => files.push(SourceFile::new(rel, src)),
+            Err(err) => {
+                eprintln!("detlint: failed to read {rel}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let soak_yml = std::fs::read_to_string(root.join(".github/workflows/soak.yml")).ok();
+
+    let findings = lint(&files, soak_yml.as_deref());
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("detlint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "detlint: {} finding(s) across {} files — fix, or annotate with \
+             `// detlint: allow(<rule>): <justification>`",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+    }
+    Err(format!("no workspace Cargo.toml above {}", start.display()))
+}
+
+/// Recursively collects workspace-relative `/`-separated paths of `.rs`
+/// files under `dir`, skipping build output and detlint's own lint
+/// fixtures (deliberately-bad snippets).
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(()), // optional roots (e.g. no examples/)
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("while walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} outside root: {e}", path.display()))?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

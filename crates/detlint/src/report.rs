@@ -1,0 +1,26 @@
+//! Diagnostics: one [`Finding`] per violation, rendered rustc-style as
+//! `file:line:col: deny[rule]: message` so terminals and editors make
+//! them clickable.
+
+use std::fmt;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `nondet-hash-iter`.
+    pub rule: &'static str,
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column (chars) of the offending token.
+    pub col: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: deny[{}]: {}", self.path, self.line, self.col, self.rule, self.message)
+    }
+}

@@ -1,0 +1,301 @@
+//! The per-file rules: nondet-hash-iter, wallclock-in-sim,
+//! unseeded-rng, panic-in-lib, and ignored-test-has-owner.
+//!
+//! Each rule walks the significant-token stream of one file; the
+//! cross-file vendor-surface rule lives in [`crate::vendor_surface`].
+//! Rule scoping (which crates/sections a rule covers) is documented per
+//! rule and summarized in the crate-level docs.
+
+use crate::context::{in_regions, Section};
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::report::Finding;
+use crate::SourceFile;
+
+/// Every rule detlint knows, in reporting order. `detlint-allow`
+/// (malformed directives) is implicit and never suppressible.
+pub const RULES: &[&str] = &[
+    "nondet-hash-iter",
+    "wallclock-in-sim",
+    "unseeded-rng",
+    "panic-in-lib",
+    "vendor-surface",
+    "ignored-test-has-owner",
+];
+
+/// Crates whose outputs feed golden files, proofs, or benchmarks —
+/// where hash-iteration order could silently change results.
+const RESULT_AFFECTING: &[&str] =
+    &["core", "automata", "sim", "analysis", "bench", "ringleader", "detlint"];
+
+/// Significant tokens of a file with index-based lookaround.
+pub struct Walker<'a> {
+    lexed: &'a Lexed,
+    sig: Vec<Token>,
+}
+
+impl<'a> Walker<'a> {
+    /// Collects the significant tokens of `lexed`.
+    #[must_use]
+    pub fn new(lexed: &'a Lexed) -> Self {
+        Self { lexed, sig: lexed.significant().map(|(_, t)| *t).collect() }
+    }
+
+    /// The significant tokens.
+    #[must_use]
+    pub fn tokens(&self) -> &[Token] {
+        &self.sig
+    }
+
+    /// Text of significant token `i`, or `""` out of range.
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        self.sig.get(i).map_or("", |t| self.lexed.text(t))
+    }
+
+    /// Kind of significant token `i`, if in range.
+    #[must_use]
+    pub fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.sig.get(i).map(|t| t.kind)
+    }
+
+    pub fn finding_at(
+        &self,
+        file: &SourceFile,
+        rule: &'static str,
+        i: usize,
+        message: String,
+    ) -> Finding {
+        let (line, col) = self.lexed.line_col(self.sig[i].start);
+        Finding { rule, path: file.rel_path.clone(), line, col, message }
+    }
+}
+
+/// True when a string literal token holds a non-empty message (more
+/// than its delimiters).
+fn nonempty_str(text: &str) -> bool {
+    let inner = text
+        .trim_start_matches(['b', 'c', 'r'])
+        .trim_start_matches('#')
+        .trim_start_matches('"')
+        .trim_end_matches('#')
+        .trim_end_matches('"');
+    !inner.trim().is_empty()
+}
+
+/// Runs all per-file rules over `file`, appending to `findings`.
+/// `soak_yml` is the text of `.github/workflows/soak.yml` when present.
+pub fn run_file_rules(file: &SourceFile, soak_yml: Option<&str>, findings: &mut Vec<Finding>) {
+    let walker = Walker::new(&file.lexed);
+    nondet_hash_iter(file, &walker, findings);
+    wallclock_in_sim(file, &walker, findings);
+    unseeded_rng(file, &walker, findings);
+    panic_in_lib(file, &walker, findings);
+    ignored_test_has_owner(file, &walker, soak_yml, findings);
+}
+
+/// **nondet-hash-iter** — `HashMap`/`HashSet` (and their `hash_map`/
+/// `hash_set` module paths) are banned in result-affecting crates, in
+/// *all* sections including tests: iteration order varies per process,
+/// so any escape of that order breaks byte-identical reproduction.
+/// Use `BTreeMap`/`BTreeSet` or a sorted collect, or allow-annotate
+/// where order provably cannot escape (e.g. a lookup-only intern table).
+fn nondet_hash_iter(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) {
+    if file.class.is_vendor || !RESULT_AFFECTING.contains(&file.class.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in w.tokens().iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = w.text(i);
+        if matches!(name, "HashMap" | "HashSet" | "hash_map" | "hash_set") {
+            findings.push(w.finding_at(
+                file,
+                "nondet-hash-iter",
+                i,
+                format!(
+                    "`{name}` in result-affecting crate `{}`: hash iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or a sorted collect",
+                    file.class.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// **wallclock-in-sim** — `Instant`/`SystemTime` are banned in shipped
+/// `src/` code of workspace crates: simulated executions must depend
+/// only on inputs and seeds, never on wall-clock time. The allowlist is
+/// structural: `tests/` and `benches/` measure elapsed time by design,
+/// and the vendored shims (channel deadline plumbing, the criterion
+/// timer) are the designated timing modules.
+fn wallclock_in_sim(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) {
+    if file.class.is_vendor || file.class.section != Section::Src {
+        return;
+    }
+    for (i, t) in w.tokens().iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = w.text(i);
+        if matches!(name, "Instant" | "SystemTime") && !in_regions(&file.test_regions, t.start) {
+            findings.push(w.finding_at(
+                file,
+                "wallclock-in-sim",
+                i,
+                format!(
+                    "`{name}` in simulation/library code: results must not depend on wall-clock \
+                     time; route timing through a watchdog/bench module or allow-annotate"
+                ),
+            ));
+        }
+    }
+}
+
+/// **unseeded-rng** — `from_entropy`, `thread_rng`, `OsRng`,
+/// `getrandom`, and `rand::random` are banned everywhere, vendor and
+/// tests included: every random stream in this workspace must come from
+/// an explicit seed (`StdRng::seed_from_u64`) so reruns are
+/// byte-identical. (The vendored rand shim deliberately implements no
+/// entropy source; this rule keeps one from ever being added.)
+fn unseeded_rng(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) {
+    for (i, t) in w.tokens().iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = w.text(i);
+        let flagged = matches!(name, "from_entropy" | "thread_rng" | "OsRng" | "getrandom")
+            || (name == "random"
+                && w.text(i.wrapping_sub(1)) == ":"
+                && w.text(i.wrapping_sub(2)) == ":"
+                && w.text(i.wrapping_sub(3)) == "rand");
+        if flagged {
+            findings.push(w.finding_at(
+                file,
+                "unseeded-rng",
+                i,
+                format!(
+                    "`{name}` draws unseeded randomness: derive every RNG from an explicit \
+                     seed (StdRng::seed_from_u64) so runs reproduce byte-identically"
+                ),
+            ));
+        }
+    }
+}
+
+/// **panic-in-lib** — in shipped `src/` code of workspace crates,
+/// `.unwrap()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+/// and `.expect("")` are banned outside `#[cfg(test)]` regions. The
+/// sanctioned form is `.expect("non-empty reason")` — the message is
+/// the machine-checked justification, mirroring the allow syntax —
+/// or a real `Result`. Tests, benches, and examples may panic freely;
+/// vendored shims are exempt (they mirror upstream APIs whose contract
+/// panics, e.g. assertion macros and poison recovery).
+fn panic_in_lib(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) {
+    if file.class.is_vendor || file.class.section != Section::Src {
+        return;
+    }
+    for (i, t) in w.tokens().iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_regions(&file.test_regions, t.start) {
+            continue;
+        }
+        let name = w.text(i);
+        let message = match name {
+            "panic" | "unreachable" | "todo" | "unimplemented" if w.text(i + 1) == "!" => {
+                format!(
+                    "`{name}!` in library code: return an error (or prove the case \
+                         impossible and allow-annotate)"
+                )
+            }
+            "unwrap" if w.text(i.wrapping_sub(1)) == "." => {
+                "`.unwrap()` in library code: use `.expect(\"reason\")` so the invariant is \
+                 named, or propagate the error"
+                    .to_string()
+            }
+            "expect" if w.text(i.wrapping_sub(1)) == "." => {
+                let has_reason = w.text(i + 1) == "("
+                    && w.kind(i + 2) == Some(TokenKind::Str)
+                    && nonempty_str(w.text(i + 2));
+                if has_reason {
+                    continue;
+                }
+                "`.expect` without a non-empty literal message: name the invariant that \
+                 makes the panic unreachable"
+                    .to_string()
+            }
+            _ => continue,
+        };
+        findings.push(w.finding_at(file, "panic-in-lib", i, message));
+    }
+}
+
+/// **ignored-test-has-owner** — every `#[ignore]` must carry a
+/// non-empty reason string (`#[ignore = "soak: …"]`) *and* be owned by
+/// the nightly soak workflow: either `.github/workflows/soak.yml`
+/// names the test function, or it runs a blanket
+/// `--workspace … --include-ignored` pass. An ignored test nobody runs
+/// is dead coverage.
+fn ignored_test_has_owner(
+    file: &SourceFile,
+    w: &Walker<'_>,
+    soak_yml: Option<&str>,
+    findings: &mut Vec<Finding>,
+) {
+    let blanket =
+        soak_yml.is_some_and(|s| s.contains("--include-ignored") && s.contains("--workspace"));
+    for i in 0..w.tokens().len() {
+        if !(w.text(i) == "#" && w.text(i + 1) == "[" && w.text(i + 2) == "ignore") {
+            continue;
+        }
+        if w.text(i + 3) == "]" {
+            findings.push(
+                w.finding_at(
+                    file,
+                    "ignored-test-has-owner",
+                    i + 2,
+                    "bare `#[ignore]`: add a reason, e.g. `#[ignore = \"soak: run via soak.yml\"]`"
+                        .to_string(),
+                ),
+            );
+            continue;
+        }
+        if w.text(i + 3) == "=" {
+            let ok_reason = w.kind(i + 4) == Some(TokenKind::Str) && nonempty_str(w.text(i + 4));
+            if !ok_reason {
+                findings.push(w.finding_at(
+                    file,
+                    "ignored-test-has-owner",
+                    i + 2,
+                    "`#[ignore]` reason must be a non-empty string literal".to_string(),
+                ));
+                continue;
+            }
+            // Find the test fn name (skip any further attributes).
+            let mut j = i + 5;
+            let mut name = None;
+            while j < w.tokens().len() && j < i + 64 {
+                if w.text(j) == "fn" {
+                    name = Some(w.text(j + 1).to_string());
+                    break;
+                }
+                j += 1;
+            }
+            let Some(name) = name else { continue };
+            let owned = match soak_yml {
+                Some(s) => blanket || s.contains(&name),
+                None => false,
+            };
+            if !owned {
+                findings.push(w.finding_at(
+                    file,
+                    "ignored-test-has-owner",
+                    i + 2,
+                    format!(
+                        "ignored test `{name}` is not run by .github/workflows/soak.yml: \
+                         name it there or keep a blanket `--workspace -- --include-ignored` pass"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! **vendor-surface** — the cross-file rule over `vendor/*/src/lib.rs`.
+//!
+//! Two checks:
+//!
+//! 1. **Policy header** — every vendor shim's `lib.rs` must open with a
+//!    `//! Offline vendored …` doc header and state the maintenance
+//!    policy (a line containing `Policy:`): shims implement exactly the
+//!    API surface the workspace uses and are extended, not worked
+//!    around, when new code needs more.
+//! 2. **Dead `pub` surface** — every module-level `pub` item a shim
+//!    exports must be referenced somewhere. Liveness is decided
+//!    token-structurally, since there is no name resolution here:
+//!    an item is alive if its identifier occurs in any workspace file
+//!    outside the shim's own directory (its own tests do not keep it
+//!    alive — a shim API only its own tests exercise is dead weight),
+//!    or if it occurs inside the shim's `src/` in a *using* position:
+//!    not its declaration, not an `impl`-header mention, not inside an
+//!    `impl` block of the item itself, not `::`-qualified through a
+//!    foreign path root, and not inside `#[cfg(test)]` regions. Items
+//!    declared `pub(crate)`/`pub(super)` are not surface. A `pub fn`
+//!    carrying `#[proc_macro_derive(Name)]` exports `Name`, and `Name`
+//!    is what must be referenced.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::context::in_regions;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::rules::Walker;
+use crate::SourceFile;
+
+/// A module-level `pub` export of a vendor shim.
+#[derive(Debug)]
+struct PubItem {
+    /// The exported name to search for.
+    name: String,
+    /// Byte offset of the name's declaration token (excluded from
+    /// liveness so a declaration does not keep itself alive).
+    decl_offset: usize,
+    /// Token index of the name (for diagnostics).
+    sig_index: usize,
+    /// Item kind for the message (`fn`, `struct`, `pub use`, …).
+    kind: String,
+}
+
+/// Keywords that introduce a nameable item after `pub`.
+const ITEM_KEYWORDS: &[&str] =
+    &["fn", "struct", "enum", "union", "trait", "type", "const", "static", "mod"];
+
+/// Extracts module-level `pub` items, `impl` regions (tagged with the
+/// self-type name), and module names from one vendor `lib.rs`.
+struct LibSurface {
+    items: Vec<PubItem>,
+    /// (self-type name, start, end) byte regions of `impl` blocks.
+    impl_regions: Vec<(String, usize, usize)>,
+    /// Names of `mod` items — path roots that stay in-crate.
+    mod_names: BTreeSet<String>,
+}
+
+/// True for tokens that may precede the self-type in an impl header
+/// without being the self-type themselves.
+fn impl_header_filler(text: &str) -> bool {
+    matches!(text, "mut" | "dyn" | "const" | "&" | "?" | "!")
+}
+
+fn scan_lib(file: &SourceFile) -> LibSurface {
+    let w = Walker::new(&file.lexed);
+    let sig: &[Token] = w.tokens();
+    let mut items = Vec::new();
+    let mut impl_regions = Vec::new();
+    let mut mod_names = BTreeSet::new();
+
+    // Brace stack: (is_mod, is_pub_mod) per open brace. Items inside
+    // `mod` braces are still module-level; they are exported *surface*
+    // only when every enclosing mod is itself `pub`.
+    let mut stack: Vec<(bool, bool)> = Vec::new();
+    let mut pending_mod: Option<bool> = None;
+    let mut i = 0;
+    while i < sig.len() {
+        let text = w.text(i);
+        let at_module_level = stack.iter().all(|&(is_mod, _)| is_mod);
+        let surface_level = at_module_level && stack.iter().all(|&(_, is_pub)| is_pub);
+        match text {
+            "{" => {
+                stack.push((pending_mod.is_some(), pending_mod == Some(true)));
+                pending_mod = None;
+            }
+            "}" => {
+                stack.pop();
+            }
+            ";" => pending_mod = None,
+            "mod" if at_module_level => {
+                pending_mod = Some(w.text(i.wrapping_sub(1)) == "pub");
+                // Every mod name (pub or not) is an in-crate path root.
+                if w.kind(i + 1) == Some(TokenKind::Ident) {
+                    mod_names.insert(w.text(i + 1).to_string());
+                }
+            }
+            "impl" if at_module_level && !in_regions(&file.test_regions, sig[i].start) => {
+                // Header runs to the body `{`; self-type is the first
+                // depth-0 ident (after `for`, when present).
+                let mut j = i + 1;
+                let mut header: Vec<usize> = Vec::new();
+                while j < sig.len() && w.text(j) != "{" && w.text(j) != ";" {
+                    header.push(j);
+                    j += 1;
+                }
+                // With a `for`, the self-type follows the depth-0 `for`;
+                // otherwise it is the first depth-0 path in the header.
+                let mut angle = 0i32;
+                let mut scan_from = 0usize;
+                for (p, &k) in header.iter().enumerate() {
+                    match w.text(k) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "for" if angle == 0 => scan_from = p + 1,
+                        _ => {}
+                    }
+                }
+                angle = 0;
+                let mut self_name = None;
+                for &k in &header[scan_from..] {
+                    match w.text(k) {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        t if angle == 0
+                            && sig[k].kind == TokenKind::Ident
+                            && !impl_header_filler(t)
+                            && w.text(k + 1) != "!" =>
+                        {
+                            // Take the *last* segment of a path like
+                            // `fmt::Display` by preferring a later ident
+                            // only when this one is followed by `::`.
+                            if w.text(k + 1) == ":" && w.text(k + 2) == ":" {
+                                continue;
+                            }
+                            self_name = Some(t.to_string());
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if w.text(j) == "{" {
+                    // Find the matching close brace.
+                    let mut depth = 0i32;
+                    let mut k = j;
+                    let mut end = file.lexed.src().len();
+                    while k < sig.len() {
+                        match w.text(k) {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = sig[k].end;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if let Some(name) = self_name {
+                        impl_regions.push((name, sig[i].start, end));
+                    }
+                    // The impl body is a non-mod block; let the main
+                    // loop walk it (it pushes/pops the braces).
+                }
+            }
+            "pub" if surface_level && !in_regions(&file.test_regions, sig[i].start) => {
+                // `pub(crate)`/`pub(super)` are not exported surface.
+                if w.text(i + 1) == "(" {
+                    i += 1;
+                    continue;
+                }
+                // Derive exports: attribute sits before `pub`, e.g.
+                // `#[proc_macro_derive(Serialize)] pub fn derive_…`.
+                if let Some((name, kind)) = derive_export(&w, i) {
+                    items.push(PubItem { name, decl_offset: sig[i].start, sig_index: i, kind });
+                    i += 1;
+                    continue;
+                }
+                if w.text(i + 1) == "use" {
+                    collect_use_leaves(&w, i + 2, &mut items);
+                    i += 1;
+                    continue;
+                }
+                // Skip qualifiers to the item keyword, then the name.
+                let mut j = i + 1;
+                while matches!(w.text(j), "unsafe" | "async" | "extern")
+                    || w.kind(j) == Some(TokenKind::Str)
+                {
+                    j += 1;
+                }
+                let mut kw = w.text(j).to_string();
+                if kw == "const" && w.text(j + 1) == "fn" {
+                    j += 1;
+                    kw = "fn".to_string();
+                }
+                if ITEM_KEYWORDS.contains(&kw.as_str()) && w.kind(j + 1) == Some(TokenKind::Ident) {
+                    let name = w.text(j + 1).to_string();
+                    items.push(PubItem {
+                        name,
+                        decl_offset: sig[j + 1].start,
+                        sig_index: j + 1,
+                        kind: kw,
+                    });
+                }
+            }
+            // Only `#[macro_export]` macros are public surface.
+            "macro_rules"
+                if w.text(i + 1) == "!"
+                    && at_module_level
+                    && has_macro_export_attr(&w, i)
+                    && w.kind(i + 2) == Some(TokenKind::Ident) =>
+            {
+                items.push(PubItem {
+                    name: w.text(i + 2).to_string(),
+                    decl_offset: sig[i + 2].start,
+                    sig_index: i + 2,
+                    kind: "macro".to_string(),
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    LibSurface { items, impl_regions, mod_names }
+}
+
+/// If the attribute block immediately before `pub_index` is
+/// `#[proc_macro_derive(Name, …)]`, returns `Name`.
+fn derive_export(w: &Walker<'_>, pub_index: usize) -> Option<(String, String)> {
+    // Walk back over the closing `]` of an attribute.
+    if w.text(pub_index.wrapping_sub(1)) != "]" {
+        return None;
+    }
+    let mut k = pub_index - 1;
+    let mut depth = 0i32;
+    loop {
+        match w.text(k) {
+            "]" => depth += 1,
+            "[" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    if w.text(k.wrapping_sub(1)) != "#" {
+        return None;
+    }
+    if w.text(k + 1) == "proc_macro_derive" && w.text(k + 2) == "(" {
+        return Some((w.text(k + 3).to_string(), "derive macro".to_string()));
+    }
+    None
+}
+
+/// True when one of the attributes directly above token `i` is
+/// `#[macro_export]`.
+fn has_macro_export_attr(w: &Walker<'_>, i: usize) -> bool {
+    let mut k = i;
+    while k >= 2 && w.text(k.wrapping_sub(1)) == "]" {
+        // Walk back to the matching `[`.
+        let mut depth = 0i32;
+        let mut j = k - 1;
+        let mut saw_export = false;
+        loop {
+            match w.text(j) {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "macro_export" => saw_export = true,
+                _ => {}
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || w.text(j - 1) != "#" {
+            return false;
+        }
+        if saw_export {
+            return true;
+        }
+        k = j - 1;
+    }
+    false
+}
+
+/// Collects the leaf names of a `pub use` tree starting at token `from`
+/// (just past `use`): `a::b::C` → `C`, `x::{A, B as R}` → `A`, `R`;
+/// glob imports export no checkable name.
+fn collect_use_leaves(w: &Walker<'_>, from: usize, items: &mut Vec<PubItem>) {
+    let mut pending: Option<(String, usize, usize)> = None;
+    let mut j = from;
+    while j < w.tokens().len() {
+        let text = w.text(j);
+        match text {
+            ";" => break,
+            "," | "}" => {
+                if let Some((name, off, idx)) = pending.take() {
+                    items.push(PubItem {
+                        name,
+                        decl_offset: off,
+                        sig_index: idx,
+                        kind: "use".to_string(),
+                    });
+                }
+            }
+            "{" | ":" | "*" => {
+                if text == "*" {
+                    pending = None;
+                }
+            }
+            _ => {
+                if w.kind(j) == Some(TokenKind::Ident) {
+                    let tok = w.tokens()[j];
+                    pending = Some((text.to_string(), tok.start, j));
+                }
+            }
+        }
+        j += 1;
+    }
+    if let Some((name, off, idx)) = pending.take() {
+        items.push(PubItem { name, decl_offset: off, sig_index: idx, kind: "use".to_string() });
+    }
+}
+
+/// Path roots that always resolve outside the shim.
+const FOREIGN_ROOTS: &[&str] = &["std", "core", "alloc"];
+
+/// Runs the vendor-surface rule over all files.
+pub fn run(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    // Group vendor lib.rs files by crate.
+    let mut libs: BTreeMap<&str, &SourceFile> = BTreeMap::new();
+    for f in files {
+        if f.class.is_vendor && f.rel_path.ends_with("/src/lib.rs") {
+            libs.insert(f.class.crate_name.as_str(), f);
+        }
+    }
+    for (vendor, lib) in libs {
+        check_header(lib, findings);
+        let surface = scan_lib(lib);
+        let own_dir = format!("vendor/{vendor}/");
+        for item in &surface.items {
+            if referenced_outside(files, &own_dir, &item.name)
+                || referenced_in_crate(lib, &surface, item)
+            {
+                continue;
+            }
+            let w = Walker::new(&lib.lexed);
+            findings.push(w.finding_at(
+                lib,
+                "vendor-surface",
+                item.sig_index,
+                format!(
+                    "dead vendor shim surface: pub {} `{}` is referenced nowhere in the \
+                     workspace — delete it or start using it",
+                    item.kind, item.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Policy header check: `//! Offline vendored …` first line plus a
+/// `Policy:` line somewhere in the leading doc block.
+fn check_header(lib: &SourceFile, findings: &mut Vec<Finding>) {
+    let src = lib.lexed.src();
+    let first = src.lines().next().unwrap_or("");
+    let header: String = src
+        .lines()
+        .take_while(|l| l.starts_with("//!") || l.trim().is_empty())
+        .collect::<Vec<_>>()
+        .join("\n");
+    if !first.starts_with("//! Offline vendored") || !header.contains("Policy:") {
+        findings.push(Finding {
+            rule: "vendor-surface",
+            path: lib.rel_path.clone(),
+            line: 1,
+            col: 1,
+            message: "vendor shim must open with its `//! Offline vendored …` policy doc \
+                      header (including a `Policy:` line)"
+                .to_string(),
+        });
+    }
+}
+
+/// Any occurrence of `name` as a code identifier outside the vendor
+/// crate's own directory.
+fn referenced_outside(files: &[SourceFile], own_dir: &str, name: &str) -> bool {
+    files.iter().filter(|f| !f.rel_path.starts_with(own_dir)).any(|f| f.idents.contains(name))
+}
+
+/// A *using* in-crate occurrence inside the shim's own src (see module
+/// docs for the exclusions).
+fn referenced_in_crate(lib: &SourceFile, surface: &LibSurface, item: &PubItem) -> bool {
+    let w = Walker::new(&lib.lexed);
+    let sig = w.tokens();
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokenKind::Ident || w.text(i) != item.name || t.start == item.decl_offset {
+            continue;
+        }
+        if in_regions(&lib.test_regions, t.start) {
+            continue;
+        }
+        // Inside an impl block of the item itself (or its header).
+        if surface
+            .impl_regions
+            .iter()
+            .any(|(n, s, e)| n == &item.name && t.start >= *s && t.start < *e)
+        {
+            continue;
+        }
+        // Declaration-position mention elsewhere (e.g. shadowing).
+        let prev = w.text(i.wrapping_sub(1));
+        if ITEM_KEYWORDS.contains(&prev) {
+            continue;
+        }
+        // `::`-qualified: count only paths rooted in this crate.
+        if prev == ":" && w.text(i.wrapping_sub(2)) == ":" {
+            if let Some(root) = path_root(&w, i) {
+                let own = root == "crate"
+                    || root == "self"
+                    || root == "super"
+                    || surface.mod_names.contains(&root)
+                    || root == item.name;
+                if !own || FOREIGN_ROOTS.contains(&root.as_str()) {
+                    continue;
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Walks `seg1::seg2::name` back to `seg1` from the index of `name`.
+fn path_root(w: &Walker<'_>, mut i: usize) -> Option<String> {
+    loop {
+        if w.text(i.wrapping_sub(1)) == ":" && w.text(i.wrapping_sub(2)) == ":" {
+            let prev = i.checked_sub(3)?;
+            if w.kind(prev) == Some(TokenKind::Ident) {
+                i = prev;
+                continue;
+            }
+            // Non-ident path root, e.g. `<T as Trait>::name`.
+            return None;
+        }
+        return Some(w.text(i).to_string());
+    }
+}

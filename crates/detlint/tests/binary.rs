@@ -1,0 +1,66 @@
+//! End-to-end checks of the `detlint` binary: the real workspace tree
+//! must be clean (exit 0), and a seeded violation in a scratch
+//! workspace must produce exit 1 with a rustc-style `file:line:col`
+//! diagnostic pointing at the planted token.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn detlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_detlint"))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/detlint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let out = detlint().current_dir(repo_root()).output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "detlint found violations in the tree:\n{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("files clean"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn seeded_violation_fails_with_location() {
+    let scratch = std::env::temp_dir().join(format!("detlint-seeded-{}", std::process::id()));
+    let crate_src = scratch.join("crates/core/src");
+    std::fs::create_dir_all(&crate_src).expect("scratch dirs");
+    std::fs::write(scratch.join("Cargo.toml"), "[workspace]\nmembers = []\n")
+        .expect("scratch manifest");
+    // Line 3, column 23 holds the planted `HashMap`.
+    std::fs::write(
+        crate_src.join("lib.rs"),
+        "//! Scratch crate.\n\nuse std::collections::HashMap;\n",
+    )
+    .expect("scratch source");
+
+    let out = detlint().current_dir(&scratch).output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    std::fs::remove_dir_all(&scratch).ok();
+
+    assert_eq!(out.status.code(), Some(1), "expected deny exit, got: {stdout}");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:3:23: deny[nondet-hash-iter]"),
+        "diagnostic does not point at the planted violation:\n{stdout}"
+    );
+}
+
+#[test]
+fn outside_any_workspace_is_an_environment_error() {
+    let scratch = std::env::temp_dir().join(format!("detlint-noroot-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let out = detlint().current_dir(&scratch).output().expect("binary runs");
+    std::fs::remove_dir_all(&scratch).ok();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no workspace Cargo.toml"));
+}

@@ -1,0 +1,125 @@
+//! Fixture-based rule tests: each file under `tests/fixtures/` is a
+//! virtual multi-file workspace. `//@ file: <rel-path>` starts a new
+//! virtual file, `//@ soak: <line>` contributes a line to the virtual
+//! `.github/workflows/soak.yml`, and a `//~ <rule> [<rule> …]` marker at
+//! the end of a line declares the findings expected on that line. The
+//! markers are stripped before linting (so an allow directive's
+//! justification stays exactly what the fixture wrote), then the lint
+//! output is compared against the declared multiset of
+//! `(path, line, rule)` triples — nothing extra, nothing missing.
+//!
+//! The fixtures directory is skipped by the detlint binary's walker:
+//! these snippets are deliberately bad.
+
+use std::collections::BTreeMap;
+
+use detlint::{lint, SourceFile};
+
+/// One expected finding: (virtual path, 1-based line, rule).
+type Expectation = (String, u32, String);
+
+fn run_fixture(name: &str) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("fixture file exists");
+
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut soak_lines: Vec<String> = Vec::new();
+    let mut expected: Vec<Expectation> = Vec::new();
+    for raw in text.lines() {
+        if let Some(rel) = raw.strip_prefix("//@ file: ") {
+            files.push((rel.trim().to_string(), String::new()));
+            continue;
+        }
+        if let Some(line) = raw.strip_prefix("//@ soak: ") {
+            soak_lines.push(line.to_string());
+            continue;
+        }
+        let (current, body) = files.last_mut().expect("//@ file: before content");
+        let kept = match raw.rsplit_once("//~") {
+            Some((code, rules)) => {
+                let line_no = body.lines().count() as u32 + 1;
+                for rule in rules.split_whitespace() {
+                    expected.push((current.clone(), line_no, rule.to_string()));
+                }
+                code
+            }
+            None => raw,
+        };
+        body.push_str(kept);
+        body.push('\n');
+    }
+
+    let sources: Vec<SourceFile> =
+        files.into_iter().map(|(rel, src)| SourceFile::new(rel, src)).collect();
+    let soak_yml = (!soak_lines.is_empty()).then(|| soak_lines.join("\n"));
+    let findings = lint(&sources, soak_yml.as_deref());
+
+    let mut got: Vec<Expectation> =
+        findings.iter().map(|f| (f.path.clone(), f.line, f.rule.to_string())).collect();
+    got.sort();
+    expected.sort();
+    if got != expected {
+        let render = |list: &[Expectation]| {
+            let mut counts: BTreeMap<&Expectation, usize> = BTreeMap::new();
+            for e in list {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+            counts
+                .iter()
+                .map(|((p, l, r), n)| format!("  {p}:{l} {r} x{n}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        panic!(
+            "{name}: findings do not match markers\nexpected:\n{}\ngot:\n{}\nraw:\n{}",
+            render(&expected),
+            render(&got),
+            findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"),
+        );
+    }
+}
+
+#[test]
+fn nondet_hash_iter_fixture() {
+    run_fixture("nondet_hash_iter.rs");
+}
+
+#[test]
+fn wallclock_fixture() {
+    run_fixture("wallclock.rs");
+}
+
+#[test]
+fn unseeded_rng_fixture() {
+    run_fixture("unseeded_rng.rs");
+}
+
+#[test]
+fn panic_in_lib_fixture() {
+    run_fixture("panic_in_lib.rs");
+}
+
+#[test]
+fn allow_ok_fixture() {
+    run_fixture("allow_ok.rs");
+}
+
+#[test]
+fn allow_bad_fixture() {
+    run_fixture("allow_bad.rs");
+}
+
+#[test]
+fn ignored_test_fixture() {
+    run_fixture("ignored_test.rs");
+}
+
+#[test]
+fn ignored_test_unowned_fixture() {
+    run_fixture("ignored_test_unowned.rs");
+}
+
+#[test]
+fn vendor_surface_fixture() {
+    run_fixture("vendor_surface.rs");
+}

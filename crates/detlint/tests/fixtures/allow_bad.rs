@@ -1,0 +1,6 @@
+//@ file: crates/core/src/bad.rs
+use std::collections::HashMap; // detlint: allow(nondet-hash-iter): //~ detlint-allow nondet-hash-iter
+fn f(y: Option<u8>) {
+    let _x = y.unwrap(); // detlint: allow(bogus-rule): sincere but unknown //~ detlint-allow panic-in-lib
+    let _z = y.unwrap(); // detlint: allow panic-in-lib //~ detlint-allow panic-in-lib
+}

@@ -1,0 +1,9 @@
+//@ file: crates/core/src/annotated.rs
+// A well-formed allow with a justification suppresses its rule, both
+// inline and standalone; nothing in this file is a finding.
+use std::collections::HashMap; // detlint: allow(nondet-hash-iter): lookup-only intern table
+fn f() {
+    // detlint: allow(wallclock-in-sim): watchdog heartbeat, not simulation state
+    let _t = std::time::Instant::now();
+    let _m: HashMap<u8, u8> = HashMap::new(); // detlint: allow(nondet-hash-iter): never iterated
+}

@@ -1,0 +1,13 @@
+//@ soak: run: cargo test -q --workspace -- --include-ignored
+//@ file: crates/sim/tests/soak.rs
+#[test]
+#[ignore] //~ ignored-test-has-owner
+fn bare_ignore_needs_a_reason() {}
+
+#[test]
+#[ignore = ""] //~ ignored-test-has-owner
+fn empty_reason_is_no_reason() {}
+
+#[test]
+#[ignore = "soak rig; run with --include-ignored"]
+fn owned_by_the_blanket_pass() {}

@@ -1,0 +1,5 @@
+//@ file: crates/sim/tests/soak.rs
+// No soak.yml in this fixture: a reason alone is not ownership.
+#[test]
+#[ignore = "soak: heavy"] //~ ignored-test-has-owner
+fn nobody_runs_this() {}

@@ -1,0 +1,25 @@
+//@ file: crates/core/src/bad.rs
+use std::collections::HashMap; //~ nondet-hash-iter
+use std::collections::hash_set::HashSet; //~ nondet-hash-iter nondet-hash-iter
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new(); //~ nondet-hash-iter nondet-hash-iter
+    let _ = m;
+}
+#[cfg(test)]
+mod tests {
+    // The rule covers tests too: test assertions on iteration order are
+    // exactly how nondeterminism sneaks into "passing" suites.
+    use std::collections::HashSet; //~ nondet-hash-iter
+}
+//@ file: crates/langs/src/ok.rs
+// `langs` is not result-affecting: no findings here.
+use std::collections::HashMap;
+fn g() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+}
+//@ file: crates/core/src/comments_ok.rs
+// A HashMap mentioned in comments or strings is not a finding:
+// HashMap HashSet
+fn h() -> &'static str {
+    "HashMap in a string literal"
+}

@@ -1,0 +1,32 @@
+//@ file: crates/core/src/bad.rs
+fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap(); //~ panic-in-lib
+    let b = x.expect(""); //~ panic-in-lib
+    let c = x.expect("invariant: caller checked is_some");
+    if a > b {
+        panic!("boom"); //~ panic-in-lib
+    }
+    if b > c {
+        unreachable!() //~ panic-in-lib
+    } else {
+        c
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        Some(1u8).unwrap();
+        panic!("fine here");
+    }
+}
+//@ file: crates/core/tests/ok.rs
+// Integration tests are structurally exempt.
+fn g() {
+    None::<u8>.unwrap();
+}
+//@ file: vendor/parking_lot/src/extra.rs
+// Vendor shims mirror upstream APIs whose contract panics.
+fn h(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,24 @@
+//@ file: crates/sim/src/bad.rs
+fn f() {
+    let _r = rand::thread_rng(); //~ unseeded-rng
+    let _x: u8 = rand::random(); //~ unseeded-rng
+    let _s = StdRng::from_entropy(); //~ unseeded-rng
+}
+//@ file: vendor/rand/src/extra.rs
+// The rule applies inside vendor too: the shim must never grow an
+// entropy source.
+fn g() {
+    let _r = OsRng; //~ unseeded-rng
+}
+//@ file: crates/sim/tests/also_flagged.rs
+#[test]
+fn t() {
+    let _r = rand::thread_rng(); //~ unseeded-rng
+}
+//@ file: crates/sim/src/ok.rs
+// `random` not rooted at `rand::` is a plain identifier (e.g. a local
+// helper) and seeded constructors are fine.
+fn h(random: u8) -> u8 {
+    let _rng = StdRng::seed_from_u64(7);
+    random
+}

@@ -1,0 +1,28 @@
+//@ file: vendor/widget/src/lib.rs
+//! Offline vendored shim of `widget`.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses.
+pub fn used_by_workspace() {}
+pub fn dead_export() {} //~ vendor-surface
+pub struct UsedType;
+pub use internal::AlsoDead; //~ vendor-surface
+mod internal {
+    pub struct AlsoDead;
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn own_tests_do_not_keep_surface_alive() {
+        super::dead_export();
+    }
+}
+//@ file: vendor/gadget/src/lib.rs
+// Wrong header: no `//! Offline vendored` first line, no Policy. //~ vendor-surface
+pub fn g() {}
+//@ file: crates/core/src/uses.rs
+fn f() -> widget::UsedType {
+    widget::used_by_workspace();
+    gadget::g();
+    widget::UsedType
+}

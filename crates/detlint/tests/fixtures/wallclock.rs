@@ -1,0 +1,22 @@
+//@ file: crates/sim/src/bad.rs
+fn f() {
+    let _t = std::time::Instant::now(); //~ wallclock-in-sim
+    let _s = std::time::SystemTime::now(); //~ wallclock-in-sim
+}
+#[cfg(test)]
+mod tests {
+    // Test regions inside src/ may time things.
+    fn ok() {
+        let _t = std::time::Instant::now();
+    }
+}
+//@ file: crates/sim/benches/ok.rs
+// benches/ measure elapsed time by design.
+fn b() {
+    let _t = std::time::Instant::now();
+}
+//@ file: crates/sim/tests/ok.rs
+// tests/ are structurally exempt too.
+fn t() {
+    let _t = std::time::SystemTime::now();
+}

@@ -1,0 +1,108 @@
+//! Property tests for the hand-rolled lexer: on *any* input — valid
+//! Rust, Rust-ish fragment soup, or arbitrary unicode — the token spans
+//! must tile the source exactly: the first token starts at byte 0, each
+//! token starts where the previous one ended, every boundary is a char
+//! boundary, no token is empty, and the last token ends at `len`. Every
+//! rule and the line table build on this invariant.
+
+use detlint::lexer::Lexed;
+use proptest::prelude::*;
+
+fn assert_tiles(src: &str) -> Result<(), TestCaseError> {
+    let lx = Lexed::new(src.to_string());
+    let mut pos = 0usize;
+    for t in lx.tokens() {
+        prop_assert_eq!(t.start, pos, "gap or overlap before {:?} in {:?}", t, src);
+        prop_assert!(t.end > t.start, "empty token {:?} in {:?}", t, src);
+        prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        pos = t.end;
+    }
+    prop_assert_eq!(pos, src.len(), "tokens do not reach end of {src:?}");
+    Ok(())
+}
+
+/// Fragments chosen to hit every lexer branch, including unterminated
+/// strings/comments when a closing fragment never gets appended.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "pub ",
+    "ident",
+    "r#type",
+    "x1_y",
+    "0",
+    "42u32",
+    "0x1f",
+    "1_000.25",
+    "1e9",
+    "2.5e-3f64",
+    "'a'",
+    "'\\n'",
+    "'\\''",
+    "'static",
+    "'a ",
+    "\"str\\\"esc\"",
+    "\"unterminated",
+    "b\"bytes\"",
+    "r\"raw\"",
+    "r#\"raw # quote\"#",
+    "r##\"nested \"# inside\"##",
+    "br#\"raw bytes\"#",
+    "// line comment\n",
+    "//! inner doc\n",
+    "/// outer doc\n",
+    "/* block */",
+    "/* nested /* deeper */ still */",
+    "/* unterminated",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "::",
+    ";",
+    "->",
+    "=>",
+    "#[attr]",
+    " ",
+    "\n",
+    "\t",
+    "\r\n",
+    "é",
+    "∀x",
+    "日本語",
+];
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(512))]
+
+    /// Concatenations of Rust-ish fragments tile exactly.
+    #[test]
+    fn fragment_soup_tiles(picks in proptest::collection::vec(0..FRAGMENTS.len(), 0..40)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_tiles(&src)?;
+    }
+
+    /// Arbitrary character soup (including non-ASCII) tiles exactly and
+    /// never panics the lexer.
+    #[test]
+    fn char_soup_tiles(chars in proptest::collection::vec(any::<char>(), 0..120)) {
+        let src: String = chars.into_iter().collect();
+        assert_tiles(&src)?;
+    }
+
+    /// Tiling implies the line table is consistent: `line_of` is
+    /// monotone in the offset and `line_col` columns are ≥ 1.
+    #[test]
+    fn line_table_is_monotone(picks in proptest::collection::vec(0..FRAGMENTS.len(), 0..30)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let lx = Lexed::new(src.clone());
+        let mut last = 0u32;
+        for t in lx.tokens() {
+            let (line, col) = lx.line_col(t.start);
+            prop_assert!(line >= last);
+            prop_assert!(line >= 1 && col >= 1);
+            last = line;
+        }
+    }
+}

@@ -11,6 +11,12 @@
 //! file, every measurement is also appended to it as one JSON object per
 //! line (`{"label":…,"ns_per_iter":…,"iters":…}`), so a bench run can be
 //! diffed against a checked-in baseline (see `BENCH_0003.json`).
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 

@@ -4,7 +4,7 @@
 //! MPMC channels with cloneable senders/receivers, `send` / `try_recv` /
 //! `recv` / `recv_timeout`, disconnection detection, and a [`select!`]
 //! macro supporting two or three blocking `recv(r) -> v` arms (deadline
-//! waits go through [`channel::wait_any_timeout`] or `recv_timeout`).
+//! waits go through `recv_timeout`).
 //!
 //! The implementation is a `Mutex<VecDeque>` + `Condvar` queue — not
 //! lock-free, but correct, and the ring simulations here move a few
@@ -15,6 +15,12 @@
 //! with every watched channel so that any `send` (or the disconnecting
 //! drop of the last sender) wakes it. Nothing in this crate spins or
 //! sleeps on a poll interval.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 
@@ -33,8 +39,7 @@ pub mod channel {
     ///
     /// Senders [`notify`](SelectWaker::notify) every registered waker
     /// after enqueuing a message and when the last sender disconnects;
-    /// the selecting thread parks on [`wait`](SelectWaker::wait) /
-    /// [`wait_deadline`](SelectWaker::wait_deadline).
+    /// the selecting thread parks on [`wait`](SelectWaker::wait).
     pub struct SelectWaker {
         signal: Mutex<bool>,
         cv: Condvar,
@@ -69,27 +74,6 @@ pub mod channel {
             }
             *signaled = false;
         }
-
-        /// Parks until signaled or `deadline`; returns whether a signal
-        /// was consumed.
-        pub fn wait_deadline(&self, deadline: Instant) -> bool {
-            let mut signaled = self.signal.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if *signaled {
-                    *signaled = false;
-                    return true;
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    return false;
-                }
-                let (guard, _) = self
-                    .cv
-                    .wait_timeout(signaled, deadline - now)
-                    .unwrap_or_else(|e| e.into_inner());
-                signaled = guard;
-            }
-        }
     }
 
     /// A channel end that a blocking `select!` can watch: readiness plus
@@ -105,6 +89,10 @@ pub mod channel {
         fn ready(&self) -> bool;
     }
 
+    /// Per-process rotation for [`wait_any`]'s tie-break among ready
+    /// channels.
+    static SELECT_ROTATION: AtomicUsize = AtomicUsize::new(0);
+
     /// Blocks until one of `channels` is ready (message queued or
     /// disconnected) and returns its index.
     ///
@@ -113,19 +101,6 @@ pub mod channel {
     /// ready channel (e.g. one that has disconnected) cannot starve the
     /// others.
     pub fn wait_any(channels: &[&dyn Selectable]) -> usize {
-        wait_any_deadline(channels, None).expect("readiness wait without deadline cannot time out")
-    }
-
-    /// Like [`wait_any`] but gives up after `timeout`, returning `None`.
-    pub fn wait_any_timeout(channels: &[&dyn Selectable], timeout: Duration) -> Option<usize> {
-        wait_any_deadline(channels, Instant::now().checked_add(timeout))
-    }
-
-    /// Per-process rotation for [`wait_any`]'s tie-break among ready
-    /// channels.
-    static SELECT_ROTATION: AtomicUsize = AtomicUsize::new(0);
-
-    fn wait_any_deadline(channels: &[&dyn Selectable], deadline: Option<Instant>) -> Option<usize> {
         let waker = Arc::new(SelectWaker::new());
         // Register before the first readiness check: a message that
         // arrives between the check and the park signals the waker, so
@@ -139,16 +114,9 @@ pub mod channel {
                 .map(|k| (offset + k) % channels.len())
                 .find(|&i| channels[i].ready());
             if let Some(i) = hit {
-                break Some(i);
+                break i;
             }
-            match deadline {
-                Some(d) => {
-                    if !waker.wait_deadline(d) {
-                        break None;
-                    }
-                }
-                None => waker.wait(),
-            }
+            waker.wait();
         };
         for c in channels {
             c.unwatch(&waker);
@@ -459,15 +427,6 @@ pub mod channel {
         }
 
         #[test]
-        fn wait_any_timeout_expires() {
-            let (_t1, rx1) = unbounded::<u8>();
-            let (_t2, rx2) = unbounded::<u8>();
-            let start = Instant::now();
-            assert_eq!(wait_any_timeout(&[&rx1, &rx2], Duration::from_millis(30)), None);
-            assert!(start.elapsed() >= Duration::from_millis(30));
-        }
-
-        #[test]
         fn watchers_are_deregistered_after_wait() {
             let (tx, rx) = unbounded::<u8>();
             tx.send(1).unwrap();
@@ -484,8 +443,7 @@ pub mod channel {
 /// `recv(receiver) -> pattern => handler` arms — a real blocking select
 /// that parks until one channel has a message or disconnects (no
 /// polling). Callers that need a deadline instead wait on
-/// [`channel::wait_any_timeout`] or [`channel::Receiver::recv_timeout`]
-/// directly.
+/// [`channel::Receiver::recv_timeout`] directly.
 ///
 /// When several channels are ready at once, the winner is chosen by a
 /// rotating tie-break (mirroring upstream crossbeam's randomized pick),

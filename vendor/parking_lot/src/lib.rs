@@ -4,13 +4,18 @@
 //! `lock()` returns a guard directly instead of a `Result`. A poisoned
 //! std lock (a panic while held) is recovered transparently, matching
 //! `parking_lot`'s behavior of not propagating poisoning.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 
 use std::sync;
 
 pub use sync::MutexGuard;
-pub use sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-free interface.
 #[derive(Debug, Default)]
@@ -51,36 +56,6 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
-/// A reader-writer lock with `parking_lot`'s panic-free interface.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized> {
-    inner: sync::RwLock<T>,
-}
-
-impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock guarding `value`.
-    pub const fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
-    }
-
-    /// Consumes the lock, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-impl<T: ?Sized> RwLock<T> {
-    /// Acquires a shared read lock.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Acquires an exclusive write lock.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,13 +65,5 @@ mod tests {
         let m = Mutex::new(5);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
-    }
-
-    #[test]
-    fn rwlock_basics() {
-        let l = RwLock::new(1);
-        assert_eq!(*l.read(), 1);
-        *l.write() = 2;
-        assert_eq!(*l.read(), 2);
     }
 }

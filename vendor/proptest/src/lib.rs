@@ -12,6 +12,12 @@
 //! stream is derived from the test name and case index, so failures
 //! reproduce without a persistence file. `PROPTEST_CASES` overrides the
 //! per-test case count.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 

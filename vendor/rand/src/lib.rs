@@ -7,6 +7,12 @@
 //! high-quality, deterministic, and stable across platforms. Equal seeds
 //! give equal streams, which is all the workspace's reproducibility tests
 //! require; no compatibility with upstream `StdRng` streams is promised.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 

@@ -11,6 +11,12 @@
 //! vendored `serde_derive`) generate these conversions for structs and
 //! enums using upstream serde's externally-tagged encoding, so the JSON
 //! this produces matches what real serde would emit for the same types.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 

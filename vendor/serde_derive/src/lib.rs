@@ -6,6 +6,12 @@
 //! unit, tuple, or struct-like. Generated code targets the vendored
 //! `serde` crate's `Content` data model with upstream serde's
 //! externally-tagged enum encoding.
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 

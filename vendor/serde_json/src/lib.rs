@@ -4,7 +4,13 @@
 //! text and parses JSON text back. [`Value`] *is* `Content`, so
 //! [`to_value`] is a direct conversion. Covers the API surface this
 //! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`],
-//! [`to_value`], [`from_value`].
+//! [`to_value`].
+//!
+//! Policy: this shim implements exactly the API surface the workspace
+//! uses — no speculative features. New code that needs more extends the
+//! shim (and its tests) rather than working around it; surface nothing
+//! references gets deleted. `detlint`'s `vendor-surface` rule enforces
+//! both this header and the no-dead-exports invariant.
 
 #![forbid(unsafe_code)]
 
@@ -44,11 +50,6 @@ impl From<serde::Error> for Error {
 /// Converts any serializable value into a JSON [`Value`].
 pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
     Ok(value.to_content())
-}
-
-/// Reconstructs a typed value from a JSON [`Value`].
-pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
-    Ok(T::from_content(&value)?)
 }
 
 /// Serializes to compact JSON text.
