@@ -18,12 +18,16 @@
 //!
 //! # Scale profiles
 //!
-//! Each spec carries three grids: [`Scale::Smoke`] is a seconds-fast
+//! Each spec carries four grids: [`Scale::Smoke`] is a seconds-fast
 //! end-to-end slice for CI, [`Scale::Paper`] reproduces the historical
-//! (seed) numbers byte for byte, and [`Scale::Large`] pushes the
+//! (seed) numbers byte for byte, [`Scale::Large`] pushes the
 //! asymptotic experiments to rings in the tens of thousands of
 //! processors — sized per experiment so the quadratic-cost sweeps stay
-//! inside the nightly soak budget.
+//! inside the nightly soak budget — and [`Scale::Massive`] takes the
+//! linear and `n log n` tiers to single runs at up to a million
+//! processors, where the sharded engine (`--shards`) earns its keep.
+//! Specs that never override it inherit their large grid at massive
+//! scale.
 //!
 //! # Adding an experiment
 //!
@@ -84,13 +88,17 @@ pub enum Scale {
     /// Asymptotic experiments at rings in the tens of thousands of
     /// processors — the nightly soak profile.
     Large,
+    /// Single runs at rings up to a million processors on the linear and
+    /// `n log n` tiers — the profile the sharded engine targets. Specs
+    /// without an explicit massive grid fall back to their large grid.
+    Massive,
 }
 
 impl Scale {
     /// All scales, smallest first.
     #[must_use]
-    pub fn all() -> [Scale; 3] {
-        [Scale::Smoke, Scale::Paper, Scale::Large]
+    pub fn all() -> [Scale; 4] {
+        [Scale::Smoke, Scale::Paper, Scale::Large, Scale::Massive]
     }
 
     /// Parses a profile name (case-insensitive).
@@ -100,17 +108,20 @@ impl Scale {
             "smoke" => Some(Scale::Smoke),
             "paper" => Some(Scale::Paper),
             "large" => Some(Scale::Large),
+            "massive" => Some(Scale::Massive),
             _ => None,
         }
     }
 
-    /// The canonical lowercase name (`smoke` / `paper` / `large`).
+    /// The canonical lowercase name (`smoke` / `paper` / `large` /
+    /// `massive`).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Scale::Smoke => "smoke",
             Scale::Paper => "paper",
             Scale::Large => "large",
+            Scale::Massive => "massive",
         }
     }
 }
@@ -148,26 +159,37 @@ impl ScaleGrid {
     }
 }
 
-/// An experiment's grids across all three [`Scale`]s.
+/// An experiment's grids across all [`Scale`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GridProfile {
     smoke: ScaleGrid,
     paper: ScaleGrid,
     large: ScaleGrid,
+    massive: ScaleGrid,
 }
 
 impl GridProfile {
-    /// Distinct grids per scale.
+    /// Distinct grids per scale. The massive grid defaults to the large
+    /// one; experiments cheap enough for million-process rings override
+    /// it with [`GridProfile::massive`].
     #[must_use]
     pub fn per_scale(smoke: ScaleGrid, paper: ScaleGrid, large: ScaleGrid) -> Self {
-        GridProfile { smoke, paper, large }
+        let massive = large.clone();
+        GridProfile { smoke, paper, large, massive }
     }
 
     /// The same grid at every scale — for experiments whose cost does not
     /// grow with the profile.
     #[must_use]
     pub fn uniform(grid: ScaleGrid) -> Self {
-        GridProfile { smoke: grid.clone(), paper: grid.clone(), large: grid }
+        GridProfile { smoke: grid.clone(), paper: grid.clone(), large: grid.clone(), massive: grid }
+    }
+
+    /// Overrides the grid used at [`Scale::Massive`].
+    #[must_use]
+    pub fn massive(mut self, grid: ScaleGrid) -> Self {
+        self.massive = grid;
+        self
     }
 
     /// A scale-independent workload that is not a size sweep (closed-form
@@ -185,6 +207,7 @@ impl GridProfile {
             Scale::Smoke => &self.smoke,
             Scale::Paper => &self.paper,
             Scale::Large => &self.large,
+            Scale::Massive => &self.massive,
         }
     }
 }
@@ -196,6 +219,7 @@ pub struct RunCtx<'a> {
     spec: &'a ExperimentSpec,
     exec: &'a dyn SweepExecutor,
     scale: Scale,
+    shards: usize,
 }
 
 impl RunCtx<'_> {
@@ -209,6 +233,12 @@ impl RunCtx<'_> {
     #[must_use]
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Shards per single run (`1` = serial engine).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The spec's grid at the requested scale.
@@ -242,6 +272,7 @@ impl RunCtx<'_> {
         SweepConfig {
             sizes: grid.sizes.clone(),
             samples_per_size: grid.samples_per_size,
+            shards: self.shards,
             ..SweepConfig::default()
         }
     }
@@ -483,10 +514,25 @@ impl ExperimentSpec {
         &self.scenarios
     }
 
-    /// Runs the experiment with the given executor at the given scale.
+    /// Runs the experiment with the given executor at the given scale,
+    /// on the serial (one-shard) engine.
     #[must_use]
     pub fn run(&self, exec: &dyn SweepExecutor, scale: Scale) -> ExperimentResult {
-        let ctx = RunCtx { spec: self, exec, scale };
+        self.run_sharded(exec, scale, 1)
+    }
+
+    /// Runs the experiment with every single run split across `shards`
+    /// engine shards. Sharding is byte-identical to serial execution, so
+    /// the result is the same as [`ExperimentSpec::run`]'s — only the
+    /// wall-clock profile changes.
+    #[must_use]
+    pub fn run_sharded(
+        &self,
+        exec: &dyn SweepExecutor,
+        scale: Scale,
+        shards: usize,
+    ) -> ExperimentResult {
+        let ctx = RunCtx { spec: self, exec, scale, shards: shards.max(1) };
         (self.run)(&ctx)
     }
 }
@@ -589,13 +635,14 @@ impl Registry {
 pub struct ExperimentHarness<'a> {
     exec: &'a dyn SweepExecutor,
     scale: Scale,
+    shards: usize,
 }
 
 impl<'a> ExperimentHarness<'a> {
-    /// A harness running on `exec` at `scale`.
+    /// A harness running on `exec` at `scale` with the serial engine.
     #[must_use]
     pub fn new(exec: &'a dyn SweepExecutor, scale: Scale) -> Self {
-        ExperimentHarness { exec, scale }
+        ExperimentHarness { exec, scale, shards: 1 }
     }
 
     /// The harness's scale.
@@ -604,10 +651,18 @@ impl<'a> ExperimentHarness<'a> {
         self.scale
     }
 
+    /// Splits every single run across `shards` engine shards. Results
+    /// are byte-identical to the serial engine's at any shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Runs one spec.
     #[must_use]
     pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
-        spec.run(self.exec, self.scale)
+        spec.run_sharded(self.exec, self.scale, self.shards)
     }
 
     /// Runs every spec of `registry` in presentation order.
@@ -824,6 +879,53 @@ mod tests {
             assert_eq!(uniform.grid(scale).sizes, vec![4, 9]);
         }
         assert_eq!(GridProfile::fixed(vec![]).grid(Scale::Paper).max_size(), None);
+    }
+
+    #[test]
+    fn massive_grid_defaults_to_large_until_overridden() {
+        let profile = GridProfile::per_scale(
+            ScaleGrid::new(vec![8], 1),
+            ScaleGrid::new(vec![8, 16], 2),
+            ScaleGrid::new(vec![1024], 1),
+        );
+        assert_eq!(profile.grid(Scale::Massive), profile.grid(Scale::Large));
+        let profile = profile.massive(ScaleGrid::new(vec![1 << 20], 1));
+        assert_eq!(profile.grid(Scale::Massive).sizes, vec![1 << 20]);
+        assert_eq!(profile.grid(Scale::Large).sizes, vec![1024]);
+    }
+
+    #[test]
+    fn harness_shards_thread_into_the_sweep_config() {
+        let spec = ExperimentSpec::new(
+            "T3",
+            "shards probe",
+            "none",
+            GridProfile::uniform(ScaleGrid::new(vec![4], 1)),
+            |ctx| {
+                let config = ctx.sweep_config();
+                assert_eq!(config.shards, ctx.shards());
+                let mut result = ctx.new_result(vec!["shards".into()]);
+                result.push_row(vec![config.shards.to_string()]);
+                result.set_verdict(Verdict::Reproduced);
+                result
+            },
+        );
+        let serial = ExperimentHarness::new(&Serial, Scale::Smoke).run(&spec);
+        assert_eq!(serial.rows[0][0], "1");
+        let sharded = ExperimentHarness::new(&Serial, Scale::Smoke).with_shards(4).run(&spec);
+        assert_eq!(sharded.rows[0][0], "4");
+        // Clamped: zero means serial.
+        let clamped = ExperimentHarness::new(&Serial, Scale::Smoke).with_shards(0).run(&spec);
+        assert_eq!(clamped.rows[0][0], "1");
+    }
+
+    #[test]
+    fn sharded_runs_reproduce_serial_results_byte_for_byte() {
+        let spec = counters_spec();
+        let serial = spec.run(&Serial, Scale::Smoke);
+        let sharded = spec.run_sharded(&Serial, Scale::Smoke, 3);
+        assert_eq!(serial.rows, sharded.rows, "sharding must not change measurements");
+        assert_eq!(serial.verdict, sharded.verdict);
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct SweepConfig {
     pub known_ring_size: bool,
     /// Delivery schedule.
     pub scheduler: Scheduler,
+    /// Shards per single run (`1` = serial engine). Sharding is
+    /// byte-identical to serial execution, so this only changes how the
+    /// engine spends cores, never the measurements.
+    pub shards: usize,
 }
 
 impl Default for SweepConfig {
@@ -60,6 +64,7 @@ impl Default for SweepConfig {
             seed: 0xB17C0DE,
             known_ring_size: false,
             scheduler: Scheduler::Fifo,
+            shards: 1,
         }
     }
 }
@@ -323,6 +328,7 @@ pub fn sweep_protocol_with(
         let mut runner = RingRunner::new();
         runner.known_ring_size(config.known_ring_size);
         runner.scheduler(config.scheduler.clone());
+        runner.shards(config.shards);
         let outcome = runner.run(protocol, &word)?;
         assert_eq!(
             outcome.accepted(),

@@ -13,9 +13,18 @@
 //!   (`StatelessTwoPass`), whose pass-2 messages replay pass-1 history:
 //!   wider payloads and two full passes of deliveries.
 //!
+//! * `one_pass_sharded` — the one-pass workload again, split across 4
+//!   engine shards. A single token keeps exactly one delivery per merge
+//!   window, so this is the sharded coordinator's *worst* case: it
+//!   measures pure round-trip overhead, not speedup. The point of the
+//!   bench is to keep that overhead visible and bounded — the sharded
+//!   engine pays off on wall-clock only where rings dwarf these sizes
+//!   (the `massive` profile's 10⁶-process runs).
+//!
 //! Run with `CRITERION_SNAPSHOT=out.jsonl` to dump machine-readable
 //! measurements; `BENCH_0003.json` in the repo root is the checked-in
-//! trajectory (pre- and post-incremental-index numbers for this group).
+//! trajectory for the serial engine (pre- and post-incremental-index),
+//! and `BENCH_0004.json` the serial-vs-sharded trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -53,6 +62,25 @@ fn bench_one_pass(c: &mut Criterion) {
     group.finish();
 }
 
+/// One-pass run split across 4 shards: per-delivery coordination cost.
+fn bench_one_pass_sharded(c: &mut Criterion) {
+    let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let mut group = c.benchmark_group("engine_hot_loop/one_pass_sharded");
+    for n in SIZES {
+        let word = word_for(&lang, n, 0xE0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
+            b.iter(|| {
+                let mut runner = RingRunner::new();
+                runner.shards(4);
+                runner.run(&proto, w).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Bidirectional meet-in-the-middle: probes collide, two active links.
 fn bench_bidir_collision(c: &mut Criterion) {
     let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
@@ -82,5 +110,11 @@ fn bench_quadratic_stateless(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(engine_hot_loop, bench_one_pass, bench_bidir_collision, bench_quadratic_stateless);
+criterion_group!(
+    engine_hot_loop,
+    bench_one_pass,
+    bench_one_pass_sharded,
+    bench_bidir_collision,
+    bench_quadratic_stateless
+);
 criterion_main!(engine_hot_loop);

@@ -4,19 +4,24 @@
 //! experiments                       # run all fourteen experiments
 //! experiments e7 e10                # run a subset, in argument order
 //! experiments --filter counter      # run experiments matching a substring
-//! experiments --scale large         # smoke | paper (default) | large grids
+//! experiments --scale large         # smoke | paper (default) | large | massive
 //! experiments --json out.json       # also dump the versioned JSON envelope
 //! experiments --workers 8           # parallel sweeps on 8 threads
 //! experiments --workers 0           # one thread per CPU
+//! experiments --shards 8            # split each single run across 8 shards
 //! experiments --list                # list experiment ids and titles
 //! ```
 //!
 //! The id table, `--list`, and dispatch all derive from
 //! [`ringleader_bench::registry`] — there is no second experiment table
 //! to drift. `--workers N` fans every sweep's grid points out to `N`
-//! worker threads; results (tables and JSON) are byte-identical for
-//! every `N` — only wall-clock time changes. Unknown flags are rejected
-//! (a typo like `--jsn` must not silently run the full suite).
+//! worker threads; `--shards N` splits each *single* run's ring into `N`
+//! worker-owned arcs (the right axis when one ring is huge — the
+//! `massive` profile's single runs at up to 10⁶ processors — where
+//! grid-point parallelism has nothing to fan out). Results (tables and
+//! JSON) are byte-identical for every `N` on both axes — only wall-clock
+//! time changes. Unknown flags are rejected (a typo like `--jsn` must
+//! not silently run the full suite).
 //!
 //! The JSON envelope is versioned: `schema_version`, the scale profile,
 //! and each experiment's grid metadata ride alongside the result
@@ -39,8 +44,8 @@ use serde::Serialize;
 /// layout (not the experiment grids) changes shape.
 const SCHEMA_VERSION: u32 = 1;
 
-const KNOWN_FLAGS: &str = "--list, --scale <smoke|paper|large>, --filter <substring>, \
-     --workers <n>, --json <path>";
+const KNOWN_FLAGS: &str = "--list, --scale <smoke|paper|large|massive>, --filter <substring>, \
+     --workers <n>, --shards <n>, --json <path>";
 
 #[derive(Serialize)]
 struct EnvelopeEntry {
@@ -62,6 +67,7 @@ fn main() -> ExitCode {
 
     let mut json_path: Option<String> = None;
     let mut workers = 1usize;
+    let mut shards = 1usize;
     let mut scale = Scale::Paper;
     let mut filter: Option<String> = None;
     let mut list = false;
@@ -84,14 +90,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards requires a shard count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--scale" => match iter.next().as_deref().map(Scale::parse) {
                 Some(Some(s)) => scale = s,
                 Some(None) => {
-                    eprintln!("--scale must be one of: smoke, paper, large");
+                    eprintln!("--scale must be one of: smoke, paper, large, massive");
                     return ExitCode::FAILURE;
                 }
                 None => {
-                    eprintln!("--scale requires a profile (smoke, paper, large)");
+                    eprintln!("--scale requires a profile (smoke, paper, large, massive)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -148,7 +161,7 @@ fn main() -> ExitCode {
 
     // 0 means "one worker per CPU" — executor_for shares the convention.
     let exec = executor_for(workers);
-    let harness = ExperimentHarness::new(exec.as_ref(), scale);
+    let harness = ExperimentHarness::new(exec.as_ref(), scale).with_shards(shards);
     let results: Vec<ExperimentResult> = selected.iter().map(|spec| harness.run(spec)).collect();
 
     let mut all_reproduced = true;

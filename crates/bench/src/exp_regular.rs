@@ -23,7 +23,10 @@ pub(crate) fn e1_spec() -> ExperimentSpec {
             ScaleGrid::new(vec![16, 32, 64], 2),
             ScaleGrid::new(vec![16, 32, 64, 128, 256, 512, 1024], 3),
             ScaleGrid::new(vec![4096, 16384, 65536], 2),
-        ),
+        )
+        // The linear tier is cheap enough for single runs at a million
+        // processors — the sharded engine's headline workload.
+        .massive(ScaleGrid::new(vec![131_072, 262_144, 524_288, 1_000_000], 1)),
         run_e1,
     )
     .with_expected_model(GrowthModel::Linear)

@@ -42,10 +42,11 @@ impl Outcome {
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
 pub struct RingRunner {
-    scheduler: Scheduler,
-    record_trace: bool,
-    known_ring_size: bool,
-    max_events: usize,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) record_trace: bool,
+    pub(crate) known_ring_size: bool,
+    pub(crate) max_events: usize,
+    pub(crate) shards: usize,
 }
 
 impl Default for RingRunner {
@@ -64,7 +65,19 @@ impl RingRunner {
             record_trace: false,
             known_ring_size: false,
             max_events: 50_000_000,
+            shards: 1,
         }
+    }
+
+    /// Splits single runs across `shards` contiguous arcs, each owned by
+    /// a worker thread (see [`crate`] docs on the shard architecture).
+    ///
+    /// The result is byte-identical to the serial engine for every shard
+    /// count; `1` (the default) runs serially. Counts above the ring
+    /// size are clamped to one process per shard.
+    pub fn shards(&mut self, shards: usize) -> &mut Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Chooses the delivery [`Scheduler`].
@@ -110,6 +123,10 @@ impl RingRunner {
         let n = word.len();
         if n == 0 {
             return Err(SimError::EmptyRing);
+        }
+        let shard_count = self.shards.min(n);
+        if shard_count > 1 {
+            return crate::shard::run_sharded(self, protocol, word, shard_count);
         }
         let topology = protocol.topology();
         let mut processes: Vec<Box<dyn Process>> = Vec::with_capacity(n);

@@ -45,6 +45,12 @@ pub enum SimError {
         /// The underlying failure.
         source: ProcessError,
     },
+    /// A worker of the sharded engine terminated without reporting
+    /// (e.g. a panic inside a process handler killed its shard).
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +74,9 @@ impl fmt::Display for SimError {
             }
             SimError::Process { position, source } => {
                 write!(f, "processor {position} failed: {source}")
+            }
+            SimError::ShardFailed { shard } => {
+                write!(f, "shard {shard} of the sharded engine terminated without reporting")
             }
         }
     }

@@ -20,6 +20,32 @@
 //! bidirectional ring (§5–6), and the open line used in Stage 1 of the
 //! Theorem 7 construction.
 //!
+//! # Execution engines
+//!
+//! One model, three engines — each a different point on the
+//! fidelity/throughput plane, all constrained to agree:
+//!
+//! * **Serial event loop** (the [`RingRunner`] default): one thread pops
+//!   the scheduler's next in-flight message, delivers it, routes the
+//!   sends. Every observable — decision, [`ExecStats`], [`Trace`] — is
+//!   defined by this engine; it is the *oracle* the others are tested
+//!   against, exactly like the naive scheduler that survives as the
+//!   oracle for the incremental link index.
+//! * **Sharded engine** ([`RingRunner::shards`]): the ring is split into
+//!   contiguous arcs, each owned by a pool worker that runs the event
+//!   loop over its arc; boundary links hand messages off through
+//!   channels, and a coordinator merges per-shard reports in the serial
+//!   scheduler's exact pick order. The output is **byte-identical to
+//!   the serial engine for every shard count and scheduling policy** —
+//!   pinned trace-by-trace in `tests/shard_equiv.rs` and at scale in the
+//!   soak tier — so sharding is purely a wall-clock/capacity decision
+//!   (it exists for the `massive` profile's single runs at 10⁶
+//!   processors, not for small rings, where coordination dominates).
+//! * **Threaded runner** ([`ThreadedRunner`]): one OS thread per
+//!   processor with real blocking channels — the most literal reading of
+//!   the asynchronous model, used to cross-check that the event-driven
+//!   engines didn't bake in a scheduling assumption.
+//!
 //! # Examples
 //!
 //! A one-message protocol: the leader asks its clockwise neighbour to echo
@@ -78,6 +104,7 @@ mod engine;
 mod error;
 pub mod pool;
 mod sched;
+mod shard;
 mod stats;
 mod threaded;
 mod token;

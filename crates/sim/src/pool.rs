@@ -35,7 +35,11 @@
 //!
 //! [`ThreadPool`] is the long-lived variant for `'static` jobs (soak
 //! rigs, services): explicit handle, graceful drop (disconnect + join),
-//! workers that survive job panics.
+//! workers that survive job panics. The sharded engine (`crate::shard`)
+//! runs its arc workers on a `ThreadPool`: the panic-absorbing workers
+//! are what turn a panicking process handler into a channel disconnect
+//! the coordinator can report as a clean `ShardFailed`, and the
+//! drain-then-join drop is what guarantees no worker outlives a run.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,787 @@
+//! The sharded event engine: contiguous arcs, boundary channels, and a
+//! deterministic merge that replays the serial schedule exactly.
+//!
+//! # Architecture
+//!
+//! The ring `p₀ … pₙ₋₁` is partitioned into `S` contiguous **arcs**, one
+//! per shard; shard `k` owns positions `[k·n/S, (k+1)·n/S)` and runs on a
+//! worker of a dedicated [`ThreadPool`](crate::pool::ThreadPool). Link
+//! queues whose receiver lies inside an arc are stored shard-locally in
+//! structure-of-arrays slot queues ([`SlotQueues`]); the two links that
+//! cross each arc boundary hand payloads off through the vendored
+//! crossbeam channels.
+//!
+//! The **coordinator** (the caller's thread) owns everything that is
+//! observable in a run's result: the [`ExecStats`], the [`Trace`], the
+//! global event sequence, the delivery count, and — crucially — the
+//! scheduling decisions. It maintains [`MetaLinks`], a payload-free
+//! replica of the serial engine's link state driven by the same
+//! [`LinkIndex`], and repeatedly:
+//!
+//! 1. picks the next *window* of deliveries exactly as the serial engine
+//!    would (for [`Scheduler::Fifo`] the whole in-flight set is one
+//!    window — every in-flight seq is smaller than any seq a new send can
+//!    get, so the next `in_flight` picks are fixed; for `LongestQueue`
+//!    and `Random` the window is a single delivery, reproducing the
+//!    serial interleaving pick by pick, RNG draws included);
+//! 2. dispatches each shard's slice of the window as one
+//!    [`ShardJob::Round`];
+//! 3. collects one [`RoundReport`] per commanded shard and **merges**
+//!    them in window order, applying sends to `MetaLinks`, stats, and
+//!    trace in exactly the order `apply_effects` would have.
+//!
+//! Because every result-bearing effect flows through the merge in serial
+//! order, the sharded engine is **byte-identical to the serial engine**
+//! for every shard count and policy: same `Outcome`, same trace, same
+//! error on the same event. The serial path survives as the test oracle
+//! (`tests/shard_equiv.rs`), exactly like the `NaiveChooser` oracle for
+//! the scheduler index.
+//!
+//! # Why blocking boundary receives cannot deadlock
+//!
+//! A shard only blocks on a boundary channel for a delivery the
+//! coordinator commanded, and the coordinator only commands deliveries of
+//! messages it has already merged — which means the producing shard
+//! routed the payload into the channel *before* reporting the round that
+//! sent it. The payload is therefore already in the channel (or the
+//! producer died, which disconnects the channel and surfaces as
+//! [`SimError::ShardFailed`]).
+//!
+//! # Teardown
+//!
+//! [`Coordinator`]'s field order is load-bearing: dropping the job
+//! senders first wakes every idle shard, their exits cascade through the
+//! boundary-channel disconnects, and the per-run pool drops (and joins)
+//! last. A shard that panics is caught by the pool's worker, which drops
+//! the shard's channels; the coordinator sees the disconnect as
+//! `ShardFailed` on the next send or receive.
+
+use std::collections::VecDeque;
+
+use ringleader_automata::Word;
+use ringleader_bitio::BitString;
+
+use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
+
+use crate::context::{Context, Process, ProcessError, ProcessResult, Protocol};
+use crate::engine::{Outcome, RingRunner};
+use crate::pool::ThreadPool;
+use crate::sched::LinkIndex;
+use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::{Direction, ExecStats, Scheduler, SimError, Topology};
+
+/// One delivery command: deliver the head of the `(local_pos, direction)`
+/// inbound queue to the process at `local_pos` within the shard's arc.
+struct DeliverCmd {
+    local_pos: usize,
+    direction: Direction,
+}
+
+/// Work the coordinator hands a shard.
+enum ShardJob {
+    /// Run the leader's `on_start` (only ever sent to shard 0).
+    Start,
+    /// Execute these deliveries in order and report back.
+    Round(Vec<DeliverCmd>),
+}
+
+/// A send a shard observed, in outbox order. `payload` is carried only
+/// when tracing (the merge needs the bits for the trace; stats need only
+/// the length).
+struct SendRecord {
+    direction: Direction,
+    bits: usize,
+    payload: Option<BitString>,
+}
+
+/// What one commanded delivery (or the leader start) did.
+struct DeliveryReport {
+    /// The delivered payload, carried only when tracing.
+    payload: Option<BitString>,
+    sends: Vec<SendRecord>,
+    decision: Option<bool>,
+    error: Option<ProcessError>,
+}
+
+/// A shard's answer to one [`ShardJob`]: reports for the commanded
+/// deliveries in order, truncated at the first error or decision.
+struct RoundReport {
+    deliveries: Vec<DeliveryReport>,
+}
+
+/// One delivery of the coordinator's current window, in global order.
+struct WindowEntry {
+    receiver: usize,
+    direction: Direction,
+    shard: usize,
+}
+
+/// How one delivery's execution ended, from the shard's point of view.
+enum EventEnd {
+    /// Keep executing the round.
+    Continue,
+    /// A decision or handler error: stop the round and report.
+    EndRun,
+    /// A boundary channel disconnected: the run is being torn down —
+    /// exit without reporting.
+    NeighbourGone,
+}
+
+/// A payload-free replica of the serial engine's `Links`: the same queue
+/// occupancy, the same head seqs, the same [`LinkIndex`] transitions —
+/// so `choose()` returns exactly the serial pick at every step.
+struct MetaLinks {
+    queues: Vec<VecDeque<u64>>,
+    index: Box<dyn LinkIndex>,
+    occupied: usize,
+    id_xor: usize,
+    /// Total messages in flight across all links.
+    in_flight: usize,
+}
+
+impl MetaLinks {
+    fn new(n: usize, index: Box<dyn LinkIndex>) -> Self {
+        let mut queues = Vec::with_capacity(2 * n);
+        queues.resize_with(2 * n, VecDeque::new);
+        Self { queues, index, occupied: 0, id_xor: 0, in_flight: 0 }
+    }
+
+    fn push(&mut self, link: usize, seq: u64) {
+        let queue = &mut self.queues[link];
+        queue.push_back(seq);
+        let backlog = queue.len();
+        if backlog == 1 {
+            self.occupied += 1;
+            self.id_xor ^= link;
+        }
+        self.in_flight += 1;
+        self.index.on_push(link, seq, backlog);
+    }
+
+    /// Mirrors `Links::choose`, including the single-link fast path (the
+    /// `Random` index consumes identical RNG state either way).
+    fn choose(&mut self) -> Option<usize> {
+        match self.occupied {
+            0 => None,
+            1 => {
+                self.index.on_trivial_choose();
+                Some(self.id_xor)
+            }
+            _ => Some(self.index.choose()),
+        }
+    }
+
+    fn pop(&mut self, link: usize) {
+        let queue = &mut self.queues[link];
+        queue.pop_front().expect("chosen link non-empty");
+        let backlog = queue.len();
+        if backlog == 0 {
+            self.occupied -= 1;
+            self.id_xor ^= link;
+        }
+        self.in_flight -= 1;
+        self.index.on_pop(link, queue.front().copied(), backlog);
+    }
+}
+
+/// Structure-of-arrays inbound queues for one arc and one travel
+/// direction: slot `q` feeds the arc's `q`-th process. The common case —
+/// at most one message waiting per slot — stays in the flat `head` array
+/// (one cache line per few slots); bursts spill to per-slot overflow
+/// queues without disturbing the heads.
+struct SlotQueues {
+    head: Vec<Option<BitString>>,
+    overflow: Vec<VecDeque<BitString>>,
+}
+
+impl SlotQueues {
+    fn new(len: usize) -> Self {
+        let mut overflow = Vec::with_capacity(len);
+        overflow.resize_with(len, VecDeque::new);
+        Self { head: vec![None; len], overflow }
+    }
+
+    fn push(&mut self, slot: usize, payload: BitString) {
+        if self.head[slot].is_none() && self.overflow[slot].is_empty() {
+            self.head[slot] = Some(payload);
+        } else {
+            self.overflow[slot].push_back(payload);
+        }
+    }
+
+    fn pop(&mut self, slot: usize) -> Option<BitString> {
+        let payload = self.head[slot].take()?;
+        self.head[slot] = self.overflow[slot].pop_front();
+        Some(payload)
+    }
+}
+
+/// One shard: an arc of processes, their inbound queues, and the
+/// channels tying it to the coordinator and its two neighbour shards.
+struct ShardWorker {
+    /// Global position of the arc's first process.
+    lo: usize,
+    /// Arc length (≥ 1).
+    len: usize,
+    known: Option<usize>,
+    tracing: bool,
+    procs: Vec<Box<dyn Process>>,
+    /// Clockwise-travelling inbound queues: `cw` slot `q` feeds process
+    /// `lo + q`; slot 0 is additionally fed by `left_rx`.
+    cw: SlotQueues,
+    /// Counter-clockwise inbound queues; slot `len - 1` is additionally
+    /// fed by `right_rx`.
+    ccw: SlotQueues,
+    job_rx: Receiver<ShardJob>,
+    report_tx: Sender<RoundReport>,
+    /// Clockwise messages crossing the left boundary in.
+    left_rx: Receiver<BitString>,
+    /// Counter-clockwise messages crossing the right boundary in.
+    right_rx: Receiver<BitString>,
+    halt_rx: Receiver<()>,
+    /// Clockwise messages crossing the right boundary out.
+    cw_out: Sender<BitString>,
+    /// Counter-clockwise messages crossing the left boundary out.
+    ccw_out: Sender<BitString>,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        let mut ctx = Context::new(false, self.known);
+        loop {
+            // Idle loop: wait for work, eagerly buffering boundary
+            // traffic so round-time receives rarely block. Any
+            // disconnect means the run is over.
+            let job = crossbeam::channel::select! {
+                recv(self.job_rx) -> j => match j {
+                    Ok(job) => Some(job),
+                    Err(RecvError) => return,
+                },
+                recv(self.left_rx) -> m => match m {
+                    Ok(payload) => {
+                        self.cw.push(0, payload);
+                        None
+                    }
+                    Err(RecvError) => return,
+                },
+                recv(self.right_rx) -> m => match m {
+                    Ok(payload) => {
+                        self.ccw.push(self.len - 1, payload);
+                        None
+                    }
+                    Err(RecvError) => return,
+                },
+                recv(self.halt_rx) -> _m => return,
+            };
+            if let Some(job) = job {
+                if !self.execute(job, &mut ctx) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Executes one job and reports. Returns `false` when a neighbour
+    /// disconnect showed the run is being torn down (no report is sent;
+    /// the coordinator observes the cascade as a channel disconnect).
+    fn execute(&mut self, job: ShardJob, ctx: &mut Context) -> bool {
+        let mut report = RoundReport { deliveries: Vec::new() };
+        match job {
+            ShardJob::Start => {
+                ctx.reset(true);
+                let result = self.procs[0].on_start(ctx);
+                if matches!(
+                    self.finish_event(ctx, 0, None, result, &mut report),
+                    EventEnd::NeighbourGone
+                ) {
+                    return false;
+                }
+            }
+            ShardJob::Round(cmds) => {
+                for cmd in cmds {
+                    let Some(payload) = self.take_inbound(cmd.local_pos, cmd.direction) else {
+                        return false;
+                    };
+                    ctx.reset(self.lo + cmd.local_pos == 0);
+                    let result = self.procs[cmd.local_pos].on_message(cmd.direction, &payload, ctx);
+                    let delivered = self.tracing.then_some(payload);
+                    match self.finish_event(ctx, cmd.local_pos, delivered, result, &mut report) {
+                        EventEnd::Continue => {}
+                        EventEnd::EndRun => break,
+                        EventEnd::NeighbourGone => return false,
+                    }
+                }
+            }
+        }
+        // A send failure here means the coordinator already went away;
+        // the worker just retires.
+        let _ = self.report_tx.send(report);
+        true
+    }
+
+    /// Records one executed event into `report`, routing its sends.
+    /// Sends are *recorded* unconditionally (the merge applies stats and
+    /// trace from the records) but *routed* only when the handler
+    /// neither erred (the serial engine discards a failing handler's
+    /// outbox) nor decided (the run is over; routing would only stuff
+    /// channels nobody will drain).
+    fn finish_event(
+        &mut self,
+        ctx: &mut Context,
+        local_pos: usize,
+        delivered: Option<BitString>,
+        result: ProcessResult,
+        report: &mut RoundReport,
+    ) -> EventEnd {
+        let mut entry =
+            DeliveryReport { payload: delivered, sends: Vec::new(), decision: None, error: None };
+        if let Err(source) = result {
+            entry.error = Some(source);
+            report.deliveries.push(entry);
+            return EventEnd::EndRun;
+        }
+        let decision = ctx.take_decision();
+        let route = decision.is_none();
+        let mut neighbour_gone = false;
+        for (direction, payload) in ctx.drain_outbox() {
+            entry.sends.push(SendRecord {
+                direction,
+                bits: payload.len(),
+                payload: self.tracing.then(|| payload.clone()),
+            });
+            if route && !neighbour_gone {
+                neighbour_gone = !self.route(local_pos, direction, payload);
+            }
+        }
+        entry.decision = decision;
+        report.deliveries.push(entry);
+        if neighbour_gone {
+            EventEnd::NeighbourGone
+        } else if decision.is_some() {
+            EventEnd::EndRun
+        } else {
+            EventEnd::Continue
+        }
+    }
+
+    /// Pops the commanded inbound message, blocking on the boundary
+    /// channel when the coordinator commanded a boundary delivery whose
+    /// payload has not been buffered yet (it is guaranteed to be in the
+    /// channel — see the module docs). `None` means the channel
+    /// disconnected: tear-down.
+    fn take_inbound(&mut self, local_pos: usize, direction: Direction) -> Option<BitString> {
+        match direction {
+            Direction::Clockwise => self.cw.pop(local_pos).or_else(|| {
+                debug_assert_eq!(local_pos, 0, "interior CW queue empty on command");
+                self.left_rx.recv().ok()
+            }),
+            Direction::CounterClockwise => self.ccw.pop(local_pos).or_else(|| {
+                debug_assert_eq!(local_pos + 1, self.len, "interior CCW queue empty on command");
+                self.right_rx.recv().ok()
+            }),
+        }
+    }
+
+    /// Hands a sent payload to the next hop: the shard-local slot queue
+    /// of the neighbouring process, or the boundary channel when the
+    /// neighbour lives on another shard. Returns `false` on a
+    /// disconnected boundary (tear-down in progress).
+    fn route(&mut self, local_pos: usize, direction: Direction, payload: BitString) -> bool {
+        match direction {
+            Direction::Clockwise => {
+                if local_pos + 1 < self.len {
+                    self.cw.push(local_pos + 1, payload);
+                    true
+                } else {
+                    self.cw_out.send(payload).is_ok()
+                }
+            }
+            Direction::CounterClockwise => {
+                if local_pos > 0 {
+                    self.ccw.push(local_pos - 1, payload);
+                    true
+                } else {
+                    self.ccw_out.send(payload).is_ok()
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a link id to `(receiver, direction)` — the inverse of the
+/// send-side link formula in `apply_effects`.
+fn decode_link(link: usize, n: usize) -> (usize, Direction) {
+    if link < n {
+        ((link + 1) % n, Direction::Clockwise)
+    } else {
+        (link - n, Direction::CounterClockwise)
+    }
+}
+
+/// The coordinator's handles on the shard fleet.
+///
+/// Field order is drop order and is load-bearing: `job_txs` drop first
+/// (waking idle shards into exit), the boundary/report channels cascade,
+/// and the pool drops — and joins its workers — last.
+struct Coordinator {
+    job_txs: Vec<Sender<ShardJob>>,
+    /// Held only so a clone-per-shard halt channel stays constructible;
+    /// dropping it with the struct wakes any shard parked on it.
+    _halt: Sender<()>,
+    report_rxs: Vec<Receiver<RoundReport>>,
+    _pool: ThreadPool,
+    n: usize,
+    shards: usize,
+    topology: Topology,
+    max_events: usize,
+    tracing: bool,
+    /// `bounds[k]` = the half-open global range of shard `k`'s arc.
+    bounds: Vec<(usize, usize)>,
+    /// `owner[p]` = the shard owning global position `p`.
+    owner: Vec<usize>,
+}
+
+/// Runs `protocol` sharded over `shards ≥ 2` arcs, byte-identical to
+/// [`RingRunner::run`]'s serial path.
+pub(crate) fn run_sharded(
+    runner: &RingRunner,
+    protocol: &dyn Protocol,
+    word: &Word,
+    shards: usize,
+) -> Result<Outcome, SimError> {
+    let n = word.len();
+    let known = runner.known_ring_size.then_some(n);
+    let tracing = runner.record_trace;
+
+    let mut processes: Vec<Box<dyn Process>> = Vec::with_capacity(n);
+    for (i, &sym) in word.symbols().iter().enumerate() {
+        processes.push(if i == 0 { protocol.leader(sym) } else { protocol.follower(sym) });
+    }
+
+    let bounds: Vec<(usize, usize)> =
+        (0..shards).map(|k| (k * n / shards, (k + 1) * n / shards)).collect();
+    let mut owner = vec![0usize; n];
+    for (k, &(lo, hi)) in bounds.iter().enumerate() {
+        for o in owner.iter_mut().take(hi).skip(lo) {
+            *o = k;
+        }
+    }
+
+    let mut job_txs = Vec::with_capacity(shards);
+    let mut job_rxs = Vec::with_capacity(shards);
+    let mut report_txs = Vec::with_capacity(shards);
+    let mut report_rxs = Vec::with_capacity(shards);
+    let mut cw_txs = Vec::with_capacity(shards);
+    let mut cw_rxs = Vec::with_capacity(shards);
+    let mut ccw_txs = Vec::with_capacity(shards);
+    let mut ccw_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = unbounded::<ShardJob>();
+        job_txs.push(tx);
+        job_rxs.push(Some(rx));
+        let (tx, rx) = unbounded::<RoundReport>();
+        report_txs.push(Some(tx));
+        report_rxs.push(rx);
+        let (tx, rx) = unbounded::<BitString>();
+        cw_txs.push(Some(tx));
+        cw_rxs.push(Some(rx));
+        let (tx, rx) = unbounded::<BitString>();
+        ccw_txs.push(Some(tx));
+        ccw_rxs.push(Some(rx));
+    }
+    let (halt_tx, halt_rx) = unbounded::<()>();
+
+    let pool = ThreadPool::new(shards);
+    let mut rest = processes;
+    for (k, &(lo, hi)) in bounds.iter().enumerate() {
+        let len = hi - lo;
+        let tail = rest.split_off(len);
+        let procs = rest;
+        rest = tail;
+        let worker = ShardWorker {
+            lo,
+            len,
+            known,
+            tracing,
+            procs,
+            cw: SlotQueues::new(len),
+            ccw: SlotQueues::new(len),
+            job_rx: job_rxs[k].take().expect("each job receiver is moved once"),
+            report_tx: report_txs[k].take().expect("each report sender is moved once"),
+            left_rx: cw_rxs[k].take().expect("each boundary receiver is moved once"),
+            right_rx: ccw_rxs[k].take().expect("each boundary receiver is moved once"),
+            halt_rx: halt_rx.clone(),
+            // Clockwise traffic leaving shard k enters shard k+1's left
+            // boundary; counter-clockwise leaving enters shard k-1's
+            // right boundary. Each sender is moved to exactly one shard,
+            // so the coordinator holds no boundary endpoint and the
+            // disconnect cascade is purely shard-to-shard.
+            cw_out: cw_txs[(k + 1) % shards].take().expect("each boundary sender is moved once"),
+            ccw_out: ccw_txs[(k + shards - 1) % shards]
+                .take()
+                .expect("each boundary sender is moved once"),
+        };
+        pool.execute(move || worker.run());
+    }
+    drop(halt_rx);
+
+    let coordinator = Coordinator {
+        job_txs,
+        _halt: halt_tx,
+        report_rxs,
+        _pool: pool,
+        n,
+        shards,
+        topology: protocol.topology(),
+        max_events: runner.max_events,
+        tracing,
+        bounds,
+        owner,
+    };
+    coordinator.run(runner)
+}
+
+impl Coordinator {
+    fn run(&self, runner: &RingRunner) -> Result<Outcome, SimError> {
+        let n = self.n;
+        let mut meta = MetaLinks::new(n, runner.scheduler.build_index(2 * n));
+        let mut stats = ExecStats::new(n);
+        let mut trace = if self.tracing { Some(Trace::default()) } else { None };
+        let mut seq: u64 = 0;
+        let mut deliveries: usize = 0;
+
+        // Start the leader on shard 0 and merge its report — the
+        // counterpart of the serial engine's pre-loop `on_start` block.
+        if self.job_txs[0].send(ShardJob::Start).is_err() {
+            return Err(SimError::ShardFailed { shard: 0 });
+        }
+        let report =
+            self.report_rxs[0].recv().map_err(|RecvError| SimError::ShardFailed { shard: 0 })?;
+        let entry =
+            report.deliveries.into_iter().next().ok_or(SimError::ShardFailed { shard: 0 })?;
+        if let Some(source) = entry.error {
+            return Err(SimError::Process { position: 0, source });
+        }
+        merge_sends(
+            &entry.sends,
+            0,
+            n,
+            self.topology,
+            &mut meta,
+            &mut stats,
+            &mut trace,
+            &mut seq,
+        )?;
+        if let Some(d) = entry.decision {
+            stats.deliveries = deliveries;
+            return Ok(Outcome { decision: Some(d), stats, trace });
+        }
+
+        // For FIFO the next `in_flight` picks are already determined (a
+        // new send's seq exceeds every in-flight seq, and the min-heap's
+        // pop order depends only on its unique keys), so the whole
+        // in-flight set is one window. LongestQueue and Random picks
+        // depend on the sends merged between deliveries: window size 1.
+        let fifo = matches!(runner.scheduler, Scheduler::Fifo);
+
+        let mut cmds: Vec<Vec<DeliverCmd>> = Vec::new();
+        cmds.resize_with(self.shards, Vec::new);
+        loop {
+            if meta.in_flight == 0 {
+                return Err(SimError::Stalled { deliveries });
+            }
+            let batch = if fifo { meta.in_flight } else { 1 };
+            let mut window: Vec<WindowEntry> = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                let link = meta.choose().expect("in-flight messages imply a non-empty link");
+                meta.pop(link);
+                let (receiver, direction) = decode_link(link, n);
+                let shard = self.owner[receiver];
+                cmds[shard]
+                    .push(DeliverCmd { local_pos: receiver - self.bounds[shard].0, direction });
+                window.push(WindowEntry { receiver, direction, shard });
+            }
+
+            let active: Vec<usize> = (0..self.shards).filter(|&k| !cmds[k].is_empty()).collect();
+            for &k in &active {
+                if self.job_txs[k].send(ShardJob::Round(std::mem::take(&mut cmds[k]))).is_err() {
+                    return Err(SimError::ShardFailed { shard: k });
+                }
+            }
+            let mut reports: Vec<Option<RoundReport>> = Vec::new();
+            reports.resize_with(self.shards, || None);
+            for &k in &active {
+                let report = self.report_rxs[k]
+                    .recv()
+                    .map_err(|RecvError| SimError::ShardFailed { shard: k })?;
+                reports[k] = Some(report);
+            }
+
+            // Merge the window in global (serial) order.
+            let mut cursors = vec![0usize; self.shards];
+            for entry in &window {
+                if deliveries >= self.max_events {
+                    return Err(SimError::EventLimitExceeded { limit: self.max_events });
+                }
+                let report = reports[entry.shard]
+                    .as_ref()
+                    .ok_or(SimError::ShardFailed { shard: entry.shard })?;
+                let cursor = cursors[entry.shard];
+                cursors[entry.shard] += 1;
+                let done = report
+                    .deliveries
+                    .get(cursor)
+                    .ok_or(SimError::ShardFailed { shard: entry.shard })?;
+                deliveries += 1;
+                if let Some(t) = trace.as_mut() {
+                    t.push(TraceEvent {
+                        seq,
+                        kind: EventKind::Deliver,
+                        position: entry.receiver,
+                        direction: entry.direction,
+                        payload: done
+                            .payload
+                            .clone()
+                            .expect("tracing rounds report delivery payloads"),
+                    });
+                    seq += 1;
+                }
+                if let Some(source) = done.error.clone() {
+                    return Err(SimError::Process { position: entry.receiver, source });
+                }
+                if done.decision.is_some() && entry.receiver != 0 {
+                    return Err(SimError::FollowerDecided { position: entry.receiver });
+                }
+                merge_sends(
+                    &done.sends,
+                    entry.receiver,
+                    n,
+                    self.topology,
+                    &mut meta,
+                    &mut stats,
+                    &mut trace,
+                    &mut seq,
+                )?;
+                if let Some(d) = done.decision {
+                    stats.deliveries = deliveries;
+                    return Ok(Outcome { decision: Some(d), stats, trace });
+                }
+            }
+        }
+    }
+}
+
+/// Applies one event's reported sends in outbox order — the merge-side
+/// mirror of the serial engine's `apply_effects` send loop, producing
+/// identical stats, trace events, sequence numbers, and link pushes.
+#[allow(clippy::too_many_arguments)]
+fn merge_sends(
+    sends: &[SendRecord],
+    position: usize,
+    n: usize,
+    topology: Topology,
+    meta: &mut MetaLinks,
+    stats: &mut ExecStats,
+    trace: &mut Option<Trace>,
+    seq: &mut u64,
+) -> Result<(), SimError> {
+    for send in sends {
+        if !topology.allows(position, send.direction, n) {
+            return Err(SimError::IllegalSend { position, direction: send.direction });
+        }
+        stats.record_send(position, send.direction, send.bits);
+        if let Some(t) = trace.as_mut() {
+            t.push(TraceEvent {
+                seq: *seq,
+                kind: EventKind::Send,
+                position,
+                direction: send.direction,
+                payload: send.payload.clone().expect("tracing rounds report send payloads"),
+            });
+        }
+        let link = match send.direction {
+            Direction::Clockwise => position,
+            Direction::CounterClockwise => n + (position + n - 1) % n,
+        };
+        meta.push(link, *seq);
+        *seq += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_queues_are_fifo_and_spill() {
+        let mut q = SlotQueues::new(2);
+        assert_eq!(q.pop(0), None);
+        let bits = |s: &str| BitString::parse(s).unwrap();
+        q.push(0, bits("1"));
+        q.push(0, bits("01"));
+        q.push(0, bits("001"));
+        q.push(1, bits("11"));
+        assert_eq!(q.pop(0), Some(bits("1")));
+        assert_eq!(q.pop(0), Some(bits("01")));
+        // Interleaved push while overflow is non-empty keeps order.
+        q.push(0, bits("0001"));
+        assert_eq!(q.pop(0), Some(bits("001")));
+        assert_eq!(q.pop(0), Some(bits("0001")));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), Some(bits("11")));
+    }
+
+    #[test]
+    fn decode_link_inverts_the_send_formula() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for position in 0..n {
+                // Clockwise send from `position` lands on link `position`.
+                let (receiver, dir) = decode_link(position, n);
+                assert_eq!(receiver, (position + 1) % n);
+                assert_eq!(dir, Direction::Clockwise);
+                // Counter-clockwise send from `position`.
+                let link = n + (position + n - 1) % n;
+                let (receiver, dir) = decode_link(link, n);
+                assert_eq!(receiver, (position + n - 1) % n);
+                assert_eq!(dir, Direction::CounterClockwise);
+            }
+        }
+    }
+
+    #[test]
+    fn arc_bounds_tile_the_ring() {
+        for n in 1..40usize {
+            for shards in 1..=n {
+                let bounds: Vec<(usize, usize)> =
+                    (0..shards).map(|k| (k * n / shards, (k + 1) * n / shards)).collect();
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds[shards - 1].1, n);
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "arcs must be contiguous");
+                }
+                assert!(bounds.iter().all(|&(lo, hi)| hi > lo), "every arc is non-empty");
+            }
+        }
+    }
+
+    #[test]
+    fn meta_links_mirror_occupancy() {
+        let mut meta = MetaLinks::new(3, Scheduler::Fifo.build_index(6));
+        assert_eq!(meta.choose(), None);
+        meta.push(2, 0);
+        meta.push(2, 1);
+        meta.push(5, 2);
+        assert_eq!(meta.in_flight, 3);
+        assert_eq!(meta.occupied, 2);
+        assert_eq!(meta.choose(), Some(2)); // earliest seq wins under FIFO
+        meta.pop(2);
+        assert_eq!(meta.choose(), Some(2));
+        meta.pop(2);
+        assert_eq!(meta.occupied, 1);
+        assert_eq!(meta.choose(), Some(5)); // fast path via id_xor
+        meta.pop(5);
+        assert_eq!(meta.in_flight, 0);
+        assert_eq!(meta.choose(), None);
+    }
+}

@@ -1,0 +1,696 @@
+//! Shard-equivalence suite: the sharded engine must be *byte-identical*
+//! to the serial engine, which survives as the oracle (exactly like the
+//! `NaiveChooser` oracle for the scheduler index).
+//!
+//! Every comparison here runs the same protocol twice — serial and with
+//! `shards(s)` — with full tracing on, and asserts the complete observable
+//! result matches: the decision, every field of [`ExecStats`] (total bits,
+//! per-link loads, delivery count), and the full event trace, event by
+//! event with sequence numbers. Error paths must agree too: the same
+//! `SimError` on the same run, for stalls, event-limit aborts, follower
+//! decisions, illegal sends, and handler errors.
+//!
+//! Coverage axes: shards ∈ {1, 2, 3, 8} × all three policies (Fifo,
+//! LongestQueue, Random{seed}) × randomized protocols and ring sizes —
+//! including the degenerate cases `n < shards` (clamped to one-process
+//! arcs), a two-process ring, and traffic across the wrap-around boundary
+//! link `pₙ₋₁ ↔ p₀` (always a shard boundary).
+
+use proptest::prelude::*;
+
+use ringleader_automata::{Alphabet, Symbol, Word};
+use ringleader_bitio::{BitString, BitWriter};
+use ringleader_sim::{
+    Context, Direction, Outcome, Process, ProcessError, ProcessResult, Protocol, RingRunner,
+    Scheduler, SimError, Topology,
+};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn schedulers() -> [Scheduler; 4] {
+    [
+        Scheduler::Fifo,
+        Scheduler::LongestQueue,
+        Scheduler::Random { seed: 11 },
+        Scheduler::Random { seed: 0xC0FFEE },
+    ]
+}
+
+fn word(n: usize) -> Word {
+    Word::from_str(&"01".repeat(n)[..n], &Alphabet::binary()).expect("binary word")
+}
+
+/// Runs `proto` once serially and once with `shards`, both fully traced,
+/// and asserts the results are byte-identical (success or error).
+fn assert_sharded_matches_serial(
+    scheduler: &Scheduler,
+    n: usize,
+    shards: usize,
+    proto: &dyn Protocol,
+    max_events: Option<usize>,
+    known_ring_size: bool,
+) {
+    let run = |shard_count: usize| -> Result<Outcome, SimError> {
+        let mut runner = RingRunner::new();
+        runner
+            .scheduler(scheduler.clone())
+            .record_trace(true)
+            .known_ring_size(known_ring_size)
+            .shards(shard_count);
+        if let Some(limit) = max_events {
+            runner.max_events(limit);
+        }
+        runner.run(proto, &word(n))
+    };
+    let ctx = format!("{scheduler:?} n={n} shards={shards}");
+    match (run(1), run(shards)) {
+        (Ok(serial), Ok(sharded)) => {
+            assert_eq!(serial.decision, sharded.decision, "{ctx}: decision diverged");
+            assert_eq!(serial.stats, sharded.stats, "{ctx}: stats diverged");
+            let serial_trace = serial.trace.expect("serial trace recorded");
+            let sharded_trace = sharded.trace.expect("sharded trace recorded");
+            for (i, (a, b)) in serial_trace.events().iter().zip(sharded_trace.events()).enumerate()
+            {
+                assert_eq!(a, b, "{ctx}: trace event {i} diverged");
+            }
+            assert_eq!(
+                serial_trace.events().len(),
+                sharded_trace.events().len(),
+                "{ctx}: trace length diverged"
+            );
+        }
+        (Err(serial), Err(sharded)) => {
+            assert_eq!(serial, sharded, "{ctx}: error diverged");
+        }
+        (serial, sharded) => {
+            panic!("{ctx}: outcomes diverged — serial: {serial:?}, sharded: {sharded:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocols exercising real scheduler contention.
+// ---------------------------------------------------------------------------
+
+/// Leader launches `k` tokens each way; followers forward; leader accepts
+/// when all `2k` return. Several messages in flight at every step.
+struct TokenStorm {
+    k: usize,
+}
+
+struct StormLeader {
+    k: usize,
+    returned: usize,
+}
+
+impl Process for StormLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        for i in 0..self.k {
+            let mut w = BitWriter::new();
+            w.write_bits(i as u64, 4);
+            ctx.send(Direction::Clockwise, w.finish());
+            let mut w = BitWriter::new();
+            w.write_bits(i as u64, 4).write_bit(true);
+            ctx.send(Direction::CounterClockwise, w.finish());
+        }
+        Ok(())
+    }
+    fn on_message(&mut self, _d: Direction, _m: &BitString, ctx: &mut Context) -> ProcessResult {
+        self.returned += 1;
+        if self.returned == 2 * self.k {
+            ctx.decide(true);
+        }
+        Ok(())
+    }
+}
+
+struct Forwarder;
+
+impl Process for Forwarder {
+    fn on_message(&mut self, d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+        ctx.send(d, m.clone());
+        Ok(())
+    }
+}
+
+impl Protocol for TokenStorm {
+    fn name(&self) -> &'static str {
+        "token-storm"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Bidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(StormLeader { k: self.k, returned: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(Forwarder)
+    }
+}
+
+/// Unidirectional burst relay: followers inject one extra padding message
+/// per long token (payload-dependent), building uneven backlogs so the
+/// LongestQueue policy faces genuine ties and boundary queues spill.
+struct BurstRelay {
+    burst: usize,
+}
+
+struct BurstLeader {
+    burst: usize,
+    originals: usize,
+}
+
+impl Process for BurstLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        for _ in 0..self.burst {
+            ctx.send(Direction::Clockwise, BitString::parse("1101").expect("literal"));
+        }
+        Ok(())
+    }
+    fn on_message(&mut self, _d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+        if m.count_ones() > 2 {
+            self.originals += 1;
+            if self.originals == self.burst {
+                ctx.decide(true);
+            }
+        }
+        Ok(())
+    }
+}
+
+struct BurstFollower {
+    emitted: bool,
+}
+
+impl Process for BurstFollower {
+    fn on_message(&mut self, d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+        ctx.send(d, m.clone());
+        if !self.emitted && m.count_ones() > 2 {
+            ctx.send(d, BitString::parse("1").expect("literal"));
+            self.emitted = true;
+        }
+        Ok(())
+    }
+}
+
+impl Protocol for BurstRelay {
+    fn name(&self) -> &'static str {
+        "burst-relay"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstLeader { burst: self.burst, originals: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstFollower { emitted: false })
+    }
+}
+
+/// Bidirectional echo mesh parameterized for the proptests: tokens travel
+/// clockwise; every `reply_mod`-th position (by input letter parity and
+/// position-independent state) injects a 1-bit echo travelling counter-
+/// clockwise, which crosses shard boundaries *against* the token flow —
+/// including the wrap-around link. Deterministic in its inputs.
+struct EchoMesh {
+    tokens: usize,
+    reply_mod: usize,
+}
+
+struct EchoLeader {
+    tokens: usize,
+    returned: usize,
+}
+
+impl Process for EchoLeader {
+    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+        for i in 0..self.tokens {
+            let mut w = BitWriter::new();
+            w.write_bits(i as u64 + 1, 5);
+            ctx.send(Direction::Clockwise, w.finish());
+        }
+        Ok(())
+    }
+    fn on_message(&mut self, d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+        // Echoes (1 bit) are absorbed; tokens (5 bits) count home.
+        if d == Direction::Clockwise && m.len() == 5 {
+            self.returned += 1;
+            if self.returned == self.tokens {
+                ctx.decide(true);
+            }
+        }
+        Ok(())
+    }
+}
+
+struct EchoFollower {
+    reply_mod: usize,
+    seen: usize,
+}
+
+impl Process for EchoFollower {
+    fn on_message(&mut self, d: Direction, m: &BitString, ctx: &mut Context) -> ProcessResult {
+        ctx.send(d, m.clone());
+        if d == Direction::Clockwise && m.len() == 5 {
+            self.seen += 1;
+            if self.seen % self.reply_mod == 0 {
+                ctx.send(Direction::CounterClockwise, BitString::parse("1").expect("literal"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Protocol for EchoMesh {
+    fn name(&self) -> &'static str {
+        "echo-mesh"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Bidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(EchoLeader { tokens: self.tokens, returned: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(EchoFollower { reply_mod: self.reply_mod, seen: 0 })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed matrix: every policy × every shard count × awkward ring sizes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_matches_serial_across_the_matrix() {
+    for scheduler in schedulers() {
+        for &shards in &SHARD_COUNTS {
+            // n = 2 puts the wrap-around link between two one-process
+            // arcs; n = 3 < 8 exercises the shard-count clamp; n = 17
+            // gives ragged arc lengths for 3 and 8 shards.
+            for n in [2usize, 3, 8, 17] {
+                assert_sharded_matches_serial(
+                    &scheduler,
+                    n,
+                    shards,
+                    &TokenStorm { k: 3 },
+                    None,
+                    false,
+                );
+                assert_sharded_matches_serial(
+                    &scheduler,
+                    n,
+                    shards,
+                    &BurstRelay { burst: 3 },
+                    None,
+                    false,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_process_ring_is_clamped_to_serial_semantics() {
+    // n = 1: every shard count clamps to one shard... which the engine
+    // runs serially. The point is the builder accepts it and the result
+    // is still the oracle's.
+    for &shards in &SHARD_COUNTS {
+        assert_sharded_matches_serial(
+            &Scheduler::Fifo,
+            1,
+            shards,
+            &BurstRelay { burst: 2 },
+            None,
+            false,
+        );
+    }
+}
+
+#[test]
+fn known_ring_size_mode_reaches_sharded_processes() {
+    struct KnownN;
+    impl Protocol for KnownN {
+        fn name(&self) -> &'static str {
+            "known-n"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Unidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            struct L;
+            impl Process for L {
+                fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                    let n = ctx.known_ring_size().expect("known-n mode") as u64;
+                    let mut w = BitWriter::new();
+                    w.write_bits(n, 8);
+                    ctx.send(Direction::Clockwise, w.finish());
+                    Ok(())
+                }
+                fn on_message(
+                    &mut self,
+                    _d: Direction,
+                    _m: &BitString,
+                    ctx: &mut Context,
+                ) -> ProcessResult {
+                    ctx.decide(true);
+                    Ok(())
+                }
+            }
+            Box::new(L)
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            struct F;
+            impl Process for F {
+                fn on_message(
+                    &mut self,
+                    d: Direction,
+                    m: &BitString,
+                    ctx: &mut Context,
+                ) -> ProcessResult {
+                    // Followers must see the same n the leader saw.
+                    if ctx.known_ring_size().is_none() {
+                        return Err(ProcessError::InvalidState("n not propagated".into()));
+                    }
+                    ctx.send(d, m.clone());
+                    Ok(())
+                }
+            }
+            Box::new(F)
+        }
+    }
+    for &shards in &SHARD_COUNTS {
+        assert_sharded_matches_serial(&Scheduler::Fifo, 9, shards, &KnownN, None, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: the sharded engine must fail exactly like the oracle.
+// ---------------------------------------------------------------------------
+
+/// Leader sends nothing: both engines must stall at 0 deliveries.
+struct Silent;
+impl Protocol for Silent {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        struct L;
+        impl Process for L {
+            fn on_message(
+                &mut self,
+                _d: Direction,
+                _m: &BitString,
+                _c: &mut Context,
+            ) -> ProcessResult {
+                Ok(())
+            }
+        }
+        Box::new(L)
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(Forwarder)
+    }
+}
+
+/// Followers swallow the token midway: stall with deliveries > 0.
+struct SwallowAt {
+    position: usize,
+}
+impl Protocol for SwallowAt {
+    fn name(&self) -> &'static str {
+        "swallow-at"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstLeader { burst: 1, originals: 0 })
+    }
+    fn follower(&self, input: Symbol) -> Box<dyn Process> {
+        struct F {
+            swallow: bool,
+        }
+        impl Process for F {
+            fn on_message(
+                &mut self,
+                d: Direction,
+                m: &BitString,
+                ctx: &mut Context,
+            ) -> ProcessResult {
+                if !self.swallow {
+                    ctx.send(d, m.clone());
+                }
+                Ok(())
+            }
+        }
+        // The word is "0101…": symbol 1 marks odd positions, so the
+        // first odd follower at/after `position` drops the token.
+        let _ = self.position;
+        Box::new(F { swallow: input == Symbol(1) })
+    }
+}
+
+/// Never-terminating ping-pong: exercises EventLimitExceeded.
+struct Livelock;
+impl Protocol for Livelock {
+    fn name(&self) -> &'static str {
+        "livelock"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Bidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        struct L;
+        impl Process for L {
+            fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
+                ctx.send(Direction::Clockwise, BitString::parse("1").expect("literal"));
+                Ok(())
+            }
+            fn on_message(
+                &mut self,
+                d: Direction,
+                m: &BitString,
+                ctx: &mut Context,
+            ) -> ProcessResult {
+                ctx.send(d, m.clone());
+                Ok(())
+            }
+        }
+        Box::new(L)
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(Forwarder)
+    }
+}
+
+/// A follower decides on token receipt: FollowerDecided at position 1.
+struct Rogue;
+impl Protocol for Rogue {
+    fn name(&self) -> &'static str {
+        "rogue"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstLeader { burst: 1, originals: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        struct F;
+        impl Process for F {
+            fn on_message(
+                &mut self,
+                _d: Direction,
+                _m: &BitString,
+                ctx: &mut Context,
+            ) -> ProcessResult {
+                ctx.decide(false);
+                Ok(())
+            }
+        }
+        Box::new(F)
+    }
+}
+
+/// Followers reply against a unidirectional topology: IllegalSend at the
+/// first delivery — on whichever shard owns position 1.
+struct WrongWay;
+impl Protocol for WrongWay {
+    fn name(&self) -> &'static str {
+        "wrong-way"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstLeader { burst: 1, originals: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        struct F;
+        impl Process for F {
+            fn on_message(
+                &mut self,
+                _d: Direction,
+                m: &BitString,
+                ctx: &mut Context,
+            ) -> ProcessResult {
+                ctx.send(Direction::CounterClockwise, m.clone());
+                Ok(())
+            }
+        }
+        Box::new(F)
+    }
+}
+
+/// Followers error on receipt: SimError::Process at position 1 with the
+/// exact ProcessError payload.
+struct Faulty;
+impl Protocol for Faulty {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstLeader { burst: 1, originals: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        struct F;
+        impl Process for F {
+            fn on_message(
+                &mut self,
+                _d: Direction,
+                _m: &BitString,
+                _c: &mut Context,
+            ) -> ProcessResult {
+                Err(ProcessError::InvalidState("deliberate fault".into()))
+            }
+        }
+        Box::new(F)
+    }
+}
+
+#[test]
+fn error_paths_match_the_oracle() {
+    for scheduler in schedulers() {
+        for &shards in &SHARD_COUNTS {
+            let n = 10;
+            assert_sharded_matches_serial(&scheduler, n, shards, &Silent, None, false);
+            assert_sharded_matches_serial(
+                &scheduler,
+                n,
+                shards,
+                &SwallowAt { position: 1 },
+                None,
+                false,
+            );
+            assert_sharded_matches_serial(&scheduler, n, shards, &Livelock, Some(64), false);
+            assert_sharded_matches_serial(&scheduler, n, shards, &Rogue, None, false);
+            assert_sharded_matches_serial(&scheduler, n, shards, &WrongWay, None, false);
+            assert_sharded_matches_serial(&scheduler, n, shards, &Faulty, None, false);
+        }
+    }
+}
+
+#[test]
+fn error_positions_are_exact_across_boundaries() {
+    // A follower erroring at a shard boundary must be reported with its
+    // global position, not its arc-local one: n = 8 with 3 shards puts
+    // position 2 at the start of the middle arc.
+    struct FaultAtThree;
+    impl Protocol for FaultAtThree {
+        fn name(&self) -> &'static str {
+            "fault-at-three"
+        }
+        fn topology(&self) -> Topology {
+            Topology::Unidirectional
+        }
+        fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+            Box::new(BurstLeader { burst: 1, originals: 0 })
+        }
+        fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+            struct F {
+                hops: usize,
+            }
+            impl Process for F {
+                fn on_message(
+                    &mut self,
+                    d: Direction,
+                    m: &BitString,
+                    ctx: &mut Context,
+                ) -> ProcessResult {
+                    self.hops += 1;
+                    // Payload length encodes hop count: the 4-bit token
+                    // grows one bit per hop, so the follower at global
+                    // position 2 sees a 5-bit message.
+                    if m.len() == 5 {
+                        return Err(ProcessError::InvalidState("boundary fault".into()));
+                    }
+                    let mut grown = m.clone();
+                    grown.push(true);
+                    ctx.send(d, grown);
+                    Ok(())
+                }
+            }
+            Box::new(F { hops: 0 })
+        }
+    }
+    for &shards in &SHARD_COUNTS {
+        let mut runner = RingRunner::new();
+        runner.shards(shards);
+        let err = runner.run(&FaultAtThree, &word(8)).expect_err("protocol faults");
+        assert_eq!(
+            err,
+            SimError::Process {
+                position: 2,
+                source: ProcessError::InvalidState("boundary fault".into())
+            },
+            "shards={shards}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweep: protocol shape × ring size × policy × shard count.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn randomized_protocols_match_serial(
+        n in 1usize..28,
+        tokens in 1usize..4,
+        reply_mod in 1usize..4,
+        scheduler_pick in 0usize..4,
+        shard_pick in 0usize..4,
+    ) {
+        let scheduler = &schedulers()[scheduler_pick];
+        let shards = SHARD_COUNTS[shard_pick];
+        assert_sharded_matches_serial(
+            scheduler,
+            n,
+            shards,
+            &EchoMesh { tokens, reply_mod },
+            None,
+            false,
+        );
+    }
+
+    #[test]
+    fn randomized_storms_match_serial(
+        n in 2usize..24,
+        k in 1usize..5,
+        scheduler_pick in 0usize..4,
+        shard_pick in 0usize..4,
+    ) {
+        let scheduler = &schedulers()[scheduler_pick];
+        let shards = SHARD_COUNTS[shard_pick];
+        assert_sharded_matches_serial(scheduler, n, shards, &TokenStorm { k }, None, false);
+    }
+}

@@ -3,7 +3,7 @@
 //! Implements the subset used by the workspace: [`channel::unbounded`]
 //! MPMC channels with cloneable senders/receivers, `send` / `try_recv` /
 //! `recv` / `recv_timeout`, disconnection detection, and a [`select!`]
-//! macro supporting two or three blocking `recv(r) -> v` arms (deadline
+//! macro supporting two or more blocking `recv(r) -> v` arms (deadline
 //! waits go through `recv_timeout`).
 //!
 //! The implementation is a `Mutex<VecDeque>` + `Condvar` queue — not
@@ -439,7 +439,7 @@ pub mod channel {
 
 /// Waits on several channel operations at once.
 ///
-/// Supports the shapes used in this workspace: two or three
+/// Supports the shapes used in this workspace: **two or more**
 /// `recv(receiver) -> pattern => handler` arms — a real blocking select
 /// that parks until one channel has a message or disconnects (no
 /// polling). Callers that need a deadline instead wait on
@@ -457,112 +457,104 @@ pub mod channel {
 /// Handlers are expanded *outside* the macro's internal readiness loop,
 /// so `continue` / `break` / `return` inside an arm bind to the caller's
 /// enclosing scope exactly as with upstream crossbeam.
+///
+/// Internally the selection is a right-nested either built from
+/// `Result`: arm *i* of *N* is `Err^i(Ok(res))` (the last arm drops the
+/// final `Ok`), so arms may carry different message types. The `@bind` /
+/// `@poll` / `@arms` rules are implementation details — macro hygiene
+/// gives each recursion step a fresh receiver binding, and the handler
+/// match is emitted outside the readiness loop as documented above.
 #[macro_export]
 macro_rules! select {
-    // Two blocking arms.
+    // Entry: two or more blocking arms.
     (
-        recv($r1:expr) -> $v1:pat => $h1:expr,
-        recv($r2:expr) -> $v2:pat => $h2:expr $(,)?
-    ) => {{
-        let __r1 = &($r1);
-        let __r2 = &($r2);
-        // `Result` doubles as a two-way either: Ok = first arm, Err = second.
+        recv($r1:expr) -> $v1:pat => $h1:expr
+        $(, recv($r:expr) -> $v:pat => $h:expr )+
+        $(,)?
+    ) => {
+        $crate::select!(@bind [] recv($r1) -> $v1 => $h1, $(recv($r) -> $v => $h,)+)
+    };
+    // @bind: evaluate each receiver expression once, in its own nested
+    // block so hygiene mints a fresh `__r` per arm, and accumulate
+    // `[receiver, pattern, handler]` triples for the later phases.
+    (@bind [$($acc:tt)*] recv($r:expr) -> $v:pat => $h:expr, $($rest:tt)*) => {{
+        let __r = &($r);
+        $crate::select!(@bind [$($acc)* [__r, $v, $h]] $($rest)*)
+    }};
+    (@bind [$($acc:tt)*]) => {
+        $crate::select!(@run $($acc)*)
+    };
+    // @run: park until some arm is ready, poll the winner, and dispatch
+    // the selection to the handlers outside the loop.
+    (@run $([$r:ident, $v:pat, $h:expr])+) => {{
         let __sel = loop {
             let __idx = $crate::channel::wait_any(&[
-                __r1 as &dyn $crate::channel::Selectable,
-                __r2 as &dyn $crate::channel::Selectable,
+                $($r as &dyn $crate::channel::Selectable),+
             ]);
-            match __idx {
-                0 => match $crate::channel::Receiver::try_recv(__r1) {
-                    ::std::result::Result::Ok(__m) => {
-                        break ::std::result::Result::Ok(::std::result::Result::Ok(__m));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                        break ::std::result::Result::Ok(::std::result::Result::Err(
-                            $crate::channel::RecvError,
-                        ));
-                    }
-                    // Another receiver clone raced us to the message.
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
-                },
-                _ => match $crate::channel::Receiver::try_recv(__r2) {
-                    ::std::result::Result::Ok(__m) => {
-                        break ::std::result::Result::Err(::std::result::Result::Ok(__m));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                        break ::std::result::Result::Err(::std::result::Result::Err(
-                            $crate::channel::RecvError,
-                        ));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
-                },
+            let mut __k = __idx;
+            // None = the winner raced another receiver clone and came up
+            // Empty: park again.
+            if let ::std::option::Option::Some(__s) =
+                $crate::select!(@poll __k $([$r, $v, $h])+)
+            {
+                break __s;
             }
         };
-        match __sel {
-            ::std::result::Result::Ok($v1) => $h1,
-            ::std::result::Result::Err($v2) => $h2,
-        }
+        $crate::select!(@arms __sel $([$r, $v, $h])+)
     }};
-    // Three blocking arms.
-    (
-        recv($r1:expr) -> $v1:pat => $h1:expr,
-        recv($r2:expr) -> $v2:pat => $h2:expr,
-        recv($r3:expr) -> $v3:pat => $h3:expr $(,)?
-    ) => {{
-        let __r1 = &($r1);
-        let __r2 = &($r2);
-        let __r3 = &($r3);
-        // Nested eithers: Ok = arm 1, Err(Ok) = arm 2, Err(Err) = arm 3.
-        let __sel = loop {
-            let __idx = $crate::channel::wait_any(&[
-                __r1 as &dyn $crate::channel::Selectable,
-                __r2 as &dyn $crate::channel::Selectable,
-                __r3 as &dyn $crate::channel::Selectable,
-            ]);
-            match __idx {
-                0 => match $crate::channel::Receiver::try_recv(__r1) {
-                    ::std::result::Result::Ok(__m) => {
-                        break ::std::result::Result::Ok(::std::result::Result::Ok(__m));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                        break ::std::result::Result::Ok(::std::result::Result::Err(
-                            $crate::channel::RecvError,
-                        ));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
-                },
-                1 => match $crate::channel::Receiver::try_recv(__r2) {
-                    ::std::result::Result::Ok(__m) => {
-                        break ::std::result::Result::Err(::std::result::Result::Ok(
-                            ::std::result::Result::Ok(__m),
-                        ));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                        break ::std::result::Result::Err(::std::result::Result::Ok(
-                            ::std::result::Result::Err($crate::channel::RecvError),
-                        ));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
-                },
-                _ => match $crate::channel::Receiver::try_recv(__r3) {
-                    ::std::result::Result::Ok(__m) => {
-                        break ::std::result::Result::Err(::std::result::Result::Err(
-                            ::std::result::Result::Ok(__m),
-                        ));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
-                        break ::std::result::Result::Err(::std::result::Result::Err(
-                            ::std::result::Result::Err($crate::channel::RecvError),
-                        ));
-                    }
-                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => continue,
-                },
+    // @poll, last arm: the selection is the bare `Result<T, RecvError>`.
+    (@poll $k:ident [$r:ident, $v:pat, $h:expr]) => {{
+        let _ = $k;
+        match $crate::channel::Receiver::try_recv($r) {
+            ::std::result::Result::Ok(__m) => {
+                ::std::option::Option::Some(::std::result::Result::Ok(__m))
             }
-        };
-        match __sel {
-            ::std::result::Result::Ok($v1) => $h1,
-            ::std::result::Result::Err(::std::result::Result::Ok($v2)) => $h2,
-            ::std::result::Result::Err(::std::result::Result::Err($v3)) => $h3,
+            ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                ::std::option::Option::Some(::std::result::Result::Err(
+                    $crate::channel::RecvError,
+                ))
+            }
+            ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {
+                ::std::option::Option::None
+            }
         }
     }};
+    // @poll, non-last arm: this level contributes `Ok(res)` when it is
+    // the winner, otherwise wraps the deeper levels' selection in `Err`.
+    (@poll $k:ident [$r:ident, $v:pat, $h:expr] $($rest:tt)+) => {
+        if $k == 0 {
+            match $crate::channel::Receiver::try_recv($r) {
+                ::std::result::Result::Ok(__m) => ::std::option::Option::Some(
+                    ::std::result::Result::Ok(::std::result::Result::Ok(__m)),
+                ),
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    ::std::option::Option::Some(::std::result::Result::Ok(
+                        ::std::result::Result::Err($crate::channel::RecvError),
+                    ))
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {
+                    ::std::option::Option::None
+                }
+            }
+        } else {
+            $k -= 1;
+            ::std::option::Option::map(
+                $crate::select!(@poll $k $($rest)+),
+                ::std::result::Result::Err,
+            )
+        }
+    };
+    // @arms: unpack the nested either, one `match` per level, so each
+    // handler expands in the caller's control-flow scope.
+    (@arms $sel:ident [$r:ident, $v:pat, $h:expr]) => {
+        match $sel {
+            $v => $h,
+        }
+    };
+    (@arms $sel:ident [$r:ident, $v:pat, $h:expr] $($rest:tt)+) => {
+        match $sel {
+            ::std::result::Result::Ok($v) => $h,
+            ::std::result::Result::Err(__rest) => $crate::select!(@arms __rest $($rest)+),
+        }
+    };
 }

@@ -185,6 +185,109 @@ fn completed_wait_deregisters_watchers() {
     assert!(rx.ready());
 }
 
+/// Four-arm blocking select (the first N > 3 shape): each message routes
+/// to the right arm, with heterogeneous payload types across arms.
+#[test]
+fn four_arm_select_routes_correctly() {
+    let (tx1, rx1) = unbounded::<u8>();
+    let (tx2, rx2) = unbounded::<u16>();
+    let (tx3, rx3) = unbounded::<u32>();
+    let (tx4, rx4) = unbounded::<u64>();
+    let (k1, k2, k3, k4) = (tx1.clone(), tx2.clone(), tx3.clone(), tx4.clone());
+    let h = thread::spawn(move || {
+        tx4.send(40).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        tx3.send(30).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        tx2.send(20).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        tx1.send(10).unwrap();
+    });
+    let mut got = Vec::new();
+    for _ in 0..4 {
+        crossbeam::channel::select! {
+            recv(rx1) -> m => got.push(("a", u64::from(m.unwrap()))),
+            recv(rx2) -> m => got.push(("b", u64::from(m.unwrap()))),
+            recv(rx3) -> m => got.push(("c", u64::from(m.unwrap()))),
+            recv(rx4) -> m => got.push(("d", m.unwrap())),
+        }
+    }
+    h.join().unwrap();
+    drop((k1, k2, k3, k4));
+    got.sort_unstable();
+    assert_eq!(got, vec![("a", 10), ("b", 20), ("c", 30), ("d", 40)]);
+}
+
+/// A parked four-arm select is woken by a send on any arm — including the
+/// last (deepest-nested) one — not just the first few.
+#[test]
+fn four_arm_select_wakes_on_last_arm() {
+    let (_k1, rx1) = unbounded::<u8>();
+    let (_k2, rx2) = unbounded::<u8>();
+    let (_k3, rx3) = unbounded::<u8>();
+    let (tx4, rx4) = unbounded::<u8>();
+    let h = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(10));
+        tx4.send(99).unwrap();
+        tx4 // hold open until after the select returns
+    });
+    let start = Instant::now();
+    let got = crossbeam::channel::select! {
+        recv(rx1) -> m => ("a", m),
+        recv(rx2) -> m => ("b", m),
+        recv(rx3) -> m => ("c", m),
+        recv(rx4) -> m => ("d", m),
+    };
+    assert_eq!(got, ("d", Ok(99)));
+    assert!(start.elapsed() < Duration::from_secs(5), "select failed to wake on arm 4");
+    drop(h.join().unwrap());
+}
+
+/// Disconnects surface as `Err(RecvError)` on the matching arm at every
+/// nesting depth of the N-arm expansion: drain a five-arm select until
+/// all channels report closed, losing nothing.
+#[test]
+fn five_arm_select_drains_and_observes_disconnects() {
+    let (tx1, rx1) = unbounded::<usize>();
+    let (tx2, rx2) = unbounded::<usize>();
+    let (tx3, rx3) = unbounded::<usize>();
+    let (tx4, rx4) = unbounded::<usize>();
+    let (tx5, rx5) = unbounded::<usize>();
+    let txs = [tx1, tx2, tx3, tx4, tx5];
+    let handles: Vec<_> = txs
+        .into_iter()
+        .enumerate()
+        .map(|(arm, tx)| {
+            thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(arm * 100 + i).unwrap();
+                }
+            })
+        })
+        .collect();
+    let mut got = HashSet::new();
+    let mut open = [true; 5];
+    while open.iter().any(|&o| o) {
+        let (arm, msg) = crossbeam::channel::select! {
+            recv(rx1) -> m => (0, m),
+            recv(rx2) -> m => (1, m),
+            recv(rx3) -> m => (2, m),
+            recv(rx4) -> m => (3, m),
+            recv(rx5) -> m => (4, m),
+        };
+        match msg {
+            Ok(v) => assert!(got.insert(v), "duplicate message {v}"),
+            // A drained, disconnected arm stays ready: setting the flag
+            // is idempotent, so repeats are harmless.
+            Err(RecvError) => open[arm] = false,
+        }
+    }
+    assert_eq!(got.len(), 50, "messages lost across the five arms");
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
 /// Three-arm blocking select routes each message to the right arm.
 #[test]
 fn three_arm_select_routes_correctly() {
