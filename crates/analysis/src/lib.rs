@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod fit;
 pub mod registry;
 mod report;
 mod sweep;
 
+pub use checkpoint::{LedgerEntry, RunLedger, LEDGER_VERSION};
 pub use fit::{fit_series, log_log_slope, FitResult, GrowthModel};
 pub use registry::{
     fit_label, fit_note, run_schedule_matrix, ExperimentHarness, ExperimentSpec, GridProfile,

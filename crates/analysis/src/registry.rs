@@ -220,6 +220,7 @@ pub struct RunCtx<'a> {
     exec: &'a dyn SweepExecutor,
     scale: Scale,
     shards: usize,
+    trace_ring: Option<usize>,
 }
 
 impl RunCtx<'_> {
@@ -239,6 +240,12 @@ impl RunCtx<'_> {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Bounded-trace capacity per run, if requested (`--trace-ring`).
+    #[must_use]
+    pub fn trace_ring(&self) -> Option<usize> {
+        self.trace_ring
     }
 
     /// The spec's grid at the requested scale.
@@ -273,6 +280,7 @@ impl RunCtx<'_> {
             sizes: grid.sizes.clone(),
             samples_per_size: grid.samples_per_size,
             shards: self.shards,
+            trace_ring: self.trace_ring,
             ..SweepConfig::default()
         }
     }
@@ -532,7 +540,21 @@ impl ExperimentSpec {
         scale: Scale,
         shards: usize,
     ) -> ExperimentResult {
-        let ctx = RunCtx { spec: self, exec, scale, shards: shards.max(1) };
+        self.run_configured(exec, scale, shards, None)
+    }
+
+    /// Runs the experiment with the full engine configuration: shard
+    /// count plus an optional bounded-trace capacity forwarded to every
+    /// run. Neither knob changes any measurement.
+    #[must_use]
+    pub fn run_configured(
+        &self,
+        exec: &dyn SweepExecutor,
+        scale: Scale,
+        shards: usize,
+        trace_ring: Option<usize>,
+    ) -> ExperimentResult {
+        let ctx = RunCtx { spec: self, exec, scale, shards: shards.max(1), trace_ring };
         (self.run)(&ctx)
     }
 }
@@ -636,13 +658,14 @@ pub struct ExperimentHarness<'a> {
     exec: &'a dyn SweepExecutor,
     scale: Scale,
     shards: usize,
+    trace_ring: Option<usize>,
 }
 
 impl<'a> ExperimentHarness<'a> {
     /// A harness running on `exec` at `scale` with the serial engine.
     #[must_use]
     pub fn new(exec: &'a dyn SweepExecutor, scale: Scale) -> Self {
-        ExperimentHarness { exec, scale, shards: 1 }
+        ExperimentHarness { exec, scale, shards: 1, trace_ring: None }
     }
 
     /// The harness's scale.
@@ -659,10 +682,19 @@ impl<'a> ExperimentHarness<'a> {
         self
     }
 
+    /// Bounds every run's trace to the last `capacity` events (a
+    /// [`TraceRing`](ringleader_sim::TraceRing)); `0` disables. Purely a
+    /// memory knob — measurements are unchanged.
+    #[must_use]
+    pub fn with_trace_ring(mut self, capacity: usize) -> Self {
+        self.trace_ring = (capacity > 0).then_some(capacity);
+        self
+    }
+
     /// Runs one spec.
     #[must_use]
     pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
-        spec.run_sharded(self.exec, self.scale, self.shards)
+        spec.run_configured(self.exec, self.scale, self.shards, self.trace_ring)
     }
 
     /// Runs every spec of `registry` in presentation order.

@@ -54,6 +54,13 @@ pub struct SweepConfig {
     /// byte-identical to serial execution, so this only changes how the
     /// engine spends cores, never the measurements.
     pub shards: usize,
+    /// Bounded tracing: keep the last `capacity` events of every run in a
+    /// [`TraceRing`](ringleader_sim::TraceRing) instead of no trace at
+    /// all. `None` (the default) traces nothing; sweeps only consume the
+    /// aggregate [`ExecStats`](ringleader_sim::ExecStats) either way, so
+    /// this never changes a measurement — it only bounds the memory a
+    /// post-mortem tail costs on `large`/`massive` runs.
+    pub trace_ring: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -65,6 +72,7 @@ impl Default for SweepConfig {
             known_ring_size: false,
             scheduler: Scheduler::Fifo,
             shards: 1,
+            trace_ring: None,
         }
     }
 }
@@ -329,6 +337,9 @@ pub fn sweep_protocol_with(
         runner.known_ring_size(config.known_ring_size);
         runner.scheduler(config.scheduler.clone());
         runner.shards(config.shards);
+        if let Some(capacity) = config.trace_ring {
+            runner.trace_ring(capacity);
+        }
         let outcome = runner.run(protocol, &word)?;
         assert_eq!(
             outcome.accepted(),

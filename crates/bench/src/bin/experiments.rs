@@ -9,6 +9,11 @@
 //! experiments --workers 8           # parallel sweeps on 8 threads
 //! experiments --workers 0           # one thread per CPU
 //! experiments --shards 8            # split each single run across 8 shards
+//! experiments --trace-ring 4096     # bound every run's trace to 4096 events
+//! experiments --checkpoint-dir ckpt # write a resume ledger after each spec
+//! experiments --checkpoint-every 2  # ...flushing every 2 completed specs
+//! experiments --resume ckpt/ledger-smoke.json   # skip completed specs
+//! experiments --halt-after 3        # stop (exit 2) after 3 fresh specs
 //! experiments --list                # list experiment ids and titles
 //! ```
 //!
@@ -29,13 +34,29 @@
 //! the `result` records are byte-identical to the historical
 //! (pre-registry) output.
 //!
-//! Exit code 0 iff every executed experiment's verdict is REPRODUCED.
+//! # Crash safety
+//!
+//! `--checkpoint-dir D` appends every completed spec's full result to a
+//! [`RunLedger`] at `D/ledger-<scale>.json` (atomic temp-file + rename
+//! writes, flushed every `--checkpoint-every` completed specs). If the
+//! invocation dies — OOM kill, pre-emption, ctrl-C — rerunning with
+//! `--resume <ledger>` skips every completed spec and splices its stored
+//! result into the output *in spec order*: the resumed run's tables and
+//! JSON envelope are byte-identical to the uninterrupted run's.
+//! `--halt-after N` stops deterministically (exit code 2) after `N`
+//! freshly-computed specs — the hook CI uses to rehearse the kill-resume
+//! cycle without actual signal delivery. `--trace-ring N` bounds every
+//! run's trace to its last `N` events (O(N) memory at any scale).
+//!
+//! Exit code 0 iff every executed experiment's verdict is REPRODUCED;
+//! exit code 2 on a `--halt-after` stop.
 
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ringleader_analysis::{
-    executor_for, ExperimentHarness, ExperimentResult, Scale, ScaleGrid, Verdict,
+    executor_for, ExperimentHarness, ExperimentResult, RunLedger, Scale, ScaleGrid, Verdict,
 };
 use ringleader_bench::registry;
 use serde::Serialize;
@@ -45,7 +66,8 @@ use serde::Serialize;
 const SCHEMA_VERSION: u32 = 1;
 
 const KNOWN_FLAGS: &str = "--list, --scale <smoke|paper|large|massive>, --filter <substring>, \
-     --workers <n>, --shards <n>, --json <path>";
+     --workers <n>, --shards <n>, --trace-ring <n>, --json <path>, --checkpoint-dir <dir>, \
+     --checkpoint-every <n>, --resume <ledger>, --halt-after <n>";
 
 #[derive(Serialize)]
 struct EnvelopeEntry {
@@ -68,6 +90,11 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut workers = 1usize;
     let mut shards = 1usize;
+    let mut trace_ring: Option<usize> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut checkpoint_every = 1usize;
+    let mut resume_path: Option<String> = None;
+    let mut halt_after: Option<usize> = None;
     let mut scale = Scale::Paper;
     let mut filter: Option<String> = None;
     let mut list = false;
@@ -94,6 +121,41 @@ fn main() -> ExitCode {
                 Some(Ok(n)) if n >= 1 => shards = n,
                 _ => {
                     eprintln!("--shards requires a shard count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-ring" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => trace_ring = Some(n),
+                _ => {
+                    eprintln!("--trace-ring requires an event capacity of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-dir" => match iter.next() {
+                Some(dir) => checkpoint_dir = Some(dir),
+                None => {
+                    eprintln!("--checkpoint-dir requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => checkpoint_every = n,
+                _ => {
+                    eprintln!("--checkpoint-every requires a spec count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match iter.next() {
+                Some(path) => resume_path = Some(path),
+                None => {
+                    eprintln!("--resume requires a ledger path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--halt-after" => match iter.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => halt_after = Some(n),
+                _ => {
+                    eprintln!("--halt-after requires a spec count of at least 1");
                     return ExitCode::FAILURE;
                 }
             },
@@ -159,10 +221,98 @@ fn main() -> ExitCode {
         selected = registry.specs().iter().collect();
     }
 
+    // Crash safety: load any prior ledger, decide where checkpoints go.
+    // With --checkpoint-dir the ledger lives at <dir>/ledger-<scale>.json;
+    // a bare --resume keeps checkpointing to the resumed file itself.
+    let mut ledger = match &resume_path {
+        Some(path) => match RunLedger::load(Path::new(path)) {
+            Ok(l) if l.matches_scale(scale) => {
+                println!("resuming from {path}: {} experiment(s) already complete", l.len());
+                l
+            }
+            Ok(l) => {
+                eprintln!(
+                    "{path} is a {} ledger; this invocation runs at {} (pass --scale {})",
+                    l.scale,
+                    scale.label(),
+                    l.scale
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("failed loading ledger {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => RunLedger::new(scale),
+    };
+    let ledger_path: Option<PathBuf> = checkpoint_dir
+        .as_ref()
+        .map(|dir| Path::new(dir).join(format!("ledger-{}.json", scale.label())))
+        .or_else(|| resume_path.as_ref().map(PathBuf::from));
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed creating checkpoint dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let flush = |ledger: &RunLedger| -> Result<(), ExitCode> {
+        if let Some(path) = &ledger_path {
+            if let Err(e) = ledger.save(path) {
+                eprintln!("failed writing ledger {}: {e}", path.display());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+        Ok(())
+    };
+
     // 0 means "one worker per CPU" — executor_for shares the convention.
     let exec = executor_for(workers);
-    let harness = ExperimentHarness::new(exec.as_ref(), scale).with_shards(shards);
-    let results: Vec<ExperimentResult> = selected.iter().map(|spec| harness.run(spec)).collect();
+    let mut harness = ExperimentHarness::new(exec.as_ref(), scale).with_shards(shards);
+    if let Some(capacity) = trace_ring {
+        harness = harness.with_trace_ring(capacity);
+    }
+
+    // Run in spec order, skipping anything the ledger already holds; the
+    // splice keeps tables and envelope byte-identical to an
+    // uninterrupted run.
+    let mut results: Vec<ExperimentResult> = Vec::with_capacity(selected.len());
+    let mut fresh = 0usize;
+    for spec in &selected {
+        if let Some(stored) = ledger.get(spec.id()) {
+            results.push(stored.clone());
+            continue;
+        }
+        let result = harness.run(spec);
+        ledger.record(result.clone());
+        results.push(result);
+        fresh += 1;
+        if fresh % checkpoint_every == 0 {
+            if let Err(code) = flush(&ledger) {
+                return code;
+            }
+        }
+        if halt_after == Some(fresh) {
+            // Always flush at the halt point, whatever the cadence: the
+            // whole point is that this exact state is resumable.
+            if let Err(code) = flush(&ledger) {
+                return code;
+            }
+            match &ledger_path {
+                Some(path) => eprintln!(
+                    "halted after {fresh} fresh experiment(s); resume with --resume {}",
+                    path.display()
+                ),
+                None => eprintln!("halted after {fresh} fresh experiment(s); no ledger was kept"),
+            }
+            return ExitCode::from(2);
+        }
+    }
+    if fresh % checkpoint_every != 0 {
+        if let Err(code) = flush(&ledger) {
+            return code;
+        }
+    }
 
     let mut all_reproduced = true;
     for r in &results {

@@ -5,13 +5,15 @@ use std::collections::VecDeque;
 use ringleader_automata::Word;
 use ringleader_bitio::BitString;
 
+use crate::checkpoint::{EngineSnapshot, RunPhase, SNAPSHOT_VERSION};
 use crate::context::{Context, Process, Protocol};
+use crate::faults::FaultPlan;
 use crate::sched::LinkIndex;
-use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::trace::{EventKind, Trace, TraceEvent, TraceRing, TraceSink};
 use crate::{Direction, ExecStats, Scheduler, SimError, Topology};
 
 /// Result of a completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     /// The leader's decision (`Some(true)` = accept). Always `Some` for a
     /// successful run.
@@ -20,6 +22,8 @@ pub struct Outcome {
     pub stats: ExecStats,
     /// Full event trace, when [`RingRunner::record_trace`] was enabled.
     pub trace: Option<Trace>,
+    /// Bounded trace, when [`RingRunner::trace_ring`] was enabled.
+    pub trace_ring: Option<TraceRing>,
 }
 
 impl Outcome {
@@ -44,9 +48,11 @@ impl Outcome {
 pub struct RingRunner {
     pub(crate) scheduler: Scheduler,
     pub(crate) record_trace: bool,
+    pub(crate) trace_ring: Option<usize>,
     pub(crate) known_ring_size: bool,
     pub(crate) max_events: usize,
     pub(crate) shards: usize,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RingRunner {
@@ -63,9 +69,11 @@ impl RingRunner {
         Self {
             scheduler: Scheduler::Fifo,
             record_trace: false,
+            trace_ring: None,
             known_ring_size: false,
             max_events: 50_000_000,
             shards: 1,
+            fault_plan: None,
         }
     }
 
@@ -90,6 +98,27 @@ impl RingRunner {
     /// extraction and token-discipline validation).
     pub fn record_trace(&mut self, on: bool) -> &mut Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Enables bounded tracing: keep only the last `capacity` events in a
+    /// [`TraceRing`] (plus streamed per-interval stats), the O(capacity)
+    /// alternative to [`record_trace`](RingRunner::record_trace) for
+    /// `large`/`massive` runs. `0` disables the ring.
+    ///
+    /// Like full tracing, ring tracing makes deliveries consume sequence
+    /// numbers, so a ring-traced run is event-for-event comparable to a
+    /// fully-traced one (and differs in seq numbering from an untraced
+    /// one, exactly as full tracing always has).
+    pub fn trace_ring(&mut self, capacity: usize) -> &mut Self {
+        self.trace_ring = (capacity > 0).then_some(capacity);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] applied on every delivery.
+    /// An empty plan (the default) costs nothing.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
         self
     }
 
@@ -120,50 +149,204 @@ impl RingRunner {
     /// * [`SimError::Stalled`] if traffic dries up without a decision.
     /// * [`SimError::EventLimitExceeded`] if the budget is exhausted.
     pub fn run(&self, protocol: &dyn Protocol, word: &Word) -> Result<Outcome, SimError> {
+        finished(self.dispatch(protocol, word, None, None)?)
+    }
+
+    /// Runs until `events` deliveries have occurred, then pauses and
+    /// captures an [`EngineSnapshot`] — or completes first.
+    ///
+    /// The pause point is a delivery boundary: the snapshot is taken
+    /// before the `events + 1`-th delivery. The sharded engine pauses at
+    /// the first coordinator round boundary at or after `events` (see the
+    /// crate docs on the quiesce protocol); the resumed run's observables
+    /// are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](RingRunner::run) returns, plus
+    /// [`SimError::Snapshot`] if the protocol does not implement
+    /// [`Process::save_state`] or the engine cannot capture (the threaded
+    /// runner never can).
+    pub fn run_until(
+        &self,
+        protocol: &dyn Protocol,
+        word: &Word,
+        events: usize,
+    ) -> Result<RunPhase, SimError> {
+        self.dispatch(protocol, word, None, Some(events))
+    }
+
+    /// Resumes a paused run from `snapshot` and drives it to completion.
+    ///
+    /// `protocol` and `word` must be the ones the snapshot was captured
+    /// from (process state is rebuilt by constructing fresh processes and
+    /// feeding them [`Process::load_state`]). The snapshot carries the
+    /// run's configuration; of this runner's settings only the shard
+    /// count and fault plan apply.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](RingRunner::run) returns, plus
+    /// [`SimError::Snapshot`] on a version or ring-size mismatch.
+    pub fn resume(
+        &self,
+        protocol: &dyn Protocol,
+        word: &Word,
+        snapshot: &EngineSnapshot,
+    ) -> Result<Outcome, SimError> {
+        finished(self.dispatch(protocol, word, Some(snapshot), None)?)
+    }
+
+    /// Resumes from `snapshot` and pauses again after a total of `events`
+    /// deliveries (counted from the run's start, not from the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](RingRunner::resume) and
+    /// [`run_until`](RingRunner::run_until).
+    pub fn resume_until(
+        &self,
+        protocol: &dyn Protocol,
+        word: &Word,
+        snapshot: &EngineSnapshot,
+        events: usize,
+    ) -> Result<RunPhase, SimError> {
+        self.dispatch(protocol, word, Some(snapshot), Some(events))
+    }
+
+    /// Shared entry point: route to the sharded or serial engine, with an
+    /// optional snapshot to resume from and an optional pause point.
+    fn dispatch(
+        &self,
+        protocol: &dyn Protocol,
+        word: &Word,
+        resume: Option<&EngineSnapshot>,
+        pause_at: Option<usize>,
+    ) -> Result<RunPhase, SimError> {
         let n = word.len();
         if n == 0 {
             return Err(SimError::EmptyRing);
         }
+        if let Some(snap) = resume {
+            snap.validate(n)?;
+        }
         let shard_count = self.shards.min(n);
         if shard_count > 1 {
-            return crate::shard::run_sharded(self, protocol, word, shard_count);
+            return crate::shard::run_sharded(self, protocol, word, shard_count, resume, pause_at);
         }
+        self.run_serial(protocol, word, resume, pause_at)
+    }
+
+    fn run_serial(
+        &self,
+        protocol: &dyn Protocol,
+        word: &Word,
+        resume: Option<&EngineSnapshot>,
+        pause_at: Option<usize>,
+    ) -> Result<RunPhase, SimError> {
+        let n = word.len();
         let topology = protocol.topology();
         let mut processes: Vec<Box<dyn Process>> = Vec::with_capacity(n);
         for (i, &sym) in word.symbols().iter().enumerate() {
             processes.push(if i == 0 { protocol.leader(sym) } else { protocol.follower(sym) });
         }
 
-        let mut links = Links::new(n, self.scheduler.build_index(2 * n));
-        let mut stats = ExecStats::new(n);
-        let mut trace = if self.record_trace { Some(Trace::default()) } else { None };
-        let mut seq: u64 = 0;
-        let mut deliveries: usize = 0;
-        let known = self.known_ring_size.then_some(n);
+        // A resumed run takes its configuration from the snapshot so it
+        // reproduces the interrupted run regardless of this runner's own
+        // settings; only the fault plan is re-supplied by the caller.
+        let (scheduler, known_ring_size, max_events) = match resume {
+            Some(snap) => (snap.scheduler.clone(), snap.known_ring_size, snap.max_events),
+            None => (self.scheduler.clone(), self.known_ring_size, self.max_events),
+        };
+
+        let mut links = Links::new(n, scheduler.build_index(2 * n));
+        let mut stats;
+        let mut sink;
+        let mut seq: u64;
+        let mut deliveries: usize;
+        let mut position_deliveries: Vec<u64>;
+        let known = known_ring_size.then_some(n);
 
         // One context for the whole run; reset per event so the outbox
         // buffer's allocation is reused across deliveries.
         let mut ctx = Context::new(true, known);
 
-        // Start the leader.
-        processes[0]
-            .on_start(&mut ctx)
-            .map_err(|source| SimError::Process { position: 0, source })?;
-        let decision =
-            apply_effects(&mut ctx, 0, n, topology, &mut links, &mut stats, &mut trace, &mut seq)?;
-        if let Some(d) = decision {
-            stats.deliveries = deliveries;
-            return Ok(Outcome { decision: Some(d), stats, trace });
+        if let Some(snap) = resume {
+            for (i, bytes) in snap.processes.iter().enumerate() {
+                processes[i]
+                    .load_state(bytes)
+                    .map_err(|source| SimError::Process { position: i, source })?;
+            }
+            // Replaying each queue front-to-back rebuilds the scheduler
+            // index exactly: per-link seqs are increasing, so the FIFO
+            // heap, the backlog buckets, and the Fenwick occupancy all
+            // land in the state the interrupted run had.
+            for (link, queue) in snap.links.iter().enumerate() {
+                for (s, payload) in queue {
+                    links.push(link, *s, payload.clone());
+                }
+            }
+            if let Some(state) = &snap.rng {
+                links.index.import_rng(state);
+            }
+            stats = snap.stats.clone();
+            sink = TraceSink { trace: snap.trace.clone(), ring: snap.ring.clone() };
+            seq = snap.seq;
+            deliveries = snap.deliveries;
+            position_deliveries = snap.position_deliveries.clone();
+        } else {
+            stats = ExecStats::new(n);
+            sink = TraceSink::new(self.record_trace, self.trace_ring);
+            seq = 0;
+            deliveries = 0;
+            position_deliveries = vec![0; n];
+
+            // Start the leader.
+            processes[0]
+                .on_start(&mut ctx)
+                .map_err(|source| SimError::Process { position: 0, source })?;
+            let decision = apply_effects(
+                &mut ctx, 0, n, topology, &mut links, &mut stats, &mut sink, &mut seq,
+            )?;
+            if let Some(d) = decision {
+                stats.deliveries = deliveries;
+                return Ok(RunPhase::Done(Outcome {
+                    decision: Some(d),
+                    stats,
+                    trace: sink.trace,
+                    trace_ring: sink.ring,
+                }));
+            }
         }
 
+        let fault_plan = self.fault_plan.as_ref();
+
         loop {
+            if let Some(k) = pause_at {
+                if deliveries >= k {
+                    let snap = capture_serial(
+                        n,
+                        &scheduler,
+                        known_ring_size,
+                        max_events,
+                        seq,
+                        deliveries,
+                        &position_deliveries,
+                        &stats,
+                        &links,
+                        &processes,
+                        &sink,
+                    )?;
+                    return Ok(RunPhase::Paused(Box::new(snap)));
+                }
+            }
             let Some(link) = links.choose() else {
                 return Err(SimError::Stalled { deliveries });
             };
-            if deliveries >= self.max_events {
-                return Err(SimError::EventLimitExceeded { limit: self.max_events });
+            if deliveries >= max_events {
+                return Err(SimError::EventLimitExceeded { limit: max_events });
             }
-            let payload = links.pop(link);
+            let mut payload = links.pop(link);
             deliveries += 1;
 
             // Decode link id back to (receiver, direction of travel).
@@ -172,8 +355,23 @@ impl RingRunner {
             } else {
                 (link - n, Direction::CounterClockwise)
             };
-            if let Some(t) = trace.as_mut() {
-                t.push(TraceEvent {
+
+            position_deliveries[receiver] += 1;
+            let fault =
+                fault_plan.and_then(|p| p.for_delivery(receiver, position_deliveries[receiver]));
+            if let Some(f) = &fault {
+                // The serial engine has no worker to kill; KillShard is a
+                // no-op here (the sharded/threaded engines honour it).
+                if let Some(c) = &f.corrupt {
+                    payload = c.apply(&payload);
+                }
+                if f.delay_micros > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(f.delay_micros));
+                }
+            }
+
+            if sink.active() {
+                sink.push(TraceEvent {
                     seq,
                     kind: EventKind::Deliver,
                     position: receiver,
@@ -187,15 +385,89 @@ impl RingRunner {
             processes[receiver]
                 .on_message(direction, &payload, &mut ctx)
                 .map_err(|source| SimError::Process { position: receiver, source })?;
+            if let Some(f) = &fault {
+                if f.stall {
+                    // Swallow the handler's effects: the processor "hangs".
+                    ctx.reset(receiver == 0);
+                }
+                for (d, p) in &f.inject_sends {
+                    ctx.send(*d, p.clone());
+                }
+                if let Some(accept) = f.inject_decide {
+                    ctx.decide(accept);
+                }
+            }
             let decision = apply_effects(
-                &mut ctx, receiver, n, topology, &mut links, &mut stats, &mut trace, &mut seq,
+                &mut ctx, receiver, n, topology, &mut links, &mut stats, &mut sink, &mut seq,
             )?;
             if let Some(d) = decision {
                 stats.deliveries = deliveries;
-                return Ok(Outcome { decision: Some(d), stats, trace });
+                return Ok(RunPhase::Done(Outcome {
+                    decision: Some(d),
+                    stats,
+                    trace: sink.trace,
+                    trace_ring: sink.ring,
+                }));
             }
         }
     }
+}
+
+/// Unwraps a [`RunPhase`] that cannot be `Paused` (no pause point given).
+fn finished(phase: RunPhase) -> Result<Outcome, SimError> {
+    match phase {
+        RunPhase::Done(outcome) => Ok(outcome),
+        RunPhase::Paused(_) => {
+            Err(SimError::Snapshot { reason: "engine paused without a pause point".into() })
+        }
+    }
+}
+
+/// Captures the serial engine's complete state at a delivery boundary.
+#[allow(clippy::too_many_arguments)]
+fn capture_serial(
+    n: usize,
+    scheduler: &Scheduler,
+    known_ring_size: bool,
+    max_events: usize,
+    seq: u64,
+    deliveries: usize,
+    position_deliveries: &[u64],
+    stats: &ExecStats,
+    links: &Links,
+    processes: &[Box<dyn Process>],
+    sink: &TraceSink,
+) -> Result<EngineSnapshot, SimError> {
+    let mut proc_states = Vec::with_capacity(n);
+    for (i, p) in processes.iter().enumerate() {
+        match p.save_state() {
+            Some(bytes) => proc_states.push(bytes),
+            None => {
+                return Err(SimError::Snapshot {
+                    reason: format!(
+                        "protocol does not implement save_state (processor {i}); \
+                         checkpointing requires opt-in"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(EngineSnapshot {
+        version: SNAPSHOT_VERSION,
+        n,
+        scheduler: scheduler.clone(),
+        known_ring_size,
+        max_events,
+        seq,
+        deliveries,
+        position_deliveries: position_deliveries.to_vec(),
+        stats: stats.clone(),
+        links: links.queues.iter().map(|q| q.iter().cloned().collect()).collect(),
+        rng: links.index.export_rng(),
+        processes: proc_states,
+        trace: sink.trace.clone(),
+        ring: sink.ring.clone(),
+    })
 }
 
 /// The link queues plus the scheduler's incrementally maintained view of
@@ -273,7 +545,7 @@ fn apply_effects(
     topology: Topology,
     links: &mut Links,
     stats: &mut ExecStats,
-    trace: &mut Option<Trace>,
+    sink: &mut TraceSink,
     seq: &mut u64,
 ) -> Result<Option<bool>, SimError> {
     let decision = ctx.take_decision();
@@ -285,8 +557,8 @@ fn apply_effects(
             return Err(SimError::IllegalSend { position, direction });
         }
         stats.record_send(position, direction, payload.len());
-        if let Some(t) = trace.as_mut() {
-            t.push(TraceEvent {
+        if sink.active() {
+            sink.push(TraceEvent {
                 seq: *seq,
                 kind: EventKind::Send,
                 position,

@@ -51,6 +51,11 @@ pub enum SimError {
         /// Index of the failed shard.
         shard: usize,
     },
+    /// A checkpoint could not be captured or restored.
+    Snapshot {
+        /// What went wrong (unsupported protocol, version mismatch, ...).
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +83,9 @@ impl fmt::Display for SimError {
             SimError::ShardFailed { shard } => {
                 write!(f, "shard {shard} of the sharded engine terminated without reporting")
             }
+            SimError::Snapshot { reason } => {
+                write!(f, "checkpoint failed: {reason}")
+            }
         }
     }
 }
@@ -103,6 +111,8 @@ mod tests {
         assert!(e.to_string().contains("17"));
         let e = SimError::EventLimitExceeded { limit: 9 };
         assert!(e.to_string().contains('9'));
+        let e = SimError::Snapshot { reason: "protocol lacks save_state".into() };
+        assert!(e.to_string().contains("lacks save_state"));
     }
 
     #[test]

@@ -46,6 +46,47 @@
 //!   the asynchronous model, used to cross-check that the event-driven
 //!   engines didn't bake in a scheduling assumption.
 //!
+//! # Crash safety & faults
+//!
+//! Massive runs checkpoint, crash, and resume; faults are injected from
+//! a first-class plan rather than ad-hoc test adapters.
+//!
+//! * **Snapshot points.** [`RingRunner::run_until`] pauses at a delivery
+//!   boundary and captures an [`EngineSnapshot`] — process state (via
+//!   [`Process::save_state`], an explicit protocol opt-in), every link
+//!   queue with its sequence numbers, the scheduler RNG, stats, trace or
+//!   trace ring, and the seq/delivery clocks. [`RingRunner::resume`]
+//!   rebuilds the engine and finishes the run **byte-identically** —
+//!   trace, stats, and exact error positions — to an uninterrupted run.
+//!   Snapshots are engine-agnostic: capture serially, resume sharded, or
+//!   vice versa.
+//! * **Sharded quiesce.** The sharded engine checkpoints at coordinator
+//!   round boundaries: the coordinator stops issuing delivery rounds at
+//!   the first boundary at or after the requested event index, asks each
+//!   worker to drain its in-bound boundary channels and serialize its
+//!   arc (processes + queue payloads), and zips the payloads with its
+//!   own payload-free link replica's sequence numbers. The pause point
+//!   may land a few deliveries after the serial engine's (a round is
+//!   atomic), but the resumed run's observables are identical.
+//! * **Threaded restore.** The threaded runner *resumes* snapshots
+//!   ([`ThreadedRunner::resume`] preloads the channels and skips the
+//!   leader start) but cannot *capture* them: with one OS thread per
+//!   processor there is no well-defined "event k" to quiesce at, so
+//!   capture requests fail with [`SimError::Snapshot`].
+//! * **Fault plans.** A [`FaultPlan`] ([`RingRunner::fault_plan`]) is a
+//!   deterministic schedule of injections keyed on (position,
+//!   per-position delivery count): corrupt/stall/inject-send/
+//!   inject-decide/kill-shard/delay. Every [`SimError`] variant is
+//!   reachable on demand — see the `faults` module docs. Plans are not
+//!   serialized into snapshots; the caller re-supplies them on resume
+//!   and the snapshot's per-position delivery counters keep triggers
+//!   aligned.
+//! * **Bounded traces.** [`RingRunner::trace_ring`] records the last
+//!   `capacity` events in a [`TraceRing`] with streamed per-interval
+//!   stats ([`IntervalStats`]) — O(capacity) memory at any run length,
+//!   the observability story for `massive` scales where a full [`Trace`]
+//!   is untenable.
+//!
 //! # Examples
 //!
 //! A one-message protocol: the leader asks its clockwise neighbour to echo
@@ -99,9 +140,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod context;
 mod engine;
 mod error;
+mod faults;
 pub mod pool;
 mod sched;
 mod shard;
@@ -110,16 +153,22 @@ mod threaded;
 mod token;
 mod trace;
 
+pub use checkpoint::{EngineSnapshot, RunPhase, SNAPSHOT_VERSION};
 pub use context::{Context, Process, ProcessError, ProcessResult, Protocol};
 pub use engine::{Outcome, RingRunner};
 pub use error::SimError;
+#[doc(hidden)]
+pub use faults::testkit as fault_testkit;
+pub use faults::{Corruption, Fault, FaultAction, FaultPlan};
 pub use sched::Scheduler;
 #[doc(hidden)]
 pub use sched::{testkit as sched_testkit, LinkIndex};
 pub use stats::ExecStats;
 pub use threaded::ThreadedRunner;
 pub use token::{token_violations, validate_token_discipline};
-pub use trace::{EventKind, InfoState, InfoStateEntry, Trace, TraceEvent};
+pub use trace::{
+    EventKind, InfoState, InfoStateEntry, IntervalStats, Trace, TraceEvent, TraceRing,
+};
 
 use serde::{Deserialize, Serialize};
 

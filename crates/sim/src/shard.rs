@@ -63,18 +63,23 @@ use ringleader_bitio::BitString;
 
 use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
 
+use crate::checkpoint::{EngineSnapshot, RunPhase, SNAPSHOT_VERSION};
 use crate::context::{Context, Process, ProcessError, ProcessResult, Protocol};
 use crate::engine::{Outcome, RingRunner};
+use crate::faults::DeliveryFault;
 use crate::pool::ThreadPool;
 use crate::sched::LinkIndex;
-use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::trace::{EventKind, TraceEvent, TraceSink};
 use crate::{Direction, ExecStats, Scheduler, SimError, Topology};
 
 /// One delivery command: deliver the head of the `(local_pos, direction)`
-/// inbound queue to the process at `local_pos` within the shard's arc.
+/// inbound queue to the process at `local_pos` within the shard's arc,
+/// applying `fault` (resolved by the coordinator, which owns the
+/// per-position delivery counters) if one fires.
 struct DeliverCmd {
     local_pos: usize,
     direction: Direction,
+    fault: Option<DeliveryFault>,
 }
 
 /// Work the coordinator hands a shard.
@@ -83,6 +88,20 @@ enum ShardJob {
     Start,
     /// Execute these deliveries in order and report back.
     Round(Vec<DeliverCmd>),
+    /// Serialize the arc's state (processes + inbound queues) and reply
+    /// on the snapshot channel. Only sent at a quiesced round boundary.
+    Snapshot,
+}
+
+/// One arc's state at a quiesced round boundary.
+struct ShardSnapshot {
+    /// Per-process [`Process::save_state`] results, arc-local order
+    /// (`None` = the protocol does not support checkpointing).
+    procs: Vec<Option<Vec<u8>>>,
+    /// Clockwise inbound payloads per slot, front of queue first.
+    cw: Vec<Vec<BitString>>,
+    /// Counter-clockwise inbound payloads per slot, front first.
+    ccw: Vec<Vec<BitString>>,
 }
 
 /// A send a shard observed, in outbox order. `payload` is carried only
@@ -214,6 +233,17 @@ impl SlotQueues {
         self.head[slot] = self.overflow[slot].pop_front();
         Some(payload)
     }
+
+    /// Front-to-back contents of a slot (head first, then overflow), for
+    /// checkpoint capture.
+    fn slot_contents(&self, slot: usize) -> Vec<BitString> {
+        let mut out = Vec::with_capacity(usize::from(self.head[slot].is_some()));
+        if let Some(head) = &self.head[slot] {
+            out.push(head.clone());
+        }
+        out.extend(self.overflow[slot].iter().cloned());
+        out
+    }
 }
 
 /// One shard: an arc of processes, their inbound queues, and the
@@ -234,6 +264,7 @@ struct ShardWorker {
     ccw: SlotQueues,
     job_rx: Receiver<ShardJob>,
     report_tx: Sender<RoundReport>,
+    snap_tx: Sender<ShardSnapshot>,
     /// Clockwise messages crossing the left boundary in.
     left_rx: Receiver<BitString>,
     /// Counter-clockwise messages crossing the right boundary in.
@@ -299,11 +330,40 @@ impl ShardWorker {
             }
             ShardJob::Round(cmds) => {
                 for cmd in cmds {
-                    let Some(payload) = self.take_inbound(cmd.local_pos, cmd.direction) else {
+                    let Some(mut payload) = self.take_inbound(cmd.local_pos, cmd.direction) else {
                         return false;
                     };
+                    if let Some(f) = &cmd.fault {
+                        if f.kill_shard {
+                            // Die before handling: no report, channels
+                            // drop, and the coordinator observes a
+                            // deterministic `ShardFailed` for this shard.
+                            return false;
+                        }
+                        if let Some(c) = &f.corrupt {
+                            payload = c.apply(&payload);
+                        }
+                        if f.delay_micros > 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(f.delay_micros));
+                        }
+                    }
                     ctx.reset(self.lo + cmd.local_pos == 0);
                     let result = self.procs[cmd.local_pos].on_message(cmd.direction, &payload, ctx);
+                    if result.is_ok() {
+                        if let Some(f) = &cmd.fault {
+                            if f.stall {
+                                // Swallow the handler's effects, exactly
+                                // like the serial engine's stall path.
+                                ctx.reset(self.lo + cmd.local_pos == 0);
+                            }
+                            for (d, p) in &f.inject_sends {
+                                ctx.send(*d, p.clone());
+                            }
+                            if let Some(accept) = f.inject_decide {
+                                ctx.decide(accept);
+                            }
+                        }
+                    }
                     let delivered = self.tracing.then_some(payload);
                     match self.finish_event(ctx, cmd.local_pos, delivered, result, &mut report) {
                         EventEnd::Continue => {}
@@ -311,6 +371,28 @@ impl ShardWorker {
                         EventEnd::NeighbourGone => return false,
                     }
                 }
+            }
+            ShardJob::Snapshot => {
+                // Quiesced boundary: every payload of a merged send was
+                // enqueued on its boundary channel *before* the producing
+                // shard reported the round — which the coordinator
+                // received before asking for snapshots — so a
+                // non-blocking drain is complete by happens-before.
+                while let Ok(payload) = self.left_rx.try_recv() {
+                    self.cw.push(0, payload);
+                }
+                while let Ok(payload) = self.right_rx.try_recv() {
+                    self.ccw.push(self.len - 1, payload);
+                }
+                let snap = ShardSnapshot {
+                    procs: self.procs.iter().map(|p| p.save_state()).collect(),
+                    cw: (0..self.len).map(|s| self.cw.slot_contents(s)).collect(),
+                    ccw: (0..self.len).map(|s| self.ccw.slot_contents(s)).collect(),
+                };
+                // The worker keeps serving jobs after a snapshot; a send
+                // failure means the coordinator already went away.
+                let _ = self.snap_tx.send(snap);
+                return true;
             }
         }
         // A send failure here means the coordinator already went away;
@@ -429,12 +511,14 @@ struct Coordinator {
     /// dropping it with the struct wakes any shard parked on it.
     _halt: Sender<()>,
     report_rxs: Vec<Receiver<RoundReport>>,
+    snap_rxs: Vec<Receiver<ShardSnapshot>>,
     _pool: ThreadPool,
     n: usize,
     shards: usize,
     topology: Topology,
+    scheduler: Scheduler,
+    known_ring_size: bool,
     max_events: usize,
-    tracing: bool,
     /// `bounds[k]` = the half-open global range of shard `k`'s arc.
     bounds: Vec<(usize, usize)>,
     /// `owner[p]` = the shard owning global position `p`.
@@ -442,20 +526,42 @@ struct Coordinator {
 }
 
 /// Runs `protocol` sharded over `shards ≥ 2` arcs, byte-identical to
-/// [`RingRunner::run`]'s serial path.
+/// [`RingRunner::run`]'s serial path — optionally resuming from a
+/// snapshot and/or pausing at a round boundary at or after `pause_at`
+/// deliveries.
 pub(crate) fn run_sharded(
     runner: &RingRunner,
     protocol: &dyn Protocol,
     word: &Word,
     shards: usize,
-) -> Result<Outcome, SimError> {
+    resume: Option<&EngineSnapshot>,
+    pause_at: Option<usize>,
+) -> Result<RunPhase, SimError> {
     let n = word.len();
-    let known = runner.known_ring_size.then_some(n);
-    let tracing = runner.record_trace;
+    // A resumed run takes its configuration from the snapshot, exactly
+    // like the serial engine; only the shard count and fault plan come
+    // from the resuming runner (neither affects observables).
+    let (scheduler, known_ring_size, max_events) = match resume {
+        Some(snap) => (snap.scheduler.clone(), snap.known_ring_size, snap.max_events),
+        None => (runner.scheduler.clone(), runner.known_ring_size, runner.max_events),
+    };
+    let sink = match resume {
+        Some(snap) => TraceSink { trace: snap.trace.clone(), ring: snap.ring.clone() },
+        None => TraceSink::new(runner.record_trace, runner.trace_ring),
+    };
+    let known = known_ring_size.then_some(n);
+    let tracing = sink.active();
 
     let mut processes: Vec<Box<dyn Process>> = Vec::with_capacity(n);
     for (i, &sym) in word.symbols().iter().enumerate() {
         processes.push(if i == 0 { protocol.leader(sym) } else { protocol.follower(sym) });
+    }
+    if let Some(snap) = resume {
+        for (i, bytes) in snap.processes.iter().enumerate() {
+            processes[i]
+                .load_state(bytes)
+                .map_err(|source| SimError::Process { position: i, source })?;
+        }
     }
 
     let bounds: Vec<(usize, usize)> =
@@ -471,6 +577,8 @@ pub(crate) fn run_sharded(
     let mut job_rxs = Vec::with_capacity(shards);
     let mut report_txs = Vec::with_capacity(shards);
     let mut report_rxs = Vec::with_capacity(shards);
+    let mut snap_txs = Vec::with_capacity(shards);
+    let mut snap_rxs = Vec::with_capacity(shards);
     let mut cw_txs = Vec::with_capacity(shards);
     let mut cw_rxs = Vec::with_capacity(shards);
     let mut ccw_txs = Vec::with_capacity(shards);
@@ -482,6 +590,9 @@ pub(crate) fn run_sharded(
         let (tx, rx) = unbounded::<RoundReport>();
         report_txs.push(Some(tx));
         report_rxs.push(rx);
+        let (tx, rx) = unbounded::<ShardSnapshot>();
+        snap_txs.push(Some(tx));
+        snap_rxs.push(rx);
         let (tx, rx) = unbounded::<BitString>();
         cw_txs.push(Some(tx));
         cw_rxs.push(Some(rx));
@@ -498,16 +609,33 @@ pub(crate) fn run_sharded(
         let tail = rest.split_off(len);
         let procs = rest;
         rest = tail;
+        let mut cw = SlotQueues::new(len);
+        let mut ccw = SlotQueues::new(len);
+        if let Some(snap) = resume {
+            // Preload the arc's inbound queues from the snapshot: the
+            // clockwise link feeding global position `p` is `(p-1) mod n`,
+            // the counter-clockwise one is stored at `n + p`.
+            for slot in 0..len {
+                let receiver = lo + slot;
+                for (_, payload) in &snap.links[(receiver + n - 1) % n] {
+                    cw.push(slot, payload.clone());
+                }
+                for (_, payload) in &snap.links[n + receiver] {
+                    ccw.push(slot, payload.clone());
+                }
+            }
+        }
         let worker = ShardWorker {
             lo,
             len,
             known,
             tracing,
             procs,
-            cw: SlotQueues::new(len),
-            ccw: SlotQueues::new(len),
+            cw,
+            ccw,
             job_rx: job_rxs[k].take().expect("each job receiver is moved once"),
             report_tx: report_txs[k].take().expect("each report sender is moved once"),
+            snap_tx: snap_txs[k].take().expect("each snapshot sender is moved once"),
             left_rx: cw_rxs[k].take().expect("each boundary receiver is moved once"),
             right_rx: ccw_rxs[k].take().expect("each boundary receiver is moved once"),
             halt_rx: halt_rx.clone(),
@@ -529,52 +657,90 @@ pub(crate) fn run_sharded(
         job_txs,
         _halt: halt_tx,
         report_rxs,
+        snap_rxs,
         _pool: pool,
         n,
         shards,
         topology: protocol.topology(),
-        max_events: runner.max_events,
-        tracing,
+        scheduler,
+        known_ring_size,
+        max_events,
         bounds,
         owner,
     };
-    coordinator.run(runner)
+    coordinator.run(runner, resume, pause_at, sink)
 }
 
 impl Coordinator {
-    fn run(&self, runner: &RingRunner) -> Result<Outcome, SimError> {
+    fn run(
+        &self,
+        runner: &RingRunner,
+        resume: Option<&EngineSnapshot>,
+        pause_at: Option<usize>,
+        mut sink: TraceSink,
+    ) -> Result<RunPhase, SimError> {
         let n = self.n;
-        let mut meta = MetaLinks::new(n, runner.scheduler.build_index(2 * n));
-        let mut stats = ExecStats::new(n);
-        let mut trace = if self.tracing { Some(Trace::default()) } else { None };
-        let mut seq: u64 = 0;
-        let mut deliveries: usize = 0;
+        let mut meta = MetaLinks::new(n, self.scheduler.build_index(2 * n));
+        let mut stats;
+        let mut seq: u64;
+        let mut deliveries: usize;
+        let mut position_deliveries: Vec<u64>;
+        let fault_plan = runner.fault_plan.as_ref();
 
-        // Start the leader on shard 0 and merge its report — the
-        // counterpart of the serial engine's pre-loop `on_start` block.
-        if self.job_txs[0].send(ShardJob::Start).is_err() {
-            return Err(SimError::ShardFailed { shard: 0 });
-        }
-        let report =
-            self.report_rxs[0].recv().map_err(|RecvError| SimError::ShardFailed { shard: 0 })?;
-        let entry =
-            report.deliveries.into_iter().next().ok_or(SimError::ShardFailed { shard: 0 })?;
-        if let Some(source) = entry.error {
-            return Err(SimError::Process { position: 0, source });
-        }
-        merge_sends(
-            &entry.sends,
-            0,
-            n,
-            self.topology,
-            &mut meta,
-            &mut stats,
-            &mut trace,
-            &mut seq,
-        )?;
-        if let Some(d) = entry.decision {
-            stats.deliveries = deliveries;
-            return Ok(Outcome { decision: Some(d), stats, trace });
+        if let Some(snap) = resume {
+            // Rebuild the payload-free link replica by replaying the
+            // snapshot's queues front-to-back; per-link seqs are
+            // increasing, so the index lands in its canonical state.
+            for (link, queue) in snap.links.iter().enumerate() {
+                for &(s, _) in queue {
+                    meta.push(link, s);
+                }
+            }
+            if let Some(state) = &snap.rng {
+                meta.index.import_rng(state);
+            }
+            stats = snap.stats.clone();
+            seq = snap.seq;
+            deliveries = snap.deliveries;
+            position_deliveries = snap.position_deliveries.clone();
+        } else {
+            stats = ExecStats::new(n);
+            seq = 0;
+            deliveries = 0;
+            position_deliveries = vec![0; n];
+
+            // Start the leader on shard 0 and merge its report — the
+            // counterpart of the serial engine's pre-loop `on_start` block.
+            if self.job_txs[0].send(ShardJob::Start).is_err() {
+                return Err(SimError::ShardFailed { shard: 0 });
+            }
+            let report = self.report_rxs[0]
+                .recv()
+                .map_err(|RecvError| SimError::ShardFailed { shard: 0 })?;
+            let entry =
+                report.deliveries.into_iter().next().ok_or(SimError::ShardFailed { shard: 0 })?;
+            if let Some(source) = entry.error {
+                return Err(SimError::Process { position: 0, source });
+            }
+            merge_sends(
+                &entry.sends,
+                0,
+                n,
+                self.topology,
+                &mut meta,
+                &mut stats,
+                &mut sink,
+                &mut seq,
+            )?;
+            if let Some(d) = entry.decision {
+                stats.deliveries = deliveries;
+                return Ok(RunPhase::Done(Outcome {
+                    decision: Some(d),
+                    stats,
+                    trace: sink.trace,
+                    trace_ring: sink.ring,
+                }));
+            }
         }
 
         // For FIFO the next `in_flight` picks are already determined (a
@@ -582,11 +748,21 @@ impl Coordinator {
         // pop order depends only on its unique keys), so the whole
         // in-flight set is one window. LongestQueue and Random picks
         // depend on the sends merged between deliveries: window size 1.
-        let fifo = matches!(runner.scheduler, Scheduler::Fifo);
+        let fifo = matches!(self.scheduler, Scheduler::Fifo);
 
         let mut cmds: Vec<Vec<DeliverCmd>> = Vec::new();
         cmds.resize_with(self.shards, Vec::new);
         loop {
+            // Quiesce check first, mirroring the serial engine's
+            // pause-before-choose ordering: a round is atomic, so the
+            // boundary lands at the first round edge at or after `k`.
+            if let Some(k) = pause_at {
+                if deliveries >= k {
+                    let snap =
+                        self.capture(&meta, &stats, seq, deliveries, &position_deliveries, &sink)?;
+                    return Ok(RunPhase::Paused(Box::new(snap)));
+                }
+            }
             if meta.in_flight == 0 {
                 return Err(SimError::Stalled { deliveries });
             }
@@ -596,9 +772,15 @@ impl Coordinator {
                 let link = meta.choose().expect("in-flight messages imply a non-empty link");
                 meta.pop(link);
                 let (receiver, direction) = decode_link(link, n);
+                position_deliveries[receiver] += 1;
+                let fault = fault_plan
+                    .and_then(|p| p.for_delivery(receiver, position_deliveries[receiver]));
                 let shard = self.owner[receiver];
-                cmds[shard]
-                    .push(DeliverCmd { local_pos: receiver - self.bounds[shard].0, direction });
+                cmds[shard].push(DeliverCmd {
+                    local_pos: receiver - self.bounds[shard].0,
+                    direction,
+                    fault,
+                });
                 window.push(WindowEntry { receiver, direction, shard });
             }
 
@@ -633,8 +815,8 @@ impl Coordinator {
                     .get(cursor)
                     .ok_or(SimError::ShardFailed { shard: entry.shard })?;
                 deliveries += 1;
-                if let Some(t) = trace.as_mut() {
-                    t.push(TraceEvent {
+                if sink.active() {
+                    sink.push(TraceEvent {
                         seq,
                         kind: EventKind::Deliver,
                         position: entry.receiver,
@@ -659,15 +841,103 @@ impl Coordinator {
                     self.topology,
                     &mut meta,
                     &mut stats,
-                    &mut trace,
+                    &mut sink,
                     &mut seq,
                 )?;
                 if let Some(d) = done.decision {
                     stats.deliveries = deliveries;
-                    return Ok(Outcome { decision: Some(d), stats, trace });
+                    return Ok(RunPhase::Done(Outcome {
+                        decision: Some(d),
+                        stats,
+                        trace: sink.trace,
+                        trace_ring: sink.ring,
+                    }));
                 }
             }
         }
+    }
+
+    /// Quiesces every shard and assembles an [`EngineSnapshot`].
+    ///
+    /// Safe at a round boundary: every worker has already sent its round
+    /// report (which happens-after it routed all boundary traffic), so a
+    /// `try_recv` drain inside the worker's `Snapshot` handler observes
+    /// every in-flight boundary payload.
+    fn capture(
+        &self,
+        meta: &MetaLinks,
+        stats: &ExecStats,
+        seq: u64,
+        deliveries: usize,
+        position_deliveries: &[u64],
+        sink: &TraceSink,
+    ) -> Result<EngineSnapshot, SimError> {
+        for (k, tx) in self.job_txs.iter().enumerate() {
+            if tx.send(ShardJob::Snapshot).is_err() {
+                return Err(SimError::ShardFailed { shard: k });
+            }
+        }
+        let mut shard_snaps = Vec::with_capacity(self.shards);
+        for (k, rx) in self.snap_rxs.iter().enumerate() {
+            shard_snaps.push(rx.recv().map_err(|RecvError| SimError::ShardFailed { shard: k })?);
+        }
+
+        let mut processes = Vec::with_capacity(self.n);
+        for (k, snap) in shard_snaps.iter().enumerate() {
+            for (j, state) in snap.procs.iter().enumerate() {
+                match state {
+                    Some(bytes) => processes.push(bytes.clone()),
+                    None => {
+                        return Err(SimError::Snapshot {
+                            reason: format!(
+                                "protocol does not implement save_state (processor {})",
+                                self.bounds[k].0 + j
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+
+        // Zip each link's payloads (held by the receiver's shard) with
+        // the coordinator's payload-free seq replica, front first.
+        let mut links = Vec::with_capacity(2 * self.n);
+        for (link, seqs) in meta.queues.iter().enumerate() {
+            let (receiver, direction) = decode_link(link, self.n);
+            let k = self.owner[receiver];
+            let slot = receiver - self.bounds[k].0;
+            let payloads = match direction {
+                Direction::Clockwise => &shard_snaps[k].cw[slot],
+                Direction::CounterClockwise => &shard_snaps[k].ccw[slot],
+            };
+            if seqs.len() != payloads.len() {
+                return Err(SimError::Snapshot {
+                    reason: format!(
+                        "link {link} replica holds {} seqs but shard {k} drained {} payloads",
+                        seqs.len(),
+                        payloads.len()
+                    ),
+                });
+            }
+            links.push(seqs.iter().copied().zip(payloads.iter().cloned()).collect());
+        }
+
+        Ok(EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            n: self.n,
+            scheduler: self.scheduler.clone(),
+            known_ring_size: self.known_ring_size,
+            max_events: self.max_events,
+            seq,
+            deliveries,
+            position_deliveries: position_deliveries.to_vec(),
+            stats: stats.clone(),
+            links,
+            rng: meta.index.export_rng(),
+            processes,
+            trace: sink.trace.clone(),
+            ring: sink.ring.clone(),
+        })
     }
 }
 
@@ -682,7 +952,7 @@ fn merge_sends(
     topology: Topology,
     meta: &mut MetaLinks,
     stats: &mut ExecStats,
-    trace: &mut Option<Trace>,
+    sink: &mut TraceSink,
     seq: &mut u64,
 ) -> Result<(), SimError> {
     for send in sends {
@@ -690,8 +960,8 @@ fn merge_sends(
             return Err(SimError::IllegalSend { position, direction: send.direction });
         }
         stats.record_send(position, send.direction, send.bits);
-        if let Some(t) = trace.as_mut() {
-            t.push(TraceEvent {
+        if sink.active() {
+            sink.push(TraceEvent {
                 seq: *seq,
                 kind: EventKind::Send,
                 position,

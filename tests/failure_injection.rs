@@ -7,78 +7,15 @@
 //! real protocols in a corrupting adapter and check the failure paths.
 
 use ringleader::prelude::*;
+use ringleader::sim::fault_testkit::TruncatingAdapter;
 use ringleader_bitio::BitString;
-
-/// Wraps a protocol, truncating the last bit of every follower-forwarded
-/// message — a "wire fault" injector.
-struct TruncatingAdapter<P> {
-    inner: P,
-    /// Corrupt messages leaving this 0-based position.
-    at_position: usize,
-}
-
-struct TruncatingProcess {
-    inner: Box<dyn Process>,
-    corrupt: bool,
-}
-
-impl Process for TruncatingProcess {
-    fn on_start(&mut self, ctx: &mut Context) -> ProcessResult {
-        self.inner.on_start(ctx)
-    }
-
-    fn on_message(&mut self, dir: Direction, msg: &BitString, ctx: &mut Context) -> ProcessResult {
-        let mut inner_ctx = Context::detached(ctx.is_leader(), ctx.known_ring_size());
-        self.inner.on_message(dir, msg, &mut inner_ctx)?;
-        let (sends, decision) = inner_ctx.into_effects();
-        for (d, payload) in sends {
-            let payload = if self.corrupt && !payload.is_empty() {
-                payload.slice(0..payload.len() - 1)
-            } else {
-                payload
-            };
-            ctx.send(d, payload);
-        }
-        if let Some(dec) = decision {
-            ctx.decide(dec);
-        }
-        Ok(())
-    }
-}
-
-impl<P: Protocol> Protocol for TruncatingAdapter<P> {
-    fn name(&self) -> &'static str {
-        "truncating-adapter"
-    }
-
-    fn topology(&self) -> Topology {
-        self.inner.topology()
-    }
-
-    fn leader(&self, input: Symbol) -> Box<dyn Process> {
-        Box::new(TruncatingProcess {
-            inner: self.inner.leader(input),
-            corrupt: self.at_position == 0,
-        })
-    }
-
-    fn follower(&self, input: Symbol) -> Box<dyn Process> {
-        // The engine constructs followers in ring order after the leader;
-        // we cannot see positions here, so corrupt at EVERY follower when
-        // at_position != 0 — the first decode failure aborts anyway.
-        Box::new(TruncatingProcess {
-            inner: self.inner.follower(input),
-            corrupt: self.at_position != 0,
-        })
-    }
-}
 
 #[test]
 fn truncated_counter_messages_abort_with_position() {
     let inner = ThreeCounters::new();
     let sigma = inner.language().alphabet().clone();
     let word = Word::from_str("001122", &sigma).unwrap();
-    let adapter = TruncatingAdapter { inner, at_position: 1 };
+    let adapter = TruncatingAdapter::new(inner, 1);
     let err = RingRunner::new().run(&adapter, &word).unwrap_err();
     match err {
         ringleader::sim::SimError::Process { position, ref source } => {
@@ -95,7 +32,7 @@ fn truncated_dfa_state_messages_abort() {
     let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
     let inner = DfaOnePass::new(&lang);
     let word = Word::from_str("ababb", &sigma).unwrap();
-    let adapter = TruncatingAdapter { inner, at_position: 1 };
+    let adapter = TruncatingAdapter::new(inner, 1);
     assert!(matches!(
         RingRunner::new().run(&adapter, &word),
         Err(ringleader::sim::SimError::Process { .. })
@@ -117,7 +54,7 @@ fn corruption_never_hangs_or_misdecides() {
         // otherwise "didn't misdecide under corruption" is vacuous.
         let balanced = matches!(text, "()" | "(())" | "()()()");
         assert_eq!(clean.accepted(), balanced, "clean baseline on {text:?}");
-        let adapter = TruncatingAdapter { inner: DyckCounter::new(), at_position: 1 };
+        let adapter = TruncatingAdapter::new(DyckCounter::new(), 1);
         match RingRunner::new().run(&adapter, &word) {
             Ok(outcome) => {
                 // If it survived, the leader's final message was intact

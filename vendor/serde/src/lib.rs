@@ -20,7 +20,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -395,6 +395,23 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::unexpected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_content(&self) -> Content {
         Content::Seq(self.iter().map(Serialize::to_content).collect())
@@ -528,5 +545,18 @@ mod tests {
     #[test]
     fn out_of_range_integer_rejected() {
         assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn vecdeque_roundtrips_in_order() {
+        let mut q: VecDeque<u32> = VecDeque::new();
+        // Push from both ends so the deque's internal layout is not a
+        // plain contiguous run; serialization must still be front-to-back.
+        q.push_back(2);
+        q.push_back(3);
+        q.push_front(1);
+        let c = q.to_content();
+        assert_eq!(c, Content::Seq(vec![Content::U64(1), Content::U64(2), Content::U64(3)]));
+        assert_eq!(VecDeque::<u32>::from_content(&c).unwrap(), q);
     }
 }
