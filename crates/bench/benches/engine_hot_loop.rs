@@ -13,13 +13,13 @@
 //!   (`StatelessTwoPass`), whose pass-2 messages replay pass-1 history:
 //!   wider payloads and two full passes of deliveries.
 //!
-//! * `one_pass_sharded` — the one-pass workload again, split across 4
-//!   engine shards. A single token keeps exactly one delivery per merge
-//!   window, so this is the sharded coordinator's *worst* case: it
-//!   measures pure round-trip overhead, not speedup. The point of the
-//!   bench is to keep that overhead visible and bounded — the sharded
-//!   engine pays off on wall-clock only where rings dwarf these sizes
-//!   (the `massive` profile's 10⁶-process runs).
+//! * `one_pass_sharded` — the one-pass workload again, split across
+//!   {2, 4, 8} engine shards. A single token once meant one delivery per
+//!   merge window (pure round-trip overhead, 20–60× at these sizes —
+//!   `BENCH_0004.json`); with epoch-batched grants the coordinator hands
+//!   each arc its whole traversal in one command, so this now measures
+//!   the residual coordination gap (`BENCH_0006.json`). CI's perf-smoke
+//!   gate keeps it from regressing back to per-delivery round-trips.
 //!
 //! Run with `CRITERION_SNAPSHOT=out.jsonl` to dump machine-readable
 //! measurements; `BENCH_0003.json` in the repo root is the checked-in
@@ -62,21 +62,28 @@ fn bench_one_pass(c: &mut Criterion) {
     group.finish();
 }
 
-/// One-pass run split across 4 shards: per-delivery coordination cost.
+/// One-pass run split across {2, 4, 8} shards: per-delivery coordination
+/// cost. A single token means every delivery is computable one arc at a
+/// time, so the epoch path should grant each arc's whole traversal in
+/// one command — the measured overhead is the epoch round-trip amortized
+/// over `n/shards` deliveries plus the coordinator's replay, not a
+/// channel hop per delivery.
 fn bench_one_pass_sharded(c: &mut Criterion) {
     let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
     let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
     let proto = DfaOnePass::new(&lang);
     let mut group = c.benchmark_group("engine_hot_loop/one_pass_sharded");
-    for n in SIZES {
-        let word = word_for(&lang, n, 0xE0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &word, |b, w| {
-            b.iter(|| {
-                let mut runner = RingRunner::new();
-                runner.shards(4);
-                runner.run(&proto, w).unwrap()
+    for shards in [2usize, 4, 8] {
+        for n in SIZES {
+            let word = word_for(&lang, n, 0xE0);
+            group.bench_function(format!("shards_{shards}/{n}"), |b| {
+                b.iter(|| {
+                    let mut runner = RingRunner::new();
+                    runner.shards(shards);
+                    runner.run(&proto, &word).unwrap()
+                });
             });
-        });
+        }
     }
     group.finish();
 }

@@ -118,7 +118,11 @@ fn main() -> ExitCode {
                 }
             },
             "--shards" => match iter.next().as_deref().map(str::parse::<usize>) {
-                Some(Ok(n)) if n >= 1 => shards = n,
+                Some(Ok(0)) => {
+                    eprintln!("--shards 0 is invalid: at least one shard must own the ring");
+                    return ExitCode::FAILURE;
+                }
+                Some(Ok(n)) => shards = n,
                 _ => {
                     eprintln!("--shards requires a shard count of at least 1");
                     return ExitCode::FAILURE;
@@ -221,6 +225,25 @@ fn main() -> ExitCode {
         selected = registry.specs().iter().collect();
     }
 
+    // A shard owns a contiguous arc of at least one processor, so the
+    // shard count must not exceed any selected ring size at this scale.
+    if shards > 1 {
+        let too_small = selected
+            .iter()
+            .flat_map(|s| s.grid(scale).sizes.iter().map(move |&n| (s.id(), n)))
+            .filter(|&(_, n)| n < shards)
+            .min_by_key(|&(_, n)| n);
+        if let Some((id, n)) = too_small {
+            eprintln!(
+                "--shards {shards} exceeds the ring size: {id} at --scale {} runs rings down to \
+                 n = {n}, and every shard needs at least one processor (pass --shards {n} or \
+                 fewer, or a larger scale)",
+                scale.label()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     // Crash safety: load any prior ledger, decide where checkpoints go.
     // With --checkpoint-dir the ledger lives at <dir>/ledger-<scale>.json;
     // a bare --resume keeps checkpointing to the resumed file itself.
@@ -254,6 +277,37 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("failed creating checkpoint dir {dir}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+
+    // Non-fatal cadence check: BENCH_0005.json's ≤5% checkpoint-overhead
+    // bound holds when at least ~50n deliveries separate snapshots. A
+    // run of size n delivers at least n messages, so a spec's cheapest
+    // delivery estimate is Σ sizes × samples; warn when the thinnest
+    // `--checkpoint-every`-spec window of this selection lands under the
+    // budget at the selection's largest ring. A cadence of one flush per
+    // whole invocation has no interior snapshot to amortize, so it is
+    // exempt.
+    if ledger_path.is_some() && checkpoint_every < selected.len() {
+        let spec_deliveries: Vec<usize> = selected
+            .iter()
+            .map(|s| {
+                let g = s.grid(scale);
+                g.sizes.iter().map(|&n| n * g.samples_per_size).sum()
+            })
+            .collect();
+        let max_n =
+            selected.iter().flat_map(|s| s.grid(scale).sizes.iter().copied()).max().unwrap_or(0);
+        let min_window: usize =
+            spec_deliveries.windows(checkpoint_every).map(|w| w.iter().sum()).min().unwrap_or(0);
+        let budget = 50 * max_n;
+        if min_window < budget {
+            eprintln!(
+                "warning: --checkpoint-every {checkpoint_every} flushes the ledger about every \
+                 ~{min_window} deliveries at the cheapest point of this selection, below the \
+                 ~50n budget (~{budget} at n = {max_n}) where BENCH_0005.json shows checkpoint \
+                 overhead exceeding 5%; consider a larger --checkpoint-every"
+            );
         }
     }
     let flush = |ledger: &RunLedger| -> Result<(), ExitCode> {

@@ -1,6 +1,6 @@
 //! The discrete-event execution engine.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use ringleader_automata::Word;
 use ringleader_bitio::BitString;
@@ -53,6 +53,7 @@ pub struct RingRunner {
     pub(crate) max_events: usize,
     pub(crate) shards: usize,
     pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) epoch_batching: bool,
 }
 
 impl Default for RingRunner {
@@ -74,7 +75,18 @@ impl RingRunner {
             max_events: 50_000_000,
             shards: 1,
             fault_plan: None,
+            epoch_batching: true,
         }
+    }
+
+    /// Disables (or re-enables) epoch-batched round grants on the sharded
+    /// engine, forcing the one-pick-per-round merge path. Test-only: the
+    /// equivalence suite pins batched ≡ unbatched; production runs always
+    /// batch.
+    #[doc(hidden)]
+    pub fn epoch_batching(&mut self, on: bool) -> &mut Self {
+        self.epoch_batching = on;
+        self
     }
 
     /// Splits single runs across `shards` contiguous arcs, each owned by
@@ -462,7 +474,7 @@ fn capture_serial(
         deliveries,
         position_deliveries: position_deliveries.to_vec(),
         stats: stats.clone(),
-        links: links.queues.iter().map(|q| q.iter().cloned().collect()).collect(),
+        links: (0..links.backlog.len()).map(|link| links.queue_contents(link)).collect(),
         rng: links.index.export_rng(),
         processes: proc_states,
         trace: sink.trace.clone(),
@@ -471,7 +483,14 @@ fn capture_serial(
 }
 
 /// The link queues plus the scheduler's incrementally maintained view of
-/// them.
+/// them, laid out structure-of-arrays.
+///
+/// The hot fields — each link's head sequence number, backlog, and head
+/// payload — live in three dense parallel vectors, so the per-delivery
+/// path (`choose` → `pop` → `push`) touches a handful of cache lines
+/// even at n = 10⁶, instead of hopping through per-link `VecDeque`
+/// headers. Links holding more than one message (rare outside burst
+/// workloads) spill their tail into a side table keyed by link id.
 ///
 /// Every queue mutation flows through [`push`](Links::push) /
 /// [`pop`](Links::pop) so the [`LinkIndex`] stays exactly in sync; the
@@ -479,10 +498,21 @@ fn capture_serial(
 /// non-empty link recoverable in O(1) for the single-link fast path —
 /// the common case for unidirectional one-pass protocols, where at most
 /// one message is ever in flight.
+///
+/// Link ids: 0..n are clockwise links (i → i+1 mod n); n..2n are
+/// counter-clockwise links (i+1 → i, stored at n + i).
 struct Links {
-    /// Link ids: 0..n are clockwise links (i → i+1 mod n); n..2n are
-    /// counter-clockwise links (i+1 → i, stored at n + i).
-    queues: Vec<VecDeque<(u64, BitString)>>,
+    /// Sequence number of each link's head message; meaningful only
+    /// while `backlog[link] > 0`.
+    head_seq: Vec<u64>,
+    /// Queued-message count per link.
+    backlog: Vec<u32>,
+    /// Payload of each link's head message; an empty placeholder while
+    /// the link is empty.
+    head_payload: Vec<BitString>,
+    /// Tail entries (everything behind the head) for links with backlog
+    /// ≥ 2, front first.
+    overflow: BTreeMap<usize, VecDeque<(u64, BitString)>>,
     index: Box<dyn LinkIndex>,
     /// Number of non-empty links.
     occupied: usize,
@@ -493,20 +523,28 @@ struct Links {
 
 impl Links {
     fn new(n: usize, index: Box<dyn LinkIndex>) -> Self {
-        let mut queues = Vec::with_capacity(2 * n);
-        queues.resize_with(2 * n, VecDeque::new);
-        Self { queues, index, occupied: 0, id_xor: 0 }
+        Self {
+            head_seq: vec![0; 2 * n],
+            backlog: vec![0; 2 * n],
+            head_payload: vec![BitString::new(); 2 * n],
+            overflow: BTreeMap::new(),
+            index,
+            occupied: 0,
+            id_xor: 0,
+        }
     }
 
     fn push(&mut self, link: usize, seq: u64, payload: BitString) {
-        let queue = &mut self.queues[link];
-        queue.push_back((seq, payload));
-        let backlog = queue.len();
-        if backlog == 1 {
+        if self.backlog[link] == 0 {
+            self.head_seq[link] = seq;
+            self.head_payload[link] = payload;
             self.occupied += 1;
             self.id_xor ^= link;
+        } else {
+            self.overflow.entry(link).or_default().push_back((seq, payload));
         }
-        self.index.on_push(link, seq, backlog);
+        self.backlog[link] += 1;
+        self.index.on_push(link, seq, self.backlog[link] as usize);
     }
 
     /// The scheduling policy's pick, or `None` when the ring is quiescent.
@@ -523,15 +561,37 @@ impl Links {
     }
 
     fn pop(&mut self, link: usize) -> BitString {
-        let queue = &mut self.queues[link];
-        let (_, payload) = queue.pop_front().expect("chosen link non-empty");
-        let backlog = queue.len();
+        let backlog = self.backlog[link].checked_sub(1).expect("chosen link non-empty");
+        self.backlog[link] = backlog;
         if backlog == 0 {
             self.occupied -= 1;
             self.id_xor ^= link;
+            self.index.on_pop(link, None, 0);
+            std::mem::take(&mut self.head_payload[link])
+        } else {
+            let tail = self.overflow.get_mut(&link).expect("backlog ≥ 2 spills to overflow");
+            let (next_seq, next_payload) = tail.pop_front().expect("overflow entry non-empty");
+            if tail.is_empty() {
+                self.overflow.remove(&link);
+            }
+            let payload = std::mem::replace(&mut self.head_payload[link], next_payload);
+            self.head_seq[link] = next_seq;
+            self.index.on_pop(link, Some(next_seq), backlog as usize);
+            payload
         }
-        self.index.on_pop(link, queue.front().map(|&(s, _)| s), backlog);
-        payload
+    }
+
+    /// Front-to-back contents of `link`, for checkpoint capture.
+    fn queue_contents(&self, link: usize) -> Vec<(u64, BitString)> {
+        if self.backlog[link] == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.backlog[link] as usize);
+        out.push((self.head_seq[link], self.head_payload[link].clone()));
+        if let Some(tail) = self.overflow.get(&link) {
+            out.extend(tail.iter().cloned());
+        }
+        out
     }
 }
 

@@ -35,12 +35,21 @@
 //!   contiguous arcs, each owned by a pool worker that runs the event
 //!   loop over its arc; boundary links hand messages off through
 //!   channels, and a coordinator merges per-shard reports in the serial
-//!   scheduler's exact pick order. The output is **byte-identical to
-//!   the serial engine for every shard count and scheduling policy** —
-//!   pinned trace-by-trace in `tests/shard_equiv.rs` and at scale in the
-//!   soak tier — so sharding is purely a wall-clock/capacity decision
-//!   (it exists for the `massive` profile's single runs at 10⁶
-//!   processors, not for small rings, where coordination dominates).
+//!   scheduler's exact pick order. Whenever every in-flight message
+//!   targets one arc, the coordinator grants that shard an *epoch* — a
+//!   replica of the scheduler state good for a whole batch of
+//!   consecutive picks, executed shard-side and merged from one report
+//!   (replayed pick-by-pick when tracing, folded as O(touched)
+//!   aggregate counters when not) — and falls back to per-round
+//!   delivery commands (whole in-flight
+//!   windows for FIFO, one pick for LongestQueue/Random) only while
+//!   in-flight traffic genuinely spans arcs. The output is
+//!   **byte-identical to the serial engine for every shard count and
+//!   scheduling policy** — pinned trace-by-trace in
+//!   `tests/shard_equiv.rs` (which also pins epoch-batched ≡ one-pick
+//!   merging and the coordination budget: under one coordinator channel
+//!   message per delivery on a FIFO one-pass) and at scale in the soak
+//!   tier — so sharding is purely a wall-clock/capacity decision.
 //! * **Threaded runner** ([`ThreadedRunner`]): one OS thread per
 //!   processor with real blocking channels — the most literal reading of
 //!   the asynchronous model, used to cross-check that the event-driven
@@ -61,13 +70,15 @@
 //!   Snapshots are engine-agnostic: capture serially, resume sharded, or
 //!   vice versa.
 //! * **Sharded quiesce.** The sharded engine checkpoints at coordinator
-//!   round boundaries: the coordinator stops issuing delivery rounds at
-//!   the first boundary at or after the requested event index, asks each
-//!   worker to drain its in-bound boundary channels and serialize its
-//!   arc (processes + queue payloads), and zips the payloads with its
-//!   own payload-free link replica's sequence numbers. The pause point
-//!   may land a few deliveries after the serial engine's (a round is
-//!   atomic), but the resumed run's observables are identical.
+//!   round/epoch boundaries: the coordinator stops granting work at the
+//!   first boundary at or after the requested event index (epoch grants
+//!   are clipped to the pause point, so an epoch never overshoots it),
+//!   asks each worker to drain its in-bound boundary channels and
+//!   serialize its arc (processes + queue payloads), and zips the
+//!   payloads with its own payload-free link replica's sequence numbers.
+//!   The pause point may land a few deliveries after the serial
+//!   engine's (a round is atomic), but the resumed run's observables
+//!   are identical.
 //! * **Threaded restore.** The threaded runner *resumes* snapshots
 //!   ([`ThreadedRunner::resume`] preloads the channels and skips the
 //!   leader start) but cannot *capture* them: with one OS thread per
@@ -163,6 +174,8 @@ pub use faults::{Corruption, Fault, FaultAction, FaultPlan};
 pub use sched::Scheduler;
 #[doc(hidden)]
 pub use sched::{testkit as sched_testkit, LinkIndex};
+#[doc(hidden)]
+pub use shard::testkit as shard_testkit;
 pub use stats::ExecStats;
 pub use threaded::ThreadedRunner;
 pub use token::{token_violations, validate_token_discipline};

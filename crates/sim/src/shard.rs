@@ -16,26 +16,61 @@
 //! global event sequence, the delivery count, and — crucially — the
 //! scheduling decisions. It maintains [`MetaLinks`], a payload-free
 //! replica of the serial engine's link state driven by the same
-//! [`LinkIndex`], and repeatedly:
+//! [`LinkIndex`], and commands deliveries through two merge paths:
 //!
-//! 1. picks the next *window* of deliveries exactly as the serial engine
-//!    would (for [`Scheduler::Fifo`] the whole in-flight set is one
-//!    window — every in-flight seq is smaller than any seq a new send can
-//!    get, so the next `in_flight` picks are fixed; for `LongestQueue`
-//!    and `Random` the window is a single delivery, reproducing the
-//!    serial interleaving pick by pick, RNG draws included);
-//! 2. dispatches each shard's slice of the window as one
-//!    [`ShardJob::Round`];
-//! 3. collects one [`RoundReport`] per commanded shard and **merges**
-//!    them in window order, applying sends to `MetaLinks`, stats, and
-//!    trace in exactly the order `apply_effects` would have.
+//! * **Epochs** (the fast path, every policy). Whenever every non-empty
+//!   link is owned (receiver-side) by a single shard — the steady state
+//!   of any protocol whose activity is a token walking the ring — the
+//!   next pick, and every pick after it until a message crosses a shard
+//!   boundary, is computable *inside that shard*: no other shard can
+//!   execute, so no send the coordinator hasn't seen can change the
+//!   pick sequence. The coordinator grants the shard an
+//!   [`EpochGrant`] — the non-empty link seqs, the scheduler RNG state,
+//!   and a delivery cap — and the shard replays the *same* policy on a
+//!   [`LocalSched`] replica, executing picks locally until one targets
+//!   a remote receiver, the cap is hit, the arc quiesces, or the run
+//!   ends. One [`RoundReport`] comes back for the whole epoch, and the
+//!   coordinator merges it one of two ways. When a trace sink is
+//!   active it **replays** entry by entry — `choose`/`pop` on
+//!   `MetaLinks`, stats, trace, limit checks — regenerating every
+//!   observable in serial order. Untraced runs skip the per-entry
+//!   record entirely: the shard executes the same walk but accumulates
+//!   an [`AggReport`] — delivery/bit counters as dense arc-local
+//!   arrays with touched-index lists, the end-of-epoch link state, and
+//!   how the epoch ended — and the coordinator folds it in O(touched)
+//!   instead of O(deliveries). This is exact, not approximate: every
+//!   [`ExecStats`] field is a commutative sum, stats on errored runs
+//!   are unobservable (the run returns `Err`), and the scheduler
+//!   replica's end state (links, RNG, seq) is shipped verbatim, so the
+//!   merge rebases `MetaLinks` to it and continues as if it had
+//!   replayed every pick. When an epoch ends at a boundary with
+//!   exactly one non-empty link, the report carries a [`Handoff`] and
+//!   the coordinator pre-grants the next arc's epoch *before* replaying,
+//!   so the next shard executes while the merge runs: the token
+//!   pipeline never waits on the coordinator.
+//! * **Windows** (the fallback, exact for every interleaving). When
+//!   in-flight messages span shards (or a fault plan is active), the
+//!   coordinator picks the next *window* of deliveries exactly as the
+//!   serial engine would (for [`Scheduler::Fifo`] the whole in-flight
+//!   set is one window — every in-flight seq is smaller than any seq a
+//!   new send can get, so the next `in_flight` picks are fixed; for
+//!   `LongestQueue` and `Random` the window is a single delivery,
+//!   reproducing the serial interleaving pick by pick, RNG draws
+//!   included), dispatches each shard's slice as one
+//!   [`ShardJob::Round`], and merges the reports in window order.
+//!
+//! Report, command, and send buffers shuttle between the coordinator
+//! and the shards (`reuse` on [`ShardJob`], `cmds` riding back on
+//! [`RoundReport`]), so the steady-state channel hop allocates nothing.
 //!
 //! Because every result-bearing effect flows through the merge in serial
-//! order, the sharded engine is **byte-identical to the serial engine**
-//! for every shard count and policy: same `Outcome`, same trace, same
-//! error on the same event. The serial path survives as the test oracle
-//! (`tests/shard_equiv.rs`), exactly like the `NaiveChooser` oracle for
-//! the scheduler index.
+//! order — epochs only move *where* picks are computed, never *what*
+//! they are — the sharded engine is **byte-identical to the serial
+//! engine** for every shard count and policy: same `Outcome`, same
+//! trace, same error on the same event. The serial path survives as the
+//! test oracle (`tests/shard_equiv.rs`, which also pins epoch-batched ≡
+//! one-pick merges), exactly like the `NaiveChooser` oracle for the
+//! scheduler index.
 //!
 //! # Why blocking boundary receives cannot deadlock
 //!
@@ -56,12 +91,14 @@
 //! the shard's channels; the coordinator sees the disconnect as
 //! `ShardFailed` on the next send or receive.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ringleader_automata::Word;
 use ringleader_bitio::BitString;
 
 use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::checkpoint::{EngineSnapshot, RunPhase, SNAPSHOT_VERSION};
 use crate::context::{Context, Process, ProcessError, ProcessResult, Protocol};
@@ -82,15 +119,54 @@ struct DeliverCmd {
     fault: Option<DeliveryFault>,
 }
 
-/// Work the coordinator hands a shard.
+/// Work the coordinator hands a shard. `reuse` carries a recycled report
+/// (buffers intact from a previous round) back to the shard, so the
+/// steady-state hop allocates nothing.
 enum ShardJob {
     /// Run the leader's `on_start` (only ever sent to shard 0).
     Start,
     /// Execute these deliveries in order and report back.
-    Round(Vec<DeliverCmd>),
+    Round { cmds: Vec<DeliverCmd>, reuse: RoundReport },
+    /// Run picks locally under the granted link/RNG state until a pick
+    /// leaves the arc, the cap is reached, the arc quiesces, or the run
+    /// ends — then report the whole epoch at once.
+    Epoch { grant: EpochGrant, reuse: RoundReport },
     /// Serialize the arc's state (processes + inbound queues) and reply
     /// on the snapshot channel. Only sent at a quiesced round boundary.
     Snapshot,
+}
+
+/// Everything a shard needs to compute the serial pick sequence locally:
+/// a snapshot of the non-empty link queues (all owned by the granted
+/// shard), the global send-sequence counter, the scheduler RNG state
+/// (`Random` only), and a delivery cap bounding the epoch at the next
+/// pause/event-limit boundary.
+struct EpochGrant {
+    /// Global sequence counter at the epoch's start.
+    seq: u64,
+    /// Maximum deliveries this epoch may execute (≥ 1).
+    cap: usize,
+    /// Every non-empty link: `(link id, queued seqs front first)`.
+    links: Vec<(usize, Vec<u64>)>,
+    /// Scheduler RNG state at the epoch's start, when the policy has one.
+    rng: Option<Vec<u64>>,
+}
+
+/// An epoch's parting gift: when the epoch ended on a pick targeting a
+/// remote receiver and that link was the *only* non-empty one, the next
+/// epoch's grant is fully determined — the coordinator forwards it to
+/// the receiving shard before replaying this report, overlapping the
+/// merge with the next arc's execution.
+struct Handoff {
+    /// The link the final (un-executed) pick chose.
+    link: usize,
+    /// Its queued seqs, front first.
+    seqs: Vec<u64>,
+    /// RNG state from *before* the final pick's draw: the next consumer
+    /// of that draw (the receiving shard's first pick) re-draws it.
+    rng: Option<Vec<u64>>,
+    /// Global sequence counter when the epoch stopped.
+    seq_end: u64,
 }
 
 /// One arc's state at a quiesced round boundary.
@@ -115,6 +191,11 @@ struct SendRecord {
 
 /// What one commanded delivery (or the leader start) did.
 struct DeliveryReport {
+    /// Arc-local receiver position — redundant on the window path (the
+    /// coordinator commanded it), asserted against the replayed pick on
+    /// the epoch path.
+    local_pos: u32,
+    direction: Direction,
     /// The delivered payload, carried only when tracing.
     payload: Option<BitString>,
     sends: Vec<SendRecord>,
@@ -122,10 +203,173 @@ struct DeliveryReport {
     error: Option<ProcessError>,
 }
 
-/// A shard's answer to one [`ShardJob`]: reports for the commanded
-/// deliveries in order, truncated at the first error or decision.
+impl Default for DeliveryReport {
+    fn default() -> Self {
+        Self {
+            local_pos: 0,
+            direction: Direction::Clockwise,
+            payload: None,
+            sends: Vec::new(),
+            decision: None,
+            error: None,
+        }
+    }
+}
+
+impl DeliveryReport {
+    /// Clears the entry for reuse, keeping the send buffer's capacity.
+    fn reset(&mut self) {
+        self.local_pos = 0;
+        self.direction = Direction::Clockwise;
+        self.payload = None;
+        self.sends.clear();
+        self.decision = None;
+        self.error = None;
+    }
+}
+
+/// How an aggregate-mode epoch ended, with enough position data for the
+/// coordinator to raise the exact serial error without per-entry replay.
+#[derive(Default)]
+enum AggEnd {
+    /// Cap, quiescence, or a remote pick: the run continues.
+    #[default]
+    Clean,
+    /// The receiving process decided. A non-leader position becomes
+    /// `FollowerDecided`; the leader's ends the run with this outcome.
+    Decision { local_pos: u32, decision: bool },
+    /// The handler erred: `SimError::Process` at `lo + local_pos`.
+    Error { local_pos: u32, source: ProcessError },
+    /// A topology-violating send: `SimError::IllegalSend`.
+    Illegal { local_pos: u32, direction: Direction },
+}
+
+/// Aggregated observables of one *untraced* epoch: the exact deltas the
+/// coordinator folds into its state in O(touched links) instead of
+/// replaying one entry per delivery. Sound because every coordinator
+/// observable on this path is order-free: [`ExecStats`] is commutative
+/// accumulation, per-position delivery counts are sums, and the link
+/// state only matters at the epoch boundary — the shard ships its end
+/// state verbatim. Stats on an error ending are dropped with the run
+/// (the serial engine returns `Err`), so only clean and decision ends
+/// need them, and those the shard computes exactly. Dense per-slot
+/// buffers persist inside the recycled [`RoundReport`]; `touched_*`
+/// lists the dirty slots so reset is O(touched), not O(arc).
+struct AggReport {
+    delivered: usize,
+    /// The global send-seq counter after the epoch's last send.
+    seq_end: u64,
+    total_bits: usize,
+    message_count: usize,
+    max_message_bits: usize,
+    /// Deliveries per arc slot (dense, arc-sized).
+    pos_deliveries: Vec<u32>,
+    /// Clockwise bits sent from arc slot `i` (link `lo + i`).
+    cw_bits: Vec<usize>,
+    /// Counter-clockwise bits sent from arc slot `i` (link
+    /// `(lo + i + n - 1) % n`).
+    ccw_bits: Vec<usize>,
+    touched_pos: Vec<u32>,
+    touched_cw: Vec<u32>,
+    touched_ccw: Vec<u32>,
+    /// Every link still in flight at epoch end, front-to-back seqs —
+    /// the handoff link included (the coordinator rebuilds its replica
+    /// from this, then the pre-granted epoch consumes the handoff).
+    end_links: Vec<(usize, Vec<u64>)>,
+    /// Scheduler RNG state at epoch end — saved *before* an un-executed
+    /// remote pick's draw, exactly as per-entry replay would leave it.
+    rng_end: Option<Vec<u64>>,
+    end: AggEnd,
+}
+
+impl Default for AggReport {
+    fn default() -> Self {
+        Self {
+            delivered: 0,
+            seq_end: 0,
+            total_bits: 0,
+            message_count: 0,
+            max_message_bits: 0,
+            pos_deliveries: Vec::new(),
+            cw_bits: Vec::new(),
+            ccw_bits: Vec::new(),
+            touched_pos: Vec::new(),
+            touched_cw: Vec::new(),
+            touched_ccw: Vec::new(),
+            end_links: Vec::new(),
+            rng_end: None,
+            end: AggEnd::Clean,
+        }
+    }
+}
+
+impl AggReport {
+    /// Readies the buffers for a new epoch over an arc of `len` slots.
+    /// Defensive O(touched) scrub: a report abandoned mid-teardown may
+    /// come back dirty.
+    fn begin(&mut self, len: usize) {
+        if self.pos_deliveries.len() != len {
+            self.pos_deliveries = vec![0; len];
+            self.cw_bits = vec![0; len];
+            self.ccw_bits = vec![0; len];
+        }
+        while let Some(i) = self.touched_pos.pop() {
+            self.pos_deliveries[i as usize] = 0;
+        }
+        while let Some(i) = self.touched_cw.pop() {
+            self.cw_bits[i as usize] = 0;
+        }
+        while let Some(i) = self.touched_ccw.pop() {
+            self.ccw_bits[i as usize] = 0;
+        }
+        self.delivered = 0;
+        self.seq_end = 0;
+        self.total_bits = 0;
+        self.message_count = 0;
+        self.max_message_bits = 0;
+        self.end_links.clear();
+        self.rng_end = None;
+        self.end = AggEnd::Clean;
+    }
+}
+
+/// A shard's answer to one [`ShardJob`]: the first `used` entries (in
+/// execution order, truncated at the first error or decision), plus the
+/// drained command buffer riding back for reuse and, on the epoch path,
+/// an optional [`Handoff`]. Entry buffers beyond `used` are spares kept
+/// for their capacity. Untraced epochs set `agg_active` and fill `agg`
+/// instead of `entries`.
+#[derive(Default)]
 struct RoundReport {
-    deliveries: Vec<DeliveryReport>,
+    entries: Vec<DeliveryReport>,
+    used: usize,
+    /// The [`ShardJob::Round`] command buffer, returned for reuse.
+    cmds: Vec<DeliverCmd>,
+    handoff: Option<Handoff>,
+    /// Aggregate-mode deltas; meaningful only while `agg_active`.
+    agg: AggReport,
+    agg_active: bool,
+}
+
+impl RoundReport {
+    /// Clears the report for a new round/epoch, keeping every buffer.
+    fn reset(&mut self) {
+        self.used = 0;
+        self.cmds.clear();
+        self.handoff = None;
+        self.agg_active = false;
+    }
+
+    /// The next writable entry, recycled if one is spare.
+    fn next_entry(&mut self) -> &mut DeliveryReport {
+        if self.used == self.entries.len() {
+            self.entries.push(DeliveryReport::default());
+        }
+        let entry = &mut self.entries[self.used];
+        self.used += 1;
+        entry.reset();
+        entry
+    }
 }
 
 /// One delivery of the coordinator's current window, in global order.
@@ -148,33 +392,73 @@ enum EventEnd {
 
 /// A payload-free replica of the serial engine's `Links`: the same queue
 /// occupancy, the same head seqs, the same [`LinkIndex`] transitions —
-/// so `choose()` returns exactly the serial pick at every step.
+/// so `choose()` returns exactly the serial pick at every step. Laid out
+/// structure-of-arrays like the serial `Links` (dense head-seq/backlog
+/// vectors, rare multi-message tails in a side table), and additionally
+/// tracking, in O(1) per transition, which *shards* own non-empty links
+/// — the epoch grant condition.
 struct MetaLinks {
-    queues: Vec<VecDeque<u64>>,
+    /// Head seq per link; meaningful only while `backlog[link] > 0`.
+    head_seq: Vec<u64>,
+    /// Queued-seq count per link.
+    backlog: Vec<u32>,
+    /// Tail seqs (behind the head) for links with backlog ≥ 2.
+    overflow: BTreeMap<usize, VecDeque<u64>>,
     index: Box<dyn LinkIndex>,
     occupied: usize,
     id_xor: usize,
     /// Total messages in flight across all links.
     in_flight: usize,
+    /// Shard owning each link's receiver.
+    link_owner: Vec<u32>,
+    /// Non-empty link count per shard.
+    shard_occ: Vec<u32>,
+    /// Number of shards owning ≥ 1 non-empty link.
+    occupied_shards: usize,
+    /// Xor of the ids of shards owning ≥ 1 non-empty link; equals the
+    /// unique such shard whenever `occupied_shards == 1`.
+    shard_xor: usize,
+    /// Ids of all non-empty links, for epoch grant assembly.
+    active: BTreeSet<usize>,
 }
 
 impl MetaLinks {
-    fn new(n: usize, index: Box<dyn LinkIndex>) -> Self {
-        let mut queues = Vec::with_capacity(2 * n);
-        queues.resize_with(2 * n, VecDeque::new);
-        Self { queues, index, occupied: 0, id_xor: 0, in_flight: 0 }
+    fn new(n: usize, index: Box<dyn LinkIndex>, owner: &[usize], shards: usize) -> Self {
+        let link_owner = (0..2 * n).map(|link| owner[decode_link(link, n).0] as u32).collect();
+        Self {
+            head_seq: vec![0; 2 * n],
+            backlog: vec![0; 2 * n],
+            overflow: BTreeMap::new(),
+            index,
+            occupied: 0,
+            id_xor: 0,
+            in_flight: 0,
+            link_owner,
+            shard_occ: vec![0; shards],
+            occupied_shards: 0,
+            shard_xor: 0,
+            active: BTreeSet::new(),
+        }
     }
 
     fn push(&mut self, link: usize, seq: u64) {
-        let queue = &mut self.queues[link];
-        queue.push_back(seq);
-        let backlog = queue.len();
-        if backlog == 1 {
+        if self.backlog[link] == 0 {
+            self.head_seq[link] = seq;
             self.occupied += 1;
             self.id_xor ^= link;
+            self.active.insert(link);
+            let shard = self.link_owner[link] as usize;
+            self.shard_occ[shard] += 1;
+            if self.shard_occ[shard] == 1 {
+                self.occupied_shards += 1;
+                self.shard_xor ^= shard;
+            }
+        } else {
+            self.overflow.entry(link).or_default().push_back(seq);
         }
+        self.backlog[link] += 1;
         self.in_flight += 1;
-        self.index.on_push(link, seq, backlog);
+        self.index.on_push(link, seq, self.backlog[link] as usize);
     }
 
     /// Mirrors `Links::choose`, including the single-link fast path (the
@@ -191,15 +475,184 @@ impl MetaLinks {
     }
 
     fn pop(&mut self, link: usize) {
-        let queue = &mut self.queues[link];
-        queue.pop_front().expect("chosen link non-empty");
-        let backlog = queue.len();
+        let backlog = self.backlog[link].checked_sub(1).expect("chosen link non-empty");
+        self.backlog[link] = backlog;
+        self.in_flight -= 1;
         if backlog == 0 {
             self.occupied -= 1;
             self.id_xor ^= link;
+            self.active.remove(&link);
+            let shard = self.link_owner[link] as usize;
+            self.shard_occ[shard] -= 1;
+            if self.shard_occ[shard] == 0 {
+                self.occupied_shards -= 1;
+                self.shard_xor ^= shard;
+            }
+            self.index.on_pop(link, None, 0);
+        } else {
+            let tail = self.overflow.get_mut(&link).expect("backlog ≥ 2 spills to overflow");
+            let next = tail.pop_front().expect("overflow entry non-empty");
+            if tail.is_empty() {
+                self.overflow.remove(&link);
+            }
+            self.head_seq[link] = next;
+            self.index.on_pop(link, Some(next), backlog as usize);
         }
-        self.in_flight -= 1;
-        self.index.on_pop(link, queue.front().copied(), backlog);
+    }
+
+    /// The shard owning the receivers of *all* non-empty links, when
+    /// there is exactly one — the epoch grant condition.
+    fn single_owner(&self) -> Option<usize> {
+        (self.occupied_shards == 1).then_some(self.shard_xor)
+    }
+
+    /// Front-to-back queued seqs of `link`, for grants and capture.
+    fn queue_seqs(&self, link: usize) -> Vec<u64> {
+        if self.backlog[link] == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.backlog[link] as usize);
+        out.push(self.head_seq[link]);
+        if let Some(tail) = self.overflow.get(&link) {
+            out.extend(tail.iter().copied());
+        }
+        out
+    }
+}
+
+/// A shard-local replica of the scheduling policy for one epoch.
+///
+/// Exactness argument: during an epoch no other shard executes, so the
+/// global link state is the granted queues plus this shard's own pushes
+/// — all of which flow through this replica. Each policy's pick is then
+/// recomputed from first principles over the (id-ordered) non-empty
+/// set: FIFO picks the minimum head seq (seqs are unique), LongestQueue
+/// the lowest-id link among the largest backlogs, Random the `k`-th
+/// smallest non-empty id for `k` drawn from the granted RNG state — the
+/// same definitions the incremental [`LinkIndex`] implementations
+/// maintain, checked against them by the epoch-equivalence suite. The
+/// replica is O(occupied) per pick rather than O(log n), which is fine:
+/// epochs exist precisely because `occupied` is tiny in the steady
+/// state (one token, one link) — which is also why the queues live in
+/// an id-ordered vec rather than a tree: a size-1 tree pays a node
+/// alloc/dealloc every time the single token pops its link empty and
+/// pushes the next, while vec insert/remove at these sizes is a
+/// register-width move, and `spare` recycles drained deques so the
+/// whole per-delivery path allocates nothing.
+struct LocalSched {
+    /// Non-empty link queues, ordered by global link id.
+    queues: Vec<(usize, VecDeque<u64>)>,
+    /// Drained queues kept for their capacity.
+    spare: Vec<VecDeque<u64>>,
+    policy: LocalPolicy,
+}
+
+enum LocalPolicy {
+    Fifo,
+    LongestQueue,
+    Random(StdRng),
+}
+
+impl LocalSched {
+    fn new(scheduler: &Scheduler, grant: &EpochGrant) -> Self {
+        let policy = match scheduler {
+            Scheduler::Fifo => LocalPolicy::Fifo,
+            Scheduler::LongestQueue => LocalPolicy::LongestQueue,
+            Scheduler::Random { seed } => LocalPolicy::Random(match &grant.rng {
+                Some(state) => {
+                    let mut s = [0u64; 4];
+                    for (slot, word) in s.iter_mut().zip(state) {
+                        *slot = *word;
+                    }
+                    StdRng::from_state(s)
+                }
+                None => StdRng::seed_from_u64(*seed),
+            }),
+        };
+        // Grant links arrive in ascending id order (the coordinator walks
+        // its ordered active set), which `push`/`pop` then maintain.
+        let queues = grant
+            .links
+            .iter()
+            .map(|(link, seqs)| (*link, seqs.iter().copied().collect()))
+            .collect();
+        Self { queues, spare: Vec::new(), policy }
+    }
+
+    /// RNG state right now (`Random` only) — saved before each pick so a
+    /// boundary pick can hand its un-consumed draw to the next epoch.
+    fn rng_state(&self) -> Option<Vec<u64>> {
+        match &self.policy {
+            LocalPolicy::Random(rng) => Some(rng.state().to_vec()),
+            _ => None,
+        }
+    }
+
+    /// The policy's next pick, or `None` when every link is empty.
+    /// Consumes RNG state exactly as the serial engine's single-link
+    /// fast path / full draw would.
+    fn choose(&mut self) -> Option<usize> {
+        let occupied = self.queues.len();
+        if occupied == 0 {
+            return None;
+        }
+        if occupied == 1 {
+            if let LocalPolicy::Random(rng) = &mut self.policy {
+                let k = rng.gen_range(0..1usize);
+                debug_assert_eq!(k, 0);
+            }
+            return Some(self.queues[0].0);
+        }
+        match &mut self.policy {
+            LocalPolicy::Fifo => {
+                self.queues.iter().min_by_key(|(_, q)| q.front().copied()).map(|&(link, _)| link)
+            }
+            LocalPolicy::LongestQueue => {
+                let mut best = None;
+                let mut best_len = 0;
+                for &(link, ref q) in &self.queues {
+                    if q.len() > best_len {
+                        best_len = q.len();
+                        best = Some(link);
+                    }
+                }
+                best
+            }
+            LocalPolicy::Random(rng) => {
+                let k = rng.gen_range(0..occupied);
+                Some(self.queues[k].0)
+            }
+        }
+    }
+
+    fn push(&mut self, link: usize, seq: u64) {
+        match self.queues.binary_search_by_key(&link, |&(l, _)| l) {
+            Ok(i) => self.queues[i].1.push_back(seq),
+            Err(i) => {
+                let mut queue = self.spare.pop().unwrap_or_default();
+                queue.push_back(seq);
+                self.queues.insert(i, (link, queue));
+            }
+        }
+    }
+
+    fn pop(&mut self, link: usize) {
+        let i =
+            self.queues.binary_search_by_key(&link, |&(l, _)| l).expect("chosen link non-empty");
+        let queue = &mut self.queues[i].1;
+        queue.pop_front().expect("chosen link non-empty");
+        if queue.is_empty() {
+            let (_, drained) = self.queues.remove(i);
+            self.spare.push(drained);
+        }
+    }
+
+    /// Removes and returns `link`'s queued seqs, for a [`Handoff`].
+    fn take_seqs(&mut self, link: usize) -> Vec<u64> {
+        match self.queues.binary_search_by_key(&link, |&(l, _)| l) {
+            Ok(i) => Vec::from(self.queues.remove(i).1),
+            Err(_) => Vec::new(),
+        }
     }
 }
 
@@ -210,27 +663,34 @@ impl MetaLinks {
 /// queues without disturbing the heads.
 struct SlotQueues {
     head: Vec<Option<BitString>>,
-    overflow: Vec<VecDeque<BitString>>,
+    /// Tail payloads for the rare slots holding more than one message —
+    /// a side table rather than a dense per-slot vector, so an idle
+    /// 10⁶-slot arc costs one flat `head` array and nothing else.
+    overflow: BTreeMap<usize, VecDeque<BitString>>,
 }
 
 impl SlotQueues {
     fn new(len: usize) -> Self {
-        let mut overflow = Vec::with_capacity(len);
-        overflow.resize_with(len, VecDeque::new);
-        Self { head: vec![None; len], overflow }
+        Self { head: vec![None; len], overflow: BTreeMap::new() }
     }
 
     fn push(&mut self, slot: usize, payload: BitString) {
-        if self.head[slot].is_none() && self.overflow[slot].is_empty() {
+        if self.head[slot].is_none() {
+            debug_assert!(!self.overflow.contains_key(&slot), "empty head implies empty tail");
             self.head[slot] = Some(payload);
         } else {
-            self.overflow[slot].push_back(payload);
+            self.overflow.entry(slot).or_default().push_back(payload);
         }
     }
 
     fn pop(&mut self, slot: usize) -> Option<BitString> {
         let payload = self.head[slot].take()?;
-        self.head[slot] = self.overflow[slot].pop_front();
+        if let Some(tail) = self.overflow.get_mut(&slot) {
+            self.head[slot] = tail.pop_front();
+            if tail.is_empty() {
+                self.overflow.remove(&slot);
+            }
+        }
         Some(payload)
     }
 
@@ -241,7 +701,9 @@ impl SlotQueues {
         if let Some(head) = &self.head[slot] {
             out.push(head.clone());
         }
-        out.extend(self.overflow[slot].iter().cloned());
+        if let Some(tail) = self.overflow.get(&slot) {
+            out.extend(tail.iter().cloned());
+        }
         out
     }
 }
@@ -253,6 +715,10 @@ struct ShardWorker {
     lo: usize,
     /// Arc length (≥ 1).
     len: usize,
+    /// Ring size — epochs decode global link ids shard-side.
+    n: usize,
+    scheduler: Scheduler,
+    topology: Topology,
     known: Option<usize>,
     tracing: bool,
     procs: Vec<Box<dyn Process>>,
@@ -316,20 +782,23 @@ impl ShardWorker {
     /// disconnect showed the run is being torn down (no report is sent;
     /// the coordinator observes the cascade as a channel disconnect).
     fn execute(&mut self, job: ShardJob, ctx: &mut Context) -> bool {
-        let mut report = RoundReport { deliveries: Vec::new() };
+        let mut report;
         match job {
             ShardJob::Start => {
+                report = RoundReport::default();
                 ctx.reset(true);
                 let result = self.procs[0].on_start(ctx);
                 if matches!(
-                    self.finish_event(ctx, 0, None, result, &mut report),
+                    self.finish_event(ctx, 0, Direction::Clockwise, None, result, &mut report),
                     EventEnd::NeighbourGone
                 ) {
                     return false;
                 }
             }
-            ShardJob::Round(cmds) => {
-                for cmd in cmds {
+            ShardJob::Round { cmds, reuse } => {
+                report = reuse;
+                report.reset();
+                for cmd in &cmds {
                     let Some(mut payload) = self.take_inbound(cmd.local_pos, cmd.direction) else {
                         return false;
                     };
@@ -365,11 +834,32 @@ impl ShardWorker {
                         }
                     }
                     let delivered = self.tracing.then_some(payload);
-                    match self.finish_event(ctx, cmd.local_pos, delivered, result, &mut report) {
+                    match self.finish_event(
+                        ctx,
+                        cmd.local_pos,
+                        cmd.direction,
+                        delivered,
+                        result,
+                        &mut report,
+                    ) {
                         EventEnd::Continue => {}
                         EventEnd::EndRun => break,
                         EventEnd::NeighbourGone => return false,
                     }
+                }
+                // The drained command buffer rides back for reuse.
+                report.cmds = cmds;
+            }
+            ShardJob::Epoch { grant, reuse } => {
+                report = reuse;
+                report.reset();
+                let ok = if self.tracing {
+                    self.run_epoch(&grant, ctx, &mut report)
+                } else {
+                    self.run_epoch_agg(&grant, ctx, &mut report)
+                };
+                if !ok {
+                    return false;
                 }
             }
             ShardJob::Snapshot => {
@@ -411,32 +901,34 @@ impl ShardWorker {
         &mut self,
         ctx: &mut Context,
         local_pos: usize,
+        direction: Direction,
         delivered: Option<BitString>,
         result: ProcessResult,
         report: &mut RoundReport,
     ) -> EventEnd {
-        let mut entry =
-            DeliveryReport { payload: delivered, sends: Vec::new(), decision: None, error: None };
+        let tracing = self.tracing;
+        let entry = report.next_entry();
+        entry.local_pos = local_pos as u32;
+        entry.direction = direction;
+        entry.payload = delivered;
         if let Err(source) = result {
             entry.error = Some(source);
-            report.deliveries.push(entry);
             return EventEnd::EndRun;
         }
         let decision = ctx.take_decision();
+        entry.decision = decision;
         let route = decision.is_none();
         let mut neighbour_gone = false;
-        for (direction, payload) in ctx.drain_outbox() {
+        for (send_dir, payload) in ctx.drain_outbox() {
             entry.sends.push(SendRecord {
-                direction,
+                direction: send_dir,
                 bits: payload.len(),
-                payload: self.tracing.then(|| payload.clone()),
+                payload: tracing.then(|| payload.clone()),
             });
             if route && !neighbour_gone {
-                neighbour_gone = !self.route(local_pos, direction, payload);
+                neighbour_gone = !self.route(local_pos, send_dir, payload);
             }
         }
-        entry.decision = decision;
-        report.deliveries.push(entry);
         if neighbour_gone {
             EventEnd::NeighbourGone
         } else if decision.is_some() {
@@ -444,6 +936,273 @@ impl ShardWorker {
         } else {
             EventEnd::Continue
         }
+    }
+
+    /// Runs one epoch: replays the granted scheduler state locally,
+    /// executing every pick that lands in this arc, until a pick leaves
+    /// the arc, the cap is reached, the arc quiesces, or the run ends.
+    /// Returns `false` on tear-down (no report).
+    fn run_epoch(
+        &mut self,
+        grant: &EpochGrant,
+        ctx: &mut Context,
+        report: &mut RoundReport,
+    ) -> bool {
+        let mut sched = LocalSched::new(&self.scheduler, grant);
+        let mut seq = grant.seq;
+        let mut delivered = 0usize;
+        while delivered < grant.cap {
+            // Saved *before* the draw: a boundary pick's draw is re-drawn
+            // by the next consumer of the scheduler state.
+            let pre_rng = sched.rng_state();
+            let Some(link) = sched.choose() else { break };
+            let (receiver, direction) = decode_link(link, self.n);
+            if receiver < self.lo || receiver >= self.lo + self.len {
+                // The pick left the arc: the epoch is over. When the
+                // chosen link is the only non-empty one, the next epoch
+                // is fully determined — hand it off so the coordinator
+                // can pre-grant it before replaying this report.
+                if sched.queues.len() == 1 {
+                    let seqs = sched.take_seqs(link);
+                    report.handoff = Some(Handoff { link, seqs, rng: pre_rng, seq_end: seq });
+                }
+                break;
+            }
+            sched.pop(link);
+            let local_pos = receiver - self.lo;
+            let Some(payload) = self.take_inbound(local_pos, direction) else {
+                return false;
+            };
+            ctx.reset(receiver == 0);
+            let result = self.procs[local_pos].on_message(direction, &payload, ctx);
+            delivered += 1;
+            let delivered_payload = self.tracing.then_some(payload);
+            match self.finish_epoch_event(
+                ctx,
+                local_pos,
+                direction,
+                delivered_payload,
+                result,
+                report,
+                &mut sched,
+                &mut seq,
+            ) {
+                EventEnd::Continue => {}
+                EventEnd::EndRun => break,
+                EventEnd::NeighbourGone => return false,
+            }
+        }
+        true
+    }
+
+    /// The epoch-path counterpart of [`finish_event`](Self::finish_event):
+    /// additionally advances the local sequence counter and scheduler
+    /// replica (the coordinator is not in the loop to do it), and gates
+    /// routing on the topology check — an illegal send must not reach the
+    /// replica, or the picks after it would diverge from the serial run
+    /// the replay reconstructs (which ends *at* that send).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_epoch_event(
+        &mut self,
+        ctx: &mut Context,
+        local_pos: usize,
+        direction: Direction,
+        delivered: Option<BitString>,
+        result: ProcessResult,
+        report: &mut RoundReport,
+        sched: &mut LocalSched,
+        seq: &mut u64,
+    ) -> EventEnd {
+        if self.tracing {
+            // The Deliver trace event the replay will emit consumes a seq
+            // before any of this event's sends.
+            *seq += 1;
+        }
+        let tracing = self.tracing;
+        let position = self.lo + local_pos;
+        let entry = report.next_entry();
+        entry.local_pos = local_pos as u32;
+        entry.direction = direction;
+        entry.payload = delivered;
+        if let Err(source) = result {
+            entry.error = Some(source);
+            return EventEnd::EndRun;
+        }
+        let decision = ctx.take_decision();
+        entry.decision = decision;
+        // A follower deciding ends the run at the replay's
+        // `FollowerDecided` check; sends are still recorded (the serial
+        // engine raises IllegalSend in preference to any decision) but
+        // nothing routes.
+        let run_over = decision.is_some();
+        let mut poisoned = false;
+        let mut neighbour_gone = false;
+        for (send_dir, payload) in ctx.drain_outbox() {
+            entry.sends.push(SendRecord {
+                direction: send_dir,
+                bits: payload.len(),
+                payload: tracing.then(|| payload.clone()),
+            });
+            if run_over || poisoned || neighbour_gone {
+                continue;
+            }
+            if !self.topology.allows(position, send_dir, self.n) {
+                // The replay raises IllegalSend at exactly this record;
+                // everything after it is unobservable.
+                poisoned = true;
+                continue;
+            }
+            let link = match send_dir {
+                Direction::Clockwise => position,
+                Direction::CounterClockwise => self.n + (position + self.n - 1) % self.n,
+            };
+            sched.push(link, *seq);
+            *seq += 1;
+            neighbour_gone = !self.route(local_pos, send_dir, payload);
+        }
+        if neighbour_gone {
+            EventEnd::NeighbourGone
+        } else if run_over || poisoned {
+            EventEnd::EndRun
+        } else {
+            EventEnd::Continue
+        }
+    }
+
+    /// The aggregate-mode counterpart of [`run_epoch`](Self::run_epoch),
+    /// used when no trace sink is active: instead of recording one entry
+    /// per delivery for the coordinator to replay, it folds each event
+    /// into [`AggReport`] deltas and ships the epoch-end link state, so
+    /// the merge costs O(links touched) rather than O(deliveries). The
+    /// walk itself — replica picks, routing, handoff detection — is
+    /// identical to the entry-mode epoch, and so are the error
+    /// precedences: a handler error discards the outbox, a follower
+    /// decision is raised before its sends are examined, an illegal
+    /// send beats a leader decision.
+    fn run_epoch_agg(
+        &mut self,
+        grant: &EpochGrant,
+        ctx: &mut Context,
+        report: &mut RoundReport,
+    ) -> bool {
+        let mut sched = LocalSched::new(&self.scheduler, grant);
+        let mut seq = grant.seq;
+        report.agg_active = true;
+        let agg = &mut report.agg;
+        agg.begin(self.len);
+        // `Some` when the epoch ended on a pick outside the arc: the
+        // link, with the RNG state from *before* its draw (the next
+        // consumer of the scheduler state re-draws it).
+        let mut remote: Option<(usize, Option<Vec<u64>>)> = None;
+        while agg.delivered < grant.cap {
+            let pre_rng = sched.rng_state();
+            let Some(link) = sched.choose() else { break };
+            let (receiver, direction) = decode_link(link, self.n);
+            if receiver < self.lo || receiver >= self.lo + self.len {
+                remote = Some((link, pre_rng));
+                break;
+            }
+            sched.pop(link);
+            let local_pos = receiver - self.lo;
+            let Some(payload) = self.take_inbound(local_pos, direction) else {
+                return false;
+            };
+            ctx.reset(receiver == 0);
+            let result = self.procs[local_pos].on_message(direction, &payload, ctx);
+            agg.delivered += 1;
+            if agg.pos_deliveries[local_pos] == 0 {
+                agg.touched_pos.push(local_pos as u32);
+            }
+            agg.pos_deliveries[local_pos] += 1;
+            if let Err(source) = result {
+                agg.end = AggEnd::Error { local_pos: local_pos as u32, source };
+                break;
+            }
+            let decision = ctx.take_decision();
+            if decision.is_some() && receiver != 0 {
+                // The merge raises FollowerDecided before looking at
+                // the event's sends — stop without scanning them.
+                agg.end = AggEnd::Decision {
+                    local_pos: local_pos as u32,
+                    decision: decision.unwrap_or_default(),
+                };
+                break;
+            }
+            let run_over = decision.is_some();
+            let mut poisoned = false;
+            let mut neighbour_gone = false;
+            for (send_dir, payload) in ctx.drain_outbox() {
+                if poisoned || neighbour_gone {
+                    continue;
+                }
+                if !self.topology.allows(receiver, send_dir, self.n) {
+                    // Raised before this send's stats, in preference to
+                    // a leader decision — the serial merge order.
+                    agg.end = AggEnd::Illegal { local_pos: local_pos as u32, direction: send_dir };
+                    poisoned = true;
+                    continue;
+                }
+                let bits = payload.len();
+                agg.total_bits += bits;
+                agg.message_count += 1;
+                agg.max_message_bits = agg.max_message_bits.max(bits);
+                match send_dir {
+                    Direction::Clockwise => {
+                        if agg.cw_bits[local_pos] == 0 && bits > 0 {
+                            agg.touched_cw.push(local_pos as u32);
+                        }
+                        agg.cw_bits[local_pos] += bits;
+                    }
+                    Direction::CounterClockwise => {
+                        if agg.ccw_bits[local_pos] == 0 && bits > 0 {
+                            agg.touched_ccw.push(local_pos as u32);
+                        }
+                        agg.ccw_bits[local_pos] += bits;
+                    }
+                }
+                if run_over {
+                    // A deciding event's sends count toward stats (the
+                    // serial merge records them before returning the
+                    // outcome) but route nowhere.
+                    continue;
+                }
+                let send_link = match send_dir {
+                    Direction::Clockwise => receiver,
+                    Direction::CounterClockwise => self.n + (receiver + self.n - 1) % self.n,
+                };
+                sched.push(send_link, seq);
+                seq += 1;
+                neighbour_gone = !self.route(local_pos, send_dir, payload);
+            }
+            if neighbour_gone {
+                return false;
+            }
+            if let Some(d) = decision {
+                if matches!(agg.end, AggEnd::Clean) {
+                    agg.end = AggEnd::Decision { local_pos: local_pos as u32, decision: d };
+                }
+                break;
+            }
+            if poisoned {
+                break;
+            }
+        }
+        agg.seq_end = seq;
+        let (remote_link, rng_end) = match remote {
+            Some((link, pre)) => (Some(link), pre),
+            None => (None, sched.rng_state()),
+        };
+        agg.rng_end = rng_end;
+        agg.end_links
+            .extend(sched.queues.iter().map(|&(l, ref q)| (l, q.iter().copied().collect())));
+        if let Some(link) = remote_link {
+            if sched.queues.len() == 1 {
+                let rng = agg.rng_end.clone();
+                let seqs = sched.take_seqs(link);
+                report.handoff = Some(Handoff { link, seqs, rng, seq_end: seq });
+            }
+        }
+        true
     }
 
     /// Pops the commanded inbound message, blocking on the boundary
@@ -628,6 +1387,9 @@ pub(crate) fn run_sharded(
         let worker = ShardWorker {
             lo,
             len,
+            n,
+            scheduler: scheduler.clone(),
+            topology: protocol.topology(),
             known,
             tracing,
             procs,
@@ -680,7 +1442,8 @@ impl Coordinator {
         mut sink: TraceSink,
     ) -> Result<RunPhase, SimError> {
         let n = self.n;
-        let mut meta = MetaLinks::new(n, self.scheduler.build_index(2 * n));
+        let mut meta =
+            MetaLinks::new(n, self.scheduler.build_index(2 * n), &self.owner, self.shards);
         let mut stats;
         let mut seq: u64;
         let mut deliveries: usize;
@@ -711,14 +1474,19 @@ impl Coordinator {
 
             // Start the leader on shard 0 and merge its report — the
             // counterpart of the serial engine's pre-loop `on_start` block.
+            testkit::bump();
             if self.job_txs[0].send(ShardJob::Start).is_err() {
                 return Err(SimError::ShardFailed { shard: 0 });
             }
+            testkit::bump();
             let report = self.report_rxs[0]
                 .recv()
                 .map_err(|RecvError| SimError::ShardFailed { shard: 0 })?;
+            if report.used == 0 {
+                return Err(SimError::ShardFailed { shard: 0 });
+            }
             let entry =
-                report.deliveries.into_iter().next().ok_or(SimError::ShardFailed { shard: 0 })?;
+                report.entries.into_iter().next().ok_or(SimError::ShardFailed { shard: 0 })?;
             if let Some(source) = entry.error {
                 return Err(SimError::Process { position: 0, source });
             }
@@ -749,25 +1517,254 @@ impl Coordinator {
         // in-flight set is one window. LongestQueue and Random picks
         // depend on the sends merged between deliveries: window size 1.
         let fifo = matches!(self.scheduler, Scheduler::Fifo);
+        // Epochs move pick computation into a shard; a fault plan keys on
+        // coordinator-owned per-position counters, so it forces the
+        // window path.
+        let epochs = runner.epoch_batching && fault_plan.is_none();
 
+        // Round-trip buffers, hoisted so the steady state allocates
+        // nothing: command vectors and spare reports shuttle to the
+        // shards and back.
         let mut cmds: Vec<Vec<DeliverCmd>> = Vec::new();
         cmds.resize_with(self.shards, Vec::new);
+        let mut spares: Vec<Option<RoundReport>> = Vec::new();
+        spares.resize_with(self.shards, || Some(RoundReport::default()));
+        let mut window: Vec<WindowEntry> = Vec::new();
+        let mut reports: Vec<Option<RoundReport>> = Vec::new();
+        reports.resize_with(self.shards, || None);
+        let mut cursors = vec![0usize; self.shards];
+        let mut active: Vec<usize> = Vec::with_capacity(self.shards);
+        // The shard whose epoch report is outstanding, if any.
+        let mut pending: Option<usize> = None;
+
         loop {
-            // Quiesce check first, mirroring the serial engine's
-            // pause-before-choose ordering: a round is atomic, so the
-            // boundary lands at the first round edge at or after `k`.
-            if let Some(k) = pause_at {
-                if deliveries >= k {
-                    let snap =
-                        self.capture(&meta, &stats, seq, deliveries, &position_deliveries, &sink)?;
-                    return Ok(RunPhase::Paused(Box::new(snap)));
+            if pending.is_none() {
+                // Quiesce check first, mirroring the serial engine's
+                // pause-before-choose ordering: a round/epoch is atomic,
+                // so the boundary lands at the first edge at or after `k`.
+                if let Some(k) = pause_at {
+                    if deliveries >= k {
+                        let snap = self.capture(
+                            &meta,
+                            &stats,
+                            seq,
+                            deliveries,
+                            &position_deliveries,
+                            &sink,
+                        )?;
+                        return Ok(RunPhase::Paused(Box::new(snap)));
+                    }
+                }
+                if meta.in_flight == 0 {
+                    return Err(SimError::Stalled { deliveries });
+                }
+                if epochs {
+                    if let Some(shard) = meta.single_owner() {
+                        let cap = self.epoch_cap(deliveries, pause_at);
+                        let grant = EpochGrant {
+                            seq,
+                            cap,
+                            links: meta
+                                .active
+                                .iter()
+                                .map(|&link| (link, meta.queue_seqs(link)))
+                                .collect(),
+                            rng: meta.index.export_rng(),
+                        };
+                        let reuse = spares[shard].take().unwrap_or_default();
+                        testkit::bump();
+                        if self.job_txs[shard].send(ShardJob::Epoch { grant, reuse }).is_err() {
+                            return Err(SimError::ShardFailed { shard });
+                        }
+                        pending = Some(shard);
+                    }
                 }
             }
-            if meta.in_flight == 0 {
-                return Err(SimError::Stalled { deliveries });
+
+            if let Some(shard) = pending.take() {
+                testkit::bump();
+                let mut report = self.report_rxs[shard]
+                    .recv()
+                    .map_err(|RecvError| SimError::ShardFailed { shard })?;
+                // Pre-grant the handed-off epoch *before* replaying, so
+                // the next arc executes while this report merges. Safe:
+                // a handoff means the epoch ended on a remote pick, so
+                // the report holds no error/decision and fewer than
+                // `cap` deliveries — the replay below completes cleanly
+                // and the pre-granted state is exactly meta's state
+                // after it.
+                if let Some(h) = report.handoff.take() {
+                    let done_count =
+                        if report.agg_active { report.agg.delivered } else { report.used };
+                    let after = deliveries + done_count;
+                    let within_pause = pause_at.is_none_or(|p| after < p);
+                    if within_pause && after <= self.max_events {
+                        let next = self.owner[decode_link(h.link, n).0];
+                        let grant = EpochGrant {
+                            seq: h.seq_end,
+                            cap: self.epoch_cap(after, pause_at),
+                            links: vec![(h.link, h.seqs)],
+                            rng: h.rng,
+                        };
+                        let reuse = spares[next].take().unwrap_or_default();
+                        testkit::bump();
+                        if self.job_txs[next].send(ShardJob::Epoch { grant, reuse }).is_err() {
+                            return Err(SimError::ShardFailed { shard: next });
+                        }
+                        pending = Some(next);
+                    }
+                }
+                if report.agg_active {
+                    // Aggregate merge: fold the epoch's deltas instead of
+                    // replaying entries — see [`AggReport`] for why this
+                    // is exact. Order matters only for the error checks:
+                    // the event limit preempts everything (the serial
+                    // loop checks it before each delivery), then the
+                    // epoch's own ending.
+                    let lo = self.bounds[shard].0;
+                    let agg = &mut report.agg;
+                    if deliveries + agg.delivered > self.max_events {
+                        return Err(SimError::EventLimitExceeded { limit: self.max_events });
+                    }
+                    while let Some(i) = agg.touched_pos.pop() {
+                        let local = i as usize;
+                        position_deliveries[lo + local] += u64::from(agg.pos_deliveries[local]);
+                        agg.pos_deliveries[local] = 0;
+                    }
+                    deliveries += agg.delivered;
+                    stats.total_bits += agg.total_bits;
+                    stats.message_count += agg.message_count;
+                    stats.max_message_bits = stats.max_message_bits.max(agg.max_message_bits);
+                    while let Some(i) = agg.touched_cw.pop() {
+                        let local = i as usize;
+                        stats.clockwise_link_bits[lo + local] += agg.cw_bits[local];
+                        agg.cw_bits[local] = 0;
+                    }
+                    while let Some(i) = agg.touched_ccw.pop() {
+                        let local = i as usize;
+                        stats.counter_clockwise_link_bits[(lo + local + n - 1) % n] +=
+                            agg.ccw_bits[local];
+                        agg.ccw_bits[local] = 0;
+                    }
+                    match std::mem::take(&mut agg.end) {
+                        AggEnd::Error { local_pos, source } => {
+                            return Err(SimError::Process {
+                                position: lo + local_pos as usize,
+                                source,
+                            });
+                        }
+                        AggEnd::Illegal { local_pos, direction } => {
+                            return Err(SimError::IllegalSend {
+                                position: lo + local_pos as usize,
+                                direction,
+                            });
+                        }
+                        AggEnd::Decision { local_pos, decision } => {
+                            let position = lo + local_pos as usize;
+                            if position != 0 {
+                                return Err(SimError::FollowerDecided { position });
+                            }
+                            stats.deliveries = deliveries;
+                            return Ok(RunPhase::Done(Outcome {
+                                decision: Some(decision),
+                                stats,
+                                trace: sink.trace,
+                                trace_ring: sink.ring,
+                            }));
+                        }
+                        AggEnd::Clean => {}
+                    }
+                    // Re-base the link replica on the shipped end state:
+                    // drain this epoch's granted content, push what
+                    // survived, restore the replica RNG to the shard's.
+                    // Draining goes in global seq order — the one pop
+                    // order every index accepts (FIFO's heap asserts
+                    // each pop is the current minimum).
+                    while meta.in_flight > 0 {
+                        let link = meta
+                            .active
+                            .iter()
+                            .copied()
+                            .min_by_key(|&l| meta.head_seq[l])
+                            .expect("in-flight implies an active link");
+                        meta.pop(link);
+                    }
+                    for (link, seqs) in agg.end_links.drain(..) {
+                        for s in seqs {
+                            meta.push(link, s);
+                        }
+                    }
+                    if let Some(state) = agg.rng_end.take() {
+                        meta.index.import_rng(&state);
+                    }
+                    seq = agg.seq_end;
+                    report.reset();
+                    spares[shard] = Some(report);
+                    continue;
+                }
+                // Replay the epoch: regenerate every observable — picks,
+                // pops, stats, trace, error positions — in serial order.
+                let lo = self.bounds[shard].0;
+                for done in &report.entries[..report.used] {
+                    if deliveries >= self.max_events {
+                        return Err(SimError::EventLimitExceeded { limit: self.max_events });
+                    }
+                    let link = meta.choose().expect("reported deliveries imply in-flight picks");
+                    meta.pop(link);
+                    let (receiver, direction) = decode_link(link, n);
+                    debug_assert_eq!(receiver, lo + done.local_pos as usize);
+                    debug_assert_eq!(direction, done.direction);
+                    position_deliveries[receiver] += 1;
+                    deliveries += 1;
+                    if sink.active() {
+                        sink.push(TraceEvent {
+                            seq,
+                            kind: EventKind::Deliver,
+                            position: receiver,
+                            direction,
+                            payload: done
+                                .payload
+                                .clone()
+                                .expect("tracing epochs report delivery payloads"),
+                        });
+                        seq += 1;
+                    }
+                    if let Some(source) = done.error.clone() {
+                        return Err(SimError::Process { position: receiver, source });
+                    }
+                    if done.decision.is_some() && receiver != 0 {
+                        return Err(SimError::FollowerDecided { position: receiver });
+                    }
+                    merge_sends(
+                        &done.sends,
+                        receiver,
+                        n,
+                        self.topology,
+                        &mut meta,
+                        &mut stats,
+                        &mut sink,
+                        &mut seq,
+                    )?;
+                    if let Some(d) = done.decision {
+                        stats.deliveries = deliveries;
+                        return Ok(RunPhase::Done(Outcome {
+                            decision: Some(d),
+                            stats,
+                            trace: sink.trace,
+                            trace_ring: sink.ring,
+                        }));
+                    }
+                }
+                report.reset();
+                spares[shard] = Some(report);
+                continue;
             }
+
+            // Window fallback: in-flight messages span shards (or a
+            // fault plan / the epoch toggle forces it).
             let batch = if fifo { meta.in_flight } else { 1 };
-            let mut window: Vec<WindowEntry> = Vec::with_capacity(batch);
+            window.clear();
+            window.reserve(batch);
             for _ in 0..batch {
                 let link = meta.choose().expect("in-flight messages imply a non-empty link");
                 meta.pop(link);
@@ -784,23 +1781,28 @@ impl Coordinator {
                 window.push(WindowEntry { receiver, direction, shard });
             }
 
-            let active: Vec<usize> = (0..self.shards).filter(|&k| !cmds[k].is_empty()).collect();
+            active.clear();
+            active.extend((0..self.shards).filter(|&k| !cmds[k].is_empty()));
             for &k in &active {
-                if self.job_txs[k].send(ShardJob::Round(std::mem::take(&mut cmds[k]))).is_err() {
+                let job = ShardJob::Round {
+                    cmds: std::mem::take(&mut cmds[k]),
+                    reuse: spares[k].take().unwrap_or_default(),
+                };
+                testkit::bump();
+                if self.job_txs[k].send(job).is_err() {
                     return Err(SimError::ShardFailed { shard: k });
                 }
             }
-            let mut reports: Vec<Option<RoundReport>> = Vec::new();
-            reports.resize_with(self.shards, || None);
             for &k in &active {
+                testkit::bump();
                 let report = self.report_rxs[k]
                     .recv()
                     .map_err(|RecvError| SimError::ShardFailed { shard: k })?;
                 reports[k] = Some(report);
+                cursors[k] = 0;
             }
 
             // Merge the window in global (serial) order.
-            let mut cursors = vec![0usize; self.shards];
             for entry in &window {
                 if deliveries >= self.max_events {
                     return Err(SimError::EventLimitExceeded { limit: self.max_events });
@@ -810,10 +1812,10 @@ impl Coordinator {
                     .ok_or(SimError::ShardFailed { shard: entry.shard })?;
                 let cursor = cursors[entry.shard];
                 cursors[entry.shard] += 1;
-                let done = report
-                    .deliveries
-                    .get(cursor)
-                    .ok_or(SimError::ShardFailed { shard: entry.shard })?;
+                if cursor >= report.used {
+                    return Err(SimError::ShardFailed { shard: entry.shard });
+                }
+                let done = &report.entries[cursor];
                 deliveries += 1;
                 if sink.active() {
                     sink.push(TraceEvent {
@@ -854,7 +1856,30 @@ impl Coordinator {
                     }));
                 }
             }
+
+            // Recycle the round's buffers for the next hop. The command
+            // vector rides back still holding this round's commands;
+            // clear it (keeping capacity) before the next window appends.
+            for &k in &active {
+                if let Some(mut report) = reports[k].take() {
+                    cmds[k] = std::mem::take(&mut report.cmds);
+                    cmds[k].clear();
+                    report.reset();
+                    spares[k] = Some(report);
+                }
+            }
         }
+    }
+
+    /// The delivery cap for an epoch starting at `deliveries`: large
+    /// enough to reach the event-limit error exactly where the serial
+    /// engine raises it, clipped to the pause boundary so a quiesce
+    /// lands at the first epoch edge at or after the request. Both
+    /// bounds are ≥ 1 at every grant site (`deliveries` is below the
+    /// pause point and at most `max_events` there).
+    fn epoch_cap(&self, deliveries: usize, pause_at: Option<usize>) -> usize {
+        let budget = self.max_events - deliveries + 1;
+        pause_at.map_or(budget, |p| budget.min(p - deliveries))
     }
 
     /// Quiesces every shard and assembles an [`EngineSnapshot`].
@@ -873,12 +1898,14 @@ impl Coordinator {
         sink: &TraceSink,
     ) -> Result<EngineSnapshot, SimError> {
         for (k, tx) in self.job_txs.iter().enumerate() {
+            testkit::bump();
             if tx.send(ShardJob::Snapshot).is_err() {
                 return Err(SimError::ShardFailed { shard: k });
             }
         }
         let mut shard_snaps = Vec::with_capacity(self.shards);
         for (k, rx) in self.snap_rxs.iter().enumerate() {
+            testkit::bump();
             shard_snaps.push(rx.recv().map_err(|RecvError| SimError::ShardFailed { shard: k })?);
         }
 
@@ -902,7 +1929,8 @@ impl Coordinator {
         // Zip each link's payloads (held by the receiver's shard) with
         // the coordinator's payload-free seq replica, front first.
         let mut links = Vec::with_capacity(2 * self.n);
-        for (link, seqs) in meta.queues.iter().enumerate() {
+        for link in 0..2 * self.n {
+            let seqs = meta.queue_seqs(link);
             let (receiver, direction) = decode_link(link, self.n);
             let k = self.owner[receiver];
             let slot = receiver - self.bounds[k].0;
@@ -979,6 +2007,37 @@ fn merge_sends(
     Ok(())
 }
 
+/// Test-support surface: a coordinator-thread counter of channel
+/// messages (jobs sent, reports and snapshots received), so the
+/// equivalence suite can assert the epoch path's coordination budget —
+/// channel messages per delivery — instead of guessing from timings.
+#[doc(hidden)]
+pub mod testkit {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CHANNEL_OPS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Zeroes the calling thread's channel-op counter.
+    pub fn reset_channel_ops() {
+        CHANNEL_OPS.with(|c| c.set(0));
+    }
+
+    /// Coordinator channel messages (sends + receives) on the calling
+    /// thread since the last reset. The coordinator runs on the caller's
+    /// thread, so a test that resets, runs, and reads sees exactly one
+    /// run's traffic.
+    #[must_use]
+    pub fn channel_ops() -> u64 {
+        CHANNEL_OPS.with(|c| c.get())
+    }
+
+    pub(crate) fn bump() {
+        CHANNEL_OPS.with(|c| c.set(c.get() + 1));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1037,21 +2096,94 @@ mod tests {
 
     #[test]
     fn meta_links_mirror_occupancy() {
-        let mut meta = MetaLinks::new(3, Scheduler::Fifo.build_index(6));
+        // Ring of 3, two shards: positions {0, 1} on shard 0, {2} on
+        // shard 1. Link 2 delivers to position 0 (shard 0); link 5
+        // (= n + 2) delivers to position 2 (shard 1).
+        let owner = [0usize, 0, 1];
+        let mut meta = MetaLinks::new(3, Scheduler::Fifo.build_index(6), &owner, 2);
         assert_eq!(meta.choose(), None);
+        assert_eq!(meta.single_owner(), None);
         meta.push(2, 0);
         meta.push(2, 1);
+        assert_eq!(meta.single_owner(), Some(0));
         meta.push(5, 2);
         assert_eq!(meta.in_flight, 3);
         assert_eq!(meta.occupied, 2);
+        assert_eq!(meta.single_owner(), None); // links span both shards
+        assert_eq!(meta.queue_seqs(2), vec![0, 1]);
         assert_eq!(meta.choose(), Some(2)); // earliest seq wins under FIFO
         meta.pop(2);
         assert_eq!(meta.choose(), Some(2));
         meta.pop(2);
         assert_eq!(meta.occupied, 1);
+        assert_eq!(meta.single_owner(), Some(1));
         assert_eq!(meta.choose(), Some(5)); // fast path via id_xor
         meta.pop(5);
         assert_eq!(meta.in_flight, 0);
+        assert_eq!(meta.queue_seqs(5), Vec::<u64>::new());
         assert_eq!(meta.choose(), None);
+        assert_eq!(meta.single_owner(), None);
+    }
+
+    #[test]
+    fn local_sched_matches_index_semantics() {
+        // LongestQueue: largest backlog, lowest id on ties.
+        let grant = EpochGrant {
+            seq: 10,
+            cap: 100,
+            links: vec![(1, vec![0, 3]), (4, vec![1, 2]), (7, vec![5])],
+            rng: None,
+        };
+        let mut sched = LocalSched::new(&Scheduler::LongestQueue, &grant);
+        assert_eq!(sched.choose(), Some(1)); // ties at backlog 2 → lowest id
+        sched.pop(1);
+        assert_eq!(sched.choose(), Some(4));
+        sched.pop(4);
+        sched.pop(4);
+        sched.push(7, 10);
+        assert_eq!(sched.choose(), Some(7)); // backlog 2 beats 1
+        assert_eq!(sched.take_seqs(7), vec![5, 10]);
+
+        // FIFO: minimum head seq across links.
+        let grant = EpochGrant {
+            seq: 10,
+            cap: 100,
+            links: vec![(3, vec![4]), (0, vec![2]), (9, vec![7])],
+            rng: None,
+        };
+        let mut sched = LocalSched::new(&Scheduler::Fifo, &grant);
+        assert_eq!(sched.choose(), Some(0));
+        sched.pop(0);
+        assert_eq!(sched.choose(), Some(3));
+        sched.pop(3);
+        assert_eq!(sched.choose(), Some(9)); // single-link fast path
+        sched.pop(9);
+        assert_eq!(sched.choose(), None);
+    }
+
+    #[test]
+    fn local_sched_random_mirrors_the_fenwick_index() {
+        // Same RNG state, same non-empty set ⇒ the k-th-smallest-id pick
+        // matches the production Fenwick index draw for draw.
+        let scheduler = Scheduler::Random { seed: 99 };
+        let mut index = scheduler.build_index(16);
+        let links = [2usize, 5, 11, 13];
+        for (i, &link) in links.iter().enumerate() {
+            index.on_push(link, i as u64, 1);
+        }
+        let grant = EpochGrant {
+            seq: 4,
+            cap: 100,
+            links: links.iter().enumerate().map(|(i, &l)| (l, vec![i as u64])).collect(),
+            rng: index.export_rng(),
+        };
+        let mut sched = LocalSched::new(&scheduler, &grant);
+        for _ in 0..50 {
+            // Neither side pops, so the candidate set never changes and
+            // the two RNG streams stay step-for-step comparable.
+            let local = sched.choose().expect("links stay non-empty");
+            let global = index.choose();
+            assert_eq!(local, global);
+        }
     }
 }

@@ -40,8 +40,12 @@ fn word(n: usize) -> Word {
     Word::from_str(&"01".repeat(n)[..n], &Alphabet::binary()).expect("binary word")
 }
 
-/// Runs `proto` once serially and once with `shards`, both fully traced,
-/// and asserts the results are byte-identical (success or error).
+/// Runs `proto` once serially and once with `shards` — first fully
+/// traced, then untraced — and asserts the results are byte-identical
+/// (success or error). The two legs exercise different epoch machinery:
+/// traced epochs report one entry per delivery for the coordinator to
+/// replay, untraced epochs ship aggregate deltas, and both must land on
+/// the serial observables.
 fn assert_sharded_matches_serial(
     scheduler: &Scheduler,
     n: usize,
@@ -50,11 +54,11 @@ fn assert_sharded_matches_serial(
     max_events: Option<usize>,
     known_ring_size: bool,
 ) {
-    let run = |shard_count: usize| -> Result<Outcome, SimError> {
+    let run = |shard_count: usize, traced: bool| -> Result<Outcome, SimError> {
         let mut runner = RingRunner::new();
         runner
             .scheduler(scheduler.clone())
-            .record_trace(true)
+            .record_trace(traced)
             .known_ring_size(known_ring_size)
             .shards(shard_count);
         if let Some(limit) = max_events {
@@ -63,7 +67,7 @@ fn assert_sharded_matches_serial(
         runner.run(proto, &word(n))
     };
     let ctx = format!("{scheduler:?} n={n} shards={shards}");
-    match (run(1), run(shards)) {
+    match (run(1, true), run(shards, true)) {
         (Ok(serial), Ok(sharded)) => {
             assert_eq!(serial.decision, sharded.decision, "{ctx}: decision diverged");
             assert_eq!(serial.stats, sharded.stats, "{ctx}: stats diverged");
@@ -84,6 +88,18 @@ fn assert_sharded_matches_serial(
         }
         (serial, sharded) => {
             panic!("{ctx}: outcomes diverged — serial: {serial:?}, sharded: {sharded:?}");
+        }
+    }
+    match (run(1, false), run(shards, false)) {
+        (Ok(serial), Ok(sharded)) => {
+            assert_eq!(serial.decision, sharded.decision, "{ctx} untraced: decision diverged");
+            assert_eq!(serial.stats, sharded.stats, "{ctx} untraced: stats diverged");
+        }
+        (Err(serial), Err(sharded)) => {
+            assert_eq!(serial, sharded, "{ctx} untraced: error diverged");
+        }
+        (serial, sharded) => {
+            panic!("{ctx} untraced: outcomes diverged — serial: {serial:?}, sharded: {sharded:?}");
         }
     }
 }
@@ -656,11 +672,129 @@ fn error_positions_are_exact_across_boundaries() {
 }
 
 // ---------------------------------------------------------------------------
+// Epoch batching: the fast path must be invisible in the observables.
+// ---------------------------------------------------------------------------
+
+/// One-pass unidirectional relay: the leader launches one token, every
+/// follower forwards it, the leader decides on its return — `n`
+/// deliveries, single-message backlog throughout.
+struct OnePass;
+impl Protocol for OnePass {
+    fn name(&self) -> &'static str {
+        "one-pass"
+    }
+    fn topology(&self) -> Topology {
+        Topology::Unidirectional
+    }
+    fn leader(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(BurstLeader { burst: 1, originals: 0 })
+    }
+    fn follower(&self, _input: Symbol) -> Box<dyn Process> {
+        Box::new(Forwarder)
+    }
+}
+
+/// Runs `proto` sharded twice — epoch-batched grants vs one-pick rounds
+/// — and asserts the observables are byte-identical (success or error).
+/// Runs the comparison traced (entry-mode epochs, replayed per delivery)
+/// and untraced (aggregate-mode epochs, merged as deltas).
+fn assert_epochs_match_one_pick(
+    scheduler: &Scheduler,
+    n: usize,
+    shards: usize,
+    proto: &dyn Protocol,
+) {
+    let run = |epochs: bool, traced: bool| -> Result<Outcome, SimError> {
+        let mut runner = RingRunner::new();
+        runner.scheduler(scheduler.clone()).record_trace(traced).shards(shards);
+        runner.epoch_batching(epochs);
+        runner.run(proto, &word(n))
+    };
+    let ctx = format!("{scheduler:?} n={n} shards={shards}");
+    match (run(false, true), run(true, true)) {
+        (Ok(one_pick), Ok(epochs)) => {
+            assert_eq!(one_pick.decision, epochs.decision, "{ctx}: decision diverged");
+            assert_eq!(one_pick.stats, epochs.stats, "{ctx}: stats diverged");
+            let a = one_pick.trace.expect("one-pick trace recorded");
+            let b = epochs.trace.expect("epoch trace recorded");
+            for (i, (x, y)) in a.events().iter().zip(b.events()).enumerate() {
+                assert_eq!(x, y, "{ctx}: trace event {i} diverged");
+            }
+            assert_eq!(a.events().len(), b.events().len(), "{ctx}: trace length diverged");
+        }
+        (Err(one_pick), Err(epochs)) => {
+            assert_eq!(one_pick, epochs, "{ctx}: error diverged");
+        }
+        (one_pick, epochs) => {
+            panic!("{ctx}: outcomes diverged — one-pick: {one_pick:?}, epochs: {epochs:?}");
+        }
+    }
+    match (run(false, false), run(true, false)) {
+        (Ok(one_pick), Ok(epochs)) => {
+            assert_eq!(one_pick.decision, epochs.decision, "{ctx} untraced: decision diverged");
+            assert_eq!(one_pick.stats, epochs.stats, "{ctx} untraced: stats diverged");
+        }
+        (Err(one_pick), Err(epochs)) => {
+            assert_eq!(one_pick, epochs, "{ctx} untraced: error diverged");
+        }
+        (one_pick, epochs) => {
+            panic!(
+                "{ctx} untraced: outcomes diverged — one-pick: {one_pick:?}, epochs: {epochs:?}"
+            );
+        }
+    }
+}
+
+/// The epoch path's coordination budget on the workload `BENCH_0004.json`
+/// measured: a FIFO one-pass ring must cost *less than one* coordinator
+/// channel message per delivery — the one-command-per-delivery regime is
+/// exactly what epochs exist to break.
+#[test]
+fn fifo_one_pass_needs_under_one_channel_message_per_delivery() {
+    let n = 96;
+    for shards in [2usize, 4, 8] {
+        let mut runner = RingRunner::new();
+        runner.scheduler(Scheduler::Fifo).shards(shards);
+        ringleader_sim::shard_testkit::reset_channel_ops();
+        let out = runner.run(&OnePass, &word(n)).expect("one pass completes");
+        let ops = ringleader_sim::shard_testkit::channel_ops();
+        assert_eq!(out.stats.deliveries, n, "one pass is n deliveries");
+        assert!(
+            ops < out.stats.deliveries as u64,
+            "shards={shards}: {ops} coordinator channel messages for {} deliveries",
+            out.stats.deliveries
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Randomized sweep: protocol shape × ring size × policy × shard count.
 // ---------------------------------------------------------------------------
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn epoch_batched_merge_matches_one_pick_merge(
+        n in 2usize..24,
+        tokens in 1usize..4,
+        reply_mod in 1usize..4,
+        k in 1usize..4,
+        scheduler_pick in 0usize..3,
+        shard_pick in 0usize..3,
+    ) {
+        // The policies whose windows were one pick per round before
+        // epochs; FIFO is covered by the serial-oracle sweeps above.
+        let schedulers = [
+            Scheduler::LongestQueue,
+            Scheduler::Random { seed: 11 },
+            Scheduler::Random { seed: 0xC0FFEE },
+        ];
+        let scheduler = &schedulers[scheduler_pick];
+        let shards = [2usize, 3, 8][shard_pick];
+        assert_epochs_match_one_pick(scheduler, n, shards, &EchoMesh { tokens, reply_mod });
+        assert_epochs_match_one_pick(scheduler, n, shards, &TokenStorm { k });
+    }
 
     #[test]
     fn randomized_protocols_match_serial(
