@@ -72,6 +72,7 @@ use serde::{Deserialize, Serialize};
 
 use ringleader_automata::Word;
 use ringleader_langs::Language;
+use ringleader_obs::Metrics;
 use ringleader_sim::{Protocol, RingRunner, Scheduler, ThreadedRunner};
 
 use crate::fit::{fit_series, FitResult, GrowthModel};
@@ -221,6 +222,7 @@ pub struct RunCtx<'a> {
     scale: Scale,
     shards: usize,
     trace_ring: Option<usize>,
+    metrics: Metrics,
 }
 
 impl RunCtx<'_> {
@@ -246,6 +248,13 @@ impl RunCtx<'_> {
     #[must_use]
     pub fn trace_ring(&self) -> Option<usize> {
         self.trace_ring
+    }
+
+    /// The metrics registry every run records into (`--metrics`). The
+    /// default disabled handle records nothing.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The spec's grid at the requested scale.
@@ -281,6 +290,7 @@ impl RunCtx<'_> {
             samples_per_size: grid.samples_per_size,
             shards: self.shards,
             trace_ring: self.trace_ring,
+            metrics: self.metrics.clone(),
             ..SweepConfig::default()
         }
     }
@@ -540,12 +550,12 @@ impl ExperimentSpec {
         scale: Scale,
         shards: usize,
     ) -> ExperimentResult {
-        self.run_configured(exec, scale, shards, None)
+        self.run_configured(exec, scale, shards, None, Metrics::disabled())
     }
 
     /// Runs the experiment with the full engine configuration: shard
-    /// count plus an optional bounded-trace capacity forwarded to every
-    /// run. Neither knob changes any measurement.
+    /// count, an optional bounded-trace capacity, and a metrics registry
+    /// forwarded to every run. None of the knobs changes any measurement.
     #[must_use]
     pub fn run_configured(
         &self,
@@ -553,8 +563,9 @@ impl ExperimentSpec {
         scale: Scale,
         shards: usize,
         trace_ring: Option<usize>,
+        metrics: Metrics,
     ) -> ExperimentResult {
-        let ctx = RunCtx { spec: self, exec, scale, shards: shards.max(1), trace_ring };
+        let ctx = RunCtx { spec: self, exec, scale, shards: shards.max(1), trace_ring, metrics };
         (self.run)(&ctx)
     }
 }
@@ -653,19 +664,20 @@ impl Registry {
 
 /// Binds a [`SweepExecutor`] and a [`Scale`] and runs specs through
 /// them — what the `experiments` binary and the tests drive.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentHarness<'a> {
     exec: &'a dyn SweepExecutor,
     scale: Scale,
     shards: usize,
     trace_ring: Option<usize>,
+    metrics: Metrics,
 }
 
 impl<'a> ExperimentHarness<'a> {
     /// A harness running on `exec` at `scale` with the serial engine.
     #[must_use]
     pub fn new(exec: &'a dyn SweepExecutor, scale: Scale) -> Self {
-        ExperimentHarness { exec, scale, shards: 1, trace_ring: None }
+        ExperimentHarness { exec, scale, shards: 1, trace_ring: None, metrics: Metrics::disabled() }
     }
 
     /// The harness's scale.
@@ -691,10 +703,25 @@ impl<'a> ExperimentHarness<'a> {
         self
     }
 
+    /// Records every run's telemetry into `metrics` (`--metrics`).
+    /// Observability only: measurements are byte-identical with any
+    /// registry attached, enabled or not.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Runs one spec.
     #[must_use]
     pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
-        spec.run_configured(self.exec, self.scale, self.shards, self.trace_ring)
+        spec.run_configured(
+            self.exec,
+            self.scale,
+            self.shards,
+            self.trace_ring,
+            self.metrics.clone(),
+        )
     }
 
     /// Runs every spec of `registry` in presentation order.

@@ -21,6 +21,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use ringleader_langs::Language;
+use ringleader_obs::Metrics;
 use ringleader_sim::{pool, Protocol, RingRunner, Scheduler, SimError};
 
 /// One measurement of a protocol at one ring size.
@@ -61,6 +62,11 @@ pub struct SweepConfig {
     /// this never changes a measurement — it only bounds the memory a
     /// post-mortem tail costs on `large`/`massive` runs.
     pub trace_ring: Option<usize>,
+    /// Metrics registry cloned into every grid point's runner. The
+    /// default disabled handle records nothing; an enabled one
+    /// accumulates engine/shard telemetry across the whole sweep without
+    /// ever feeding back into a measurement.
+    pub metrics: Metrics,
 }
 
 impl Default for SweepConfig {
@@ -73,6 +79,7 @@ impl Default for SweepConfig {
             scheduler: Scheduler::Fifo,
             shards: 1,
             trace_ring: None,
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -337,6 +344,7 @@ pub fn sweep_protocol_with(
         runner.known_ring_size(config.known_ring_size);
         runner.scheduler(config.scheduler.clone());
         runner.shards(config.shards);
+        runner.metrics(config.metrics.clone());
         if let Some(capacity) = config.trace_ring {
             runner.trace_ring(capacity);
         }

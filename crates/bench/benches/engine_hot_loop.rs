@@ -20,6 +20,10 @@
 //!   each arc its whole traversal in one command, so this now measures
 //!   the residual coordination gap (`BENCH_0006.json`). CI's perf-smoke
 //!   gate keeps it from regressing back to per-delivery round-trips.
+//! * `metered` — the one-pass workload with an enabled metrics registry
+//!   attached (`on/<n>`) vs its unmetered twin (`off/<n>`), timed
+//!   back-to-back: prices the observability layer itself. CI gates `on`
+//!   at ≤3% over `off` at n = 4096 (`BENCH_0007.json`).
 //!
 //! Run with `CRITERION_SNAPSHOT=out.jsonl` to dump machine-readable
 //! measurements; `BENCH_0003.json` in the repo root is the checked-in
@@ -254,6 +258,41 @@ fn bench_checkpointed(c: &mut Criterion) {
     group.finish();
 }
 
+/// Metrics overhead: the one-pass workload with an enabled
+/// `ringleader_obs::Metrics` registry attached, measured against its own
+/// unmetered twin (`off/<n>` vs `on/<n>`, timed back-to-back so machine
+/// drift between bench groups cancels out). The serial engine only
+/// touches the registry once per run (one counter flush at the Done
+/// transition), so the metered run must track the twin within a few
+/// percent — CI's perf-smoke gate enforces ≤3% at n = 4096, the bound
+/// that justifies calling the layer zero-cost-when-disabled *and*
+/// cheap-when-enabled. `BENCH_0007.json` is the checked-in snapshot.
+fn bench_metered(c: &mut Criterion) {
+    let sigma = ringleader_automata::Alphabet::from_chars("ab").unwrap();
+    let lang = DfaLanguage::from_regex("(a|b)*abb", &sigma).unwrap();
+    let proto = DfaOnePass::new(&lang);
+    let mut group = c.benchmark_group("engine_hot_loop/metered");
+    for n in SIZES {
+        let word = word_for(&lang, n, 0xE0);
+        group.bench_with_input(BenchmarkId::new("off", n), &word, |b, w| {
+            b.iter(|| {
+                let mut runner = RingRunner::new();
+                runner.metrics(ringleader_obs::Metrics::disabled());
+                runner.run(&proto, w).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("on", n), &word, |b, w| {
+            let metrics = ringleader_obs::Metrics::enabled();
+            b.iter(|| {
+                let mut runner = RingRunner::new();
+                runner.metrics(metrics.clone());
+                runner.run(&proto, w).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Bounded-trace cost: the one-pass workload untraced vs ring-traced
 /// (capacity 1024) vs fully traced. The ring's push is O(1) with a
 /// fixed-size buffer, so it must track the untraced run within a few
@@ -293,6 +332,7 @@ criterion_group!(
     bench_bidir_collision,
     bench_quadratic_stateless,
     bench_checkpointed,
+    bench_metered,
     bench_trace_ring
 );
 criterion_main!(engine_hot_loop);

@@ -14,6 +14,8 @@
 //! experiments --checkpoint-every 2  # ...flushing every 2 completed specs
 //! experiments --resume ckpt/ledger-smoke.json   # skip completed specs
 //! experiments --halt-after 3        # stop (exit 2) after 3 fresh specs
+//! experiments --metrics run.json    # dump a versioned RunReport of telemetry
+//! experiments --progress            # heartbeat on stderr after each spec
 //! experiments --list                # list experiment ids and titles
 //! ```
 //!
@@ -48,6 +50,16 @@
 //! cycle without actual signal delivery. `--trace-ring N` bounds every
 //! run's trace to its last `N` events (O(N) memory at any scale).
 //!
+//! # Observability
+//!
+//! `--metrics <path>` attaches an enabled
+//! [`Metrics`](ringleader_obs::Metrics) registry to every run and dumps
+//! a versioned [`RunReport`](ringleader_obs::RunReport) JSON at the end:
+//! engine counters, shard epoch histograms, per-shard utilization,
+//! checkpoint timings. `--progress` prints an elapsed-time heartbeat to
+//! stderr after each spec. Both are observability only — stdout tables
+//! and the `--json` envelope are byte-identical with or without them.
+//!
 //! Exit code 0 iff every executed experiment's verdict is REPRODUCED;
 //! exit code 2 on a `--halt-after` stop.
 
@@ -59,6 +71,7 @@ use ringleader_analysis::{
     executor_for, ExperimentHarness, ExperimentResult, RunLedger, Scale, ScaleGrid, Verdict,
 };
 use ringleader_bench::registry;
+use ringleader_obs::{Metrics, Progress};
 use serde::Serialize;
 
 /// Schema version of the `--json` envelope. Bump when the envelope
@@ -67,7 +80,7 @@ const SCHEMA_VERSION: u32 = 1;
 
 const KNOWN_FLAGS: &str = "--list, --scale <smoke|paper|large|massive>, --filter <substring>, \
      --workers <n>, --shards <n>, --trace-ring <n>, --json <path>, --checkpoint-dir <dir>, \
-     --checkpoint-every <n>, --resume <ledger>, --halt-after <n>";
+     --checkpoint-every <n>, --resume <ledger>, --halt-after <n>, --metrics <path>, --progress";
 
 #[derive(Serialize)]
 struct EnvelopeEntry {
@@ -95,6 +108,8 @@ fn main() -> ExitCode {
     let mut checkpoint_every = 1usize;
     let mut resume_path: Option<String> = None;
     let mut halt_after: Option<usize> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress_flag = false;
     let mut scale = Scale::Paper;
     let mut filter: Option<String> = None;
     let mut list = false;
@@ -163,6 +178,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics" => match iter.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("--metrics requires a path for the RunReport JSON");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--progress" => progress_flag = true,
             "--scale" => match iter.next().as_deref().map(Scale::parse) {
                 Some(Some(s)) => scale = s,
                 Some(None) => {
@@ -319,10 +342,26 @@ fn main() -> ExitCode {
         }
         Ok(())
     };
+    let write_metrics = |metrics: &Metrics| -> Result<(), ExitCode> {
+        if let Some(path) = &metrics_path {
+            if let Err(e) = metrics.write_report(Path::new(path)) {
+                eprintln!("failed writing metrics report {path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+            println!("wrote {path}");
+        }
+        Ok(())
+    };
 
     // 0 means "one worker per CPU" — executor_for shares the convention.
     let exec = executor_for(workers);
-    let mut harness = ExperimentHarness::new(exec.as_ref(), scale).with_shards(shards);
+    // Telemetry never feeds back: results are byte-identical whether the
+    // registry is enabled, disabled, or absent.
+    let metrics = if metrics_path.is_some() { Metrics::enabled() } else { Metrics::disabled() };
+    let progress = Progress::new(progress_flag);
+    let mut harness = ExperimentHarness::new(exec.as_ref(), scale)
+        .with_shards(shards)
+        .with_metrics(metrics.clone());
     if let Some(capacity) = trace_ring {
         harness = harness.with_trace_ring(capacity);
     }
@@ -335,12 +374,14 @@ fn main() -> ExitCode {
     for spec in &selected {
         if let Some(stored) = ledger.get(spec.id()) {
             results.push(stored.clone());
+            progress.tick(&format!("{} spliced from ledger", spec.id()));
             continue;
         }
         let result = harness.run(spec);
         ledger.record(result.clone());
         results.push(result);
         fresh += 1;
+        progress.tick(&format!("{} done ({fresh} fresh)", spec.id()));
         if fresh % checkpoint_every == 0 {
             if let Err(code) = flush(&ledger) {
                 return code;
@@ -358,6 +399,10 @@ fn main() -> ExitCode {
                     path.display()
                 ),
                 None => eprintln!("halted after {fresh} fresh experiment(s); no ledger was kept"),
+            }
+            // The report covers only the specs run before the halt.
+            if let Err(code) = write_metrics(&metrics) {
+                return code;
             }
             return ExitCode::from(2);
         }
@@ -412,6 +457,11 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Err(code) = write_metrics(&metrics) {
+        return code;
+    }
+    progress.tick("suite complete");
 
     if all_reproduced {
         ExitCode::SUCCESS

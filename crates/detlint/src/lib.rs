@@ -25,7 +25,11 @@
 //!   inputs and seeds; wall-clock reads belong in `tests/`/`benches/`
 //!   (structurally exempt) or the vendored timing shims (crossbeam's
 //!   deadline plumbing, criterion's timer — vendor is exempt), or
-//!   behind an explicit allow naming the watchdog role.
+//!   behind an explicit allow naming the watchdog role. A crate outside
+//!   the result-affecting set may carve itself out wholesale by
+//!   declaring `Policy:` + `wallclock-in-sim` in its leading `//!` doc
+//!   header — how `ringleader_obs` hosts the workspace's only monotonic
+//!   clock.
 //! - **`unseeded-rng`** — `from_entropy`, `thread_rng`, `OsRng`,
 //!   `getrandom`, and `rand::random` are banned *everywhere*, vendor
 //!   and tests included. Every random stream must derive from an
@@ -39,6 +43,13 @@
 //!   justification. Tests, benches, and examples may panic freely;
 //!   vendor shims are exempt (they mirror upstream APIs whose contract
 //!   panics).
+//! - **`obs-boundary`** — the value-reading accessors of
+//!   `ringleader_obs::Metrics` (`.run_report()`, `.counter_value()`,
+//!   `.gauge_value()`) are banned in shipped `src/` code of
+//!   result-affecting crates outside `#[cfg(test)]` regions. Recording
+//!   telemetry is always fine; *reading* it back where results are
+//!   computed would let outputs depend on whether metrics are enabled.
+//!   Reads belong in tests, benches, and report writers.
 //! - **`vendor-surface`** — every `vendor/*/src/lib.rs` must open with
 //!   its `//! Offline vendored …` policy doc header (including a
 //!   `Policy:` line), and every module-level `pub` item a shim exports
@@ -177,6 +188,56 @@ mod tests {
         let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
         assert!(rules.contains(&"nondet-hash-iter"), "{findings:?}");
         assert!(rules.contains(&"detlint-allow"), "{findings:?}");
+    }
+
+    #[test]
+    fn obs_boundary_bans_value_reads_in_result_affecting_src() {
+        let files = one(
+            "crates/sim/src/x.rs",
+            "fn f(m: &Metrics) { let v = m.counter_value(\"c\"); let r = m.run_report(); }\n",
+        );
+        let findings = lint(&files, None);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules.iter().filter(|r| **r == "obs-boundary").count(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn obs_boundary_permits_recording_and_exempt_contexts() {
+        // Recording methods in src are fine.
+        let recording = one(
+            "crates/sim/src/x.rs",
+            "fn f(m: &Metrics) { m.counter_add(\"c\", 1); m.write_report(p); }\n",
+        );
+        assert!(lint(&recording, None).is_empty(), "{:?}", lint(&recording, None));
+        // Reads in tests/ and #[cfg(test)] regions are fine.
+        let in_tests =
+            one("crates/sim/tests/x.rs", "fn f(m: &Metrics) { let v = m.counter_value(\"c\"); }\n");
+        assert!(lint(&in_tests, None).is_empty());
+        let in_cfg_test = one(
+            "crates/sim/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn f(m: &Metrics) { m.gauge_value(\"g\"); } }\n",
+        );
+        assert!(lint(&in_cfg_test, None).is_empty());
+        // Non-result-affecting crates (obs itself) may read.
+        let in_obs =
+            one("crates/obs/src/x.rs", "fn f(m: &Metrics) { let v = m.counter_value(\"c\"); }\n");
+        assert!(lint(&in_obs, None).is_empty());
+    }
+
+    #[test]
+    fn wallclock_policy_header_carves_out_non_result_affecting_crates() {
+        let header = "//! Timing home.\n//!\n//! Policy: wallclock-in-sim carve-out — this \
+                      crate owns the monotonic clock.\n";
+        let with_header =
+            one("crates/obs/src/lib.rs", &format!("{header}fn f() {{ Instant::now(); }}\n"));
+        assert!(lint(&with_header, None).is_empty(), "{:?}", lint(&with_header, None));
+        // No header → still flagged, even outside the result set.
+        let bare = one("crates/obs/src/lib.rs", "fn f() { Instant::now(); }\n");
+        assert_eq!(lint(&bare, None).len(), 1);
+        // A result-affecting crate cannot carve itself out.
+        let in_sim =
+            one("crates/sim/src/lib.rs", &format!("{header}fn f() {{ Instant::now(); }}\n"));
+        assert_eq!(lint(&in_sim, None).len(), 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The per-file rules: nondet-hash-iter, wallclock-in-sim,
-//! unseeded-rng, panic-in-lib, and ignored-test-has-owner.
+//! unseeded-rng, panic-in-lib, obs-boundary, and
+//! ignored-test-has-owner.
 //!
 //! Each rule walks the significant-token stream of one file; the
 //! cross-file vendor-surface rule lives in [`crate::vendor_surface`].
@@ -18,6 +19,7 @@ pub const RULES: &[&str] = &[
     "wallclock-in-sim",
     "unseeded-rng",
     "panic-in-lib",
+    "obs-boundary",
     "vendor-surface",
     "ignored-test-has-owner",
 ];
@@ -90,6 +92,7 @@ pub fn run_file_rules(file: &SourceFile, soak_yml: Option<&str>, findings: &mut 
     wallclock_in_sim(file, &walker, findings);
     unseeded_rng(file, &walker, findings);
     panic_in_lib(file, &walker, findings);
+    obs_boundary(file, &walker, findings);
     ignored_test_has_owner(file, &walker, soak_yml, findings);
 }
 
@@ -128,10 +131,25 @@ fn nondet_hash_iter(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Findin
 /// only on inputs and seeds, never on wall-clock time. The allowlist is
 /// structural: `tests/` and `benches/` measure elapsed time by design,
 /// and the vendored shims (channel deadline plumbing, the criterion
-/// timer) are the designated timing modules.
+/// timer) are the designated timing modules. A crate *outside* the
+/// result-affecting set may also opt out wholesale by declaring the
+/// carve-out in its crate doc header — a leading `//!` block containing
+/// `Policy:` and naming `wallclock-in-sim` (how `ringleader_obs` hosts
+/// the workspace's only monotonic clock).
 fn wallclock_in_sim(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) {
     if file.class.is_vendor || file.class.section != Section::Src {
         return;
+    }
+    if !RESULT_AFFECTING.contains(&file.class.crate_name.as_str()) {
+        let src = file.lexed.src();
+        let header: String = src
+            .lines()
+            .take_while(|l| l.starts_with("//!") || l.trim().is_empty())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if header.contains("Policy:") && header.contains("wallclock-in-sim") {
+            return;
+        }
     }
     for (i, t) in w.tokens().iter().enumerate() {
         if t.kind != TokenKind::Ident {
@@ -226,6 +244,45 @@ fn panic_in_lib(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) 
             _ => continue,
         };
         findings.push(w.finding_at(file, "panic-in-lib", i, message));
+    }
+}
+
+/// **obs-boundary** — telemetry must never feed back into results. In
+/// shipped `src/` code of result-affecting crates, the value-reading
+/// accessors of `ringleader_obs::Metrics` (`.run_report()`,
+/// `.counter_value()`, `.gauge_value()`) are banned outside
+/// `#[cfg(test)]` regions: recording into a registry is free game, but
+/// a branch on a recorded value would make outputs depend on whether
+/// metrics are enabled (and, for timings, on the wall clock). Tests and
+/// benches read registries by design; so do CLI report writers via
+/// `write_report`, which never exposes a value to the caller.
+fn obs_boundary(file: &SourceFile, w: &Walker<'_>, findings: &mut Vec<Finding>) {
+    if file.class.is_vendor
+        || file.class.section != Section::Src
+        || !RESULT_AFFECTING.contains(&file.class.crate_name.as_str())
+    {
+        return;
+    }
+    for (i, t) in w.tokens().iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_regions(&file.test_regions, t.start) {
+            continue;
+        }
+        let name = w.text(i);
+        if matches!(name, "run_report" | "counter_value" | "gauge_value")
+            && w.text(i.wrapping_sub(1)) == "."
+        {
+            findings.push(w.finding_at(
+                file,
+                "obs-boundary",
+                i,
+                format!(
+                    "`.{name}()` reads a metrics value in result-affecting crate `{}`: telemetry \
+                     must never feed back into results; keep reads in tests/benches/report \
+                     writers",
+                    file.class.crate_name
+                ),
+            ));
+        }
     }
 }
 

@@ -1,0 +1,579 @@
+//! Unified metrics & timing layer for the ringleader workspace.
+//!
+//! Policy: wallclock-in-sim carve-out — `ringleader_obs` is the one
+//! non-test place in the workspace allowed to read monotonic wall time
+//! (`std::time::Instant`). Result-affecting crates record durations
+//! through the opaque [`Timer`] / [`Metrics::shard_phase`] handles and
+//! never see a time value; detlint's `wallclock-in-sim` rule recognises
+//! this header and exempts the crate, while its `obs-boundary` rule
+//! bans reading metric values back out of the registry in those crates.
+//!
+//! # Design
+//!
+//! [`Metrics`] is a cheap cloneable handle, either *disabled* (the
+//! default: a `None` inside, every record call an inlined no-op) or
+//! *enabled* (a shared registry of named counters, max-gauges,
+//! log2-bucketed histograms, timing summaries, and per-shard
+//! busy/idle/blocked phase timelines). Histogram buckets are fixed
+//! powers of two so dumps are deterministic and diffable across runs
+//! and machines.
+//!
+//! # The metrics-never-affect-results contract
+//!
+//! Instrumented code *writes* into the registry and never reads from
+//! it: recording methods return `()`, timers are consumed by `Drop`,
+//! and the value-reading accessors ([`Metrics::run_report`],
+//! [`Metrics::counter_value`], [`Metrics::gauge_value`]) are reserved
+//! for tests, this crate, and report export. A run with metrics
+//! enabled must therefore be byte-identical to the same run with
+//! metrics disabled — the sim test suite pins exactly that across
+//! engines, schedulers, and shard counts.
+//!
+//! # RunReport
+//!
+//! [`RunReport`] is the versioned JSON export written by
+//! `experiments --metrics <path>`: schema changes bump
+//! [`REPORT_VERSION`] and [`RunReport::from_json`] rejects reports
+//! written by a different version, mirroring the engine snapshot gate.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Schema version stamped into every [`RunReport`]; bump on any field
+/// change so old readers fail loudly instead of misparsing.
+pub const REPORT_VERSION: u32 = 1;
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i - 1]`.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Which phase a shard worker is in; see [`Metrics::shard_phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Executing granted work (an epoch or a one-pick job).
+    Busy,
+    /// Waiting on the coordinator for the next job.
+    Idle,
+    /// Waiting on a neighbouring shard for a boundary handoff.
+    Blocked,
+}
+
+#[derive(Debug, Default)]
+struct ShardTimeline {
+    phase: Option<Phase>,
+    since: Option<Instant>,
+    busy_ns: u64,
+    idle_ns: u64,
+    blocked_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct TimerStats {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Box<[u64; HISTOGRAM_BUCKETS]>>,
+    timings: BTreeMap<&'static str, TimerStats>,
+    shards: BTreeMap<usize, ShardTimeline>,
+}
+
+impl State {
+    fn advance_shard(&mut self, shard: usize, phase: Option<Phase>, now: Instant) {
+        let timeline = self.shards.entry(shard).or_default();
+        if let (Some(prev), Some(since)) = (timeline.phase, timeline.since) {
+            let elapsed = now.duration_since(since).as_nanos() as u64;
+            match prev {
+                Phase::Busy => timeline.busy_ns += elapsed,
+                Phase::Idle => timeline.idle_ns += elapsed,
+                Phase::Blocked => timeline.blocked_ns += elapsed,
+            }
+        }
+        timeline.phase = phase;
+        timeline.since = Some(now);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    state: Mutex<State>,
+}
+
+/// Cheap cloneable metrics handle. [`Metrics::default`] is disabled:
+/// every recording method is an inlined no-op and the run behaves as
+/// if the handle did not exist. [`Metrics::enabled`] shares one
+/// registry across all clones.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Metrics {
+    /// A live handle: all clones record into one shared registry.
+    pub fn enabled() -> Self {
+        Metrics { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// The no-op handle; same as [`Metrics::default`].
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the named counter.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            *inner.state.lock().counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    /// Raise the named gauge to `value` if it exceeds the current max.
+    #[inline]
+    pub fn gauge_max(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock();
+            let slot = state.gauges.entry(name).or_insert(0);
+            *slot = (*slot).max(value);
+        }
+    }
+
+    /// Record one observation into the named log2 histogram.
+    #[inline]
+    pub fn record_histogram(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock();
+            let buckets =
+                state.histograms.entry(name).or_insert_with(|| Box::new([0u64; HISTOGRAM_BUCKETS]));
+            buckets[bucket_index(value)] += 1;
+        }
+    }
+
+    /// Start an opaque timer; its elapsed wall time is folded into the
+    /// named timing summary when the returned handle drops. Disabled
+    /// handles return an inert timer that never reads the clock.
+    #[inline]
+    pub fn start_timer(&self, name: &'static str) -> Timer {
+        Timer { live: self.inner.as_ref().map(|inner| (Arc::clone(inner), name, Instant::now())) }
+    }
+
+    /// Record that shard `shard`'s worker entered `phase`; the time
+    /// since its previous transition accrues to the previous phase.
+    #[inline]
+    pub fn shard_phase(&self, shard: usize, phase: Phase) {
+        if let Some(inner) = &self.inner {
+            let now = Instant::now();
+            inner.state.lock().advance_shard(shard, Some(phase), now);
+        }
+    }
+
+    /// Close shard `shard`'s open phase interval (worker shutdown).
+    #[inline]
+    pub fn shard_done(&self, shard: usize) {
+        if let Some(inner) = &self.inner {
+            let now = Instant::now();
+            inner.state.lock().advance_shard(shard, None, now);
+        }
+    }
+
+    /// Snapshot the registry as a versioned [`RunReport`].
+    ///
+    /// Value-reading accessor: banned by detlint's `obs-boundary` rule
+    /// in result-affecting `src/` — call it from tests or export paths.
+    pub fn run_report(&self) -> RunReport {
+        let mut report = RunReport {
+            version: REPORT_VERSION,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            timings: BTreeMap::new(),
+            shard_utilization: Vec::new(),
+        };
+        let Some(inner) = &self.inner else { return report };
+        let state = inner.state.lock();
+        for (&name, &value) in &state.counters {
+            report.counters.insert(name.to_string(), value);
+        }
+        for (&name, &value) in &state.gauges {
+            report.gauges.insert(name.to_string(), value);
+        }
+        for (&name, buckets) in &state.histograms {
+            let dumped: Vec<HistogramBucket> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(i, &count)| HistogramBucket {
+                    lo: if i == 0 { 0 } else { 1u64 << (i - 1) },
+                    hi: if i == 0 {
+                        0
+                    } else if i == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << i) - 1
+                    },
+                    count,
+                })
+                .collect();
+            report.histograms.insert(name.to_string(), dumped);
+        }
+        for (&name, stats) in &state.timings {
+            report.timings.insert(
+                name.to_string(),
+                TimingSummary {
+                    count: stats.count,
+                    total_ns: stats.total_ns,
+                    max_ns: stats.max_ns,
+                },
+            );
+        }
+        for (&shard, timeline) in &state.shards {
+            report.shard_utilization.push(ShardUtilization {
+                shard,
+                busy_ns: timeline.busy_ns,
+                idle_ns: timeline.idle_ns,
+                blocked_ns: timeline.blocked_ns,
+            });
+        }
+        report
+    }
+
+    /// Current value of a counter (0 when disabled or never bumped).
+    ///
+    /// Value-reading accessor: banned by detlint's `obs-boundary` rule
+    /// in result-affecting `src/` — call it from tests.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.state.lock().counters.get(name).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Current value of a gauge (0 when disabled or never raised).
+    ///
+    /// Value-reading accessor: banned by detlint's `obs-boundary` rule
+    /// in result-affecting `src/` — call it from tests.
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.state.lock().gauges.get(name).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Serialize the current [`RunReport`] as pretty JSON to `path`.
+    /// No-op (writes nothing) on a disabled handle.
+    pub fn write_report(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        let report = self.run_report();
+        std::fs::write(path, format!("{}\n", report.to_json_pretty()))
+    }
+}
+
+/// Opaque RAII timing handle from [`Metrics::start_timer`]; records
+/// elapsed wall time into the registry on drop. The holder never sees
+/// a time value.
+#[derive(Debug)]
+pub struct Timer {
+    live: Option<(Arc<Inner>, &'static str, Instant)>,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.live.take() {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            let mut state = inner.state.lock();
+            let stats = state.timings.entry(name).or_default();
+            stats.count += 1;
+            stats.total_ns += elapsed;
+            stats.max_ns = stats.max_ns.max(elapsed);
+        }
+    }
+}
+
+/// Map a value to its fixed log2 bucket: 0 → bucket 0, otherwise
+/// bucket `i` covers `[2^(i-1), 2^i - 1]`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// One nonzero log2 histogram bucket in a [`RunReport`] dump; `lo..=hi`
+/// is the covered value range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Smallest value this bucket covers.
+    pub lo: u64,
+    /// Largest value this bucket covers.
+    pub hi: u64,
+    /// Observations recorded into the bucket.
+    pub count: u64,
+}
+
+/// Folded summary of one named timer in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingSummary {
+    /// Completed timer handles.
+    pub count: u64,
+    /// Sum of elapsed wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single handle, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Per-shard busy/idle/blocked wall-time split — the multi-core
+/// utilization answer for the sharded engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardUtilization {
+    /// Shard index.
+    pub shard: usize,
+    /// Nanoseconds spent executing granted work.
+    pub busy_ns: u64,
+    /// Nanoseconds spent waiting on the coordinator.
+    pub idle_ns: u64,
+    /// Nanoseconds spent waiting on boundary handoffs.
+    pub blocked_ns: u64,
+}
+
+/// Versioned JSON export of a [`Metrics`] registry; the artifact behind
+/// `experiments --metrics <path>`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Always [`REPORT_VERSION`] for reports this build writes.
+    pub version: u32,
+    /// Monotonic named counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named max-gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// Named log2 histograms, nonzero buckets only.
+    pub histograms: BTreeMap<String, Vec<HistogramBucket>>,
+    /// Named timing summaries.
+    pub timings: BTreeMap<String, TimingSummary>,
+    /// Per-shard phase timelines, in shard order.
+    pub shard_utilization: Vec<ShardUtilization>,
+}
+
+/// Error from [`RunReport::from_json`]: unparsable text or a report
+/// written by a different schema version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportError {
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run report error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl RunReport {
+    /// Render as pretty JSON (no trailing newline).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serializes infallibly")
+    }
+
+    /// Parse a report, rejecting schema versions this build does not
+    /// read — the same loud-failure gate as the engine snapshot.
+    pub fn from_json(text: &str) -> Result<RunReport, ReportError> {
+        let report: RunReport = serde_json::from_str(text)
+            .map_err(|e| ReportError { reason: format!("unparsable run report: {e:?}") })?;
+        if report.version != REPORT_VERSION {
+            return Err(ReportError {
+                reason: format!(
+                    "run report version {} unsupported (this build reads {REPORT_VERSION})",
+                    report.version
+                ),
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Stderr heartbeat for massive runs: [`Progress::tick`] prints one
+/// `[progress]` line per call with elapsed wall time and a label.
+/// Stderr only — the JSON envelope on stdout is untouched, keeping
+/// `--progress` inside the metrics-never-affect-results contract.
+#[derive(Debug)]
+pub struct Progress {
+    started: Option<Instant>,
+}
+
+impl Progress {
+    /// An active heartbeat when `enabled`, otherwise an inert one.
+    pub fn new(enabled: bool) -> Self {
+        Progress { started: enabled.then(Instant::now) }
+    }
+
+    /// Print one heartbeat line to stderr (no-op when inert).
+    pub fn tick(&self, label: &str) {
+        if let Some(started) = self.started {
+            let elapsed = started.elapsed();
+            eprintln!("[progress] {:.1}s {label}", elapsed.as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.counter_add("engine.deliveries", 5);
+        m.gauge_max("engine.bit_rounds", 9);
+        m.record_histogram("shard.epoch_len", 12);
+        m.shard_phase(0, Phase::Busy);
+        drop(m.start_timer("checkpoint.capture"));
+        assert_eq!(m.counter_value("engine.deliveries"), 0);
+        assert_eq!(m.gauge_value("engine.bit_rounds"), 0);
+        let report = m.run_report();
+        assert!(report.counters.is_empty());
+        assert!(report.histograms.is_empty());
+        assert!(report.timings.is_empty());
+        assert!(report.shard_utilization.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate_across_clones() {
+        let m = Metrics::enabled();
+        let other = m.clone();
+        m.counter_add("engine.deliveries", 3);
+        other.counter_add("engine.deliveries", 4);
+        m.gauge_max("engine.bit_rounds", 7);
+        other.gauge_max("engine.bit_rounds", 5);
+        assert_eq!(m.counter_value("engine.deliveries"), 7);
+        assert_eq!(m.gauge_value("engine.bit_rounds"), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_deterministic() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+
+        let m = Metrics::enabled();
+        m.record_histogram("shard.epoch_len", 0);
+        m.record_histogram("shard.epoch_len", 3);
+        m.record_histogram("shard.epoch_len", 3);
+        m.record_histogram("shard.epoch_len", 100);
+        let report = m.run_report();
+        let buckets = &report.histograms["shard.epoch_len"];
+        assert_eq!(
+            buckets,
+            &vec![
+                HistogramBucket { lo: 0, hi: 0, count: 1 },
+                HistogramBucket { lo: 2, hi: 3, count: 2 },
+                HistogramBucket { lo: 64, hi: 127, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn timers_fold_into_summaries() {
+        let m = Metrics::enabled();
+        drop(m.start_timer("checkpoint.capture"));
+        drop(m.start_timer("checkpoint.capture"));
+        let report = m.run_report();
+        let summary = &report.timings["checkpoint.capture"];
+        assert_eq!(summary.count, 2);
+        assert!(summary.max_ns <= summary.total_ns);
+    }
+
+    #[test]
+    fn shard_phases_accrue_to_the_previous_phase() {
+        let m = Metrics::enabled();
+        m.shard_phase(1, Phase::Idle);
+        m.shard_phase(1, Phase::Busy);
+        m.shard_phase(1, Phase::Blocked);
+        m.shard_done(1);
+        let report = m.run_report();
+        assert_eq!(report.shard_utilization.len(), 1);
+        let util = &report.shard_utilization[0];
+        assert_eq!(util.shard, 1);
+        // Every phase was entered and later exited, so each accrued
+        // some (possibly sub-microsecond but nonnegative) time; the
+        // struct itself must list all three splits.
+        let _ = util.busy_ns + util.idle_ns + util.blocked_ns;
+    }
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let m = Metrics::enabled();
+        m.counter_add("engine.deliveries", 4096);
+        m.counter_add("shard.epoch_grants", 9);
+        m.gauge_max("engine.max_message_bits", 13);
+        m.record_histogram("shard.epoch_len", 2048);
+        drop(m.start_timer("checkpoint.capture"));
+        m.shard_phase(0, Phase::Busy);
+        m.shard_done(0);
+        let report = m.run_report();
+        let text = report.to_json_pretty();
+        let back = RunReport::from_json(&text).expect("round trip");
+        assert_eq!(back, report);
+        assert_eq!(back.version, REPORT_VERSION);
+    }
+
+    #[test]
+    fn run_report_rejects_foreign_versions() {
+        let m = Metrics::enabled();
+        m.counter_add("engine.deliveries", 1);
+        let mut report = m.run_report();
+        report.version = REPORT_VERSION + 1;
+        let text = report.to_json_pretty();
+        let err = RunReport::from_json(&text).expect_err("version gate");
+        assert!(err.reason.contains("unsupported"), "{err}");
+        let garbage = RunReport::from_json("{not json").expect_err("parse gate");
+        assert!(garbage.reason.contains("unparsable"), "{garbage}");
+    }
+
+    #[test]
+    fn report_dump_is_deterministic_and_diffable() {
+        let build = || {
+            let m = Metrics::enabled();
+            // Insertion order differs between the two handles; the
+            // dump must not care.
+            m.counter_add("z.last", 1);
+            m.counter_add("a.first", 2);
+            m.gauge_max("m.mid", 3);
+            m.run_report()
+        };
+        let build_rev = || {
+            let m = Metrics::enabled();
+            m.gauge_max("m.mid", 3);
+            m.counter_add("a.first", 2);
+            m.counter_add("z.last", 1);
+            m.run_report()
+        };
+        assert_eq!(build().to_json_pretty(), build_rev().to_json_pretty());
+    }
+}

@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use ringleader_automata::Word;
 use ringleader_bitio::BitString;
+use ringleader_obs::Metrics;
 
 use crate::checkpoint::{EngineSnapshot, RunPhase, SNAPSHOT_VERSION};
 use crate::context::{Context, Process, Protocol};
@@ -54,6 +55,7 @@ pub struct RingRunner {
     pub(crate) shards: usize,
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) epoch_batching: bool,
+    pub(crate) metrics: Metrics,
 }
 
 impl Default for RingRunner {
@@ -76,7 +78,18 @@ impl RingRunner {
             shards: 1,
             fault_plan: None,
             epoch_batching: true,
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attaches a metrics handle: run-level counters, histograms, and
+    /// timings flow into it (see the crate docs' Observability section).
+    /// The default disabled handle costs nothing; either way the run's
+    /// observables are byte-identical — metrics read state, never feed
+    /// it, and the equivalence suite pins exactly that.
+    pub fn metrics(&mut self, metrics: Metrics) -> &mut Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Disables (or re-enables) epoch-batched round grants on the sharded
@@ -284,6 +297,7 @@ impl RingRunner {
         let mut ctx = Context::new(true, known);
 
         if let Some(snap) = resume {
+            let _restore_timer = self.metrics.start_timer("checkpoint.restore");
             for (i, bytes) in snap.processes.iter().enumerate() {
                 processes[i]
                     .load_state(bytes)
@@ -322,6 +336,7 @@ impl RingRunner {
             )?;
             if let Some(d) = decision {
                 stats.deliveries = deliveries;
+                flush_engine_metrics(&self.metrics, &stats, sink.ring.as_ref());
                 return Ok(RunPhase::Done(Outcome {
                     decision: Some(d),
                     stats,
@@ -336,6 +351,7 @@ impl RingRunner {
         loop {
             if let Some(k) = pause_at {
                 if deliveries >= k {
+                    let _capture_timer = self.metrics.start_timer("checkpoint.capture");
                     let snap = capture_serial(
                         n,
                         &scheduler,
@@ -414,6 +430,7 @@ impl RingRunner {
             )?;
             if let Some(d) = decision {
                 stats.deliveries = deliveries;
+                flush_engine_metrics(&self.metrics, &stats, sink.ring.as_ref());
                 return Ok(RunPhase::Done(Outcome {
                     decision: Some(d),
                     stats,
@@ -422,6 +439,33 @@ impl RingRunner {
                 }));
             }
         }
+    }
+}
+
+/// Folds a completed run's already-computed totals into the metrics
+/// registry — one call at the `Done` boundary, zero hot-loop cost.
+/// Scheduler picks equal deliveries on the event engine (every pick
+/// delivers exactly one message); bit-rounds is the max over per-link
+/// bit totals, the unit of the Θ(D + log n) bound in PAPERS.md.
+pub(crate) fn flush_engine_metrics(metrics: &Metrics, stats: &ExecStats, ring: Option<&TraceRing>) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics.counter_add("engine.deliveries", stats.deliveries as u64);
+    metrics.counter_add("engine.scheduler_picks", stats.deliveries as u64);
+    metrics.counter_add("engine.messages", stats.message_count as u64);
+    metrics.counter_add("engine.bits_sent", stats.total_bits as u64);
+    metrics.gauge_max("engine.max_message_bits", stats.max_message_bits as u64);
+    let bit_rounds = stats
+        .clockwise_link_bits
+        .iter()
+        .chain(stats.counter_clockwise_link_bits.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    metrics.gauge_max("engine.bit_rounds", bit_rounds as u64);
+    if let Some(ring) = ring {
+        metrics.counter_add("trace.ring_drops", ring.dropped());
     }
 }
 

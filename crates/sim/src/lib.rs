@@ -98,6 +98,42 @@
 //!   the observability story for `massive` scales where a full [`Trace`]
 //!   is untenable.
 //!
+//! # Observability
+//!
+//! Every engine records into a shared metrics registry when the caller
+//! attaches one via [`RingRunner::metrics`] (or
+//! [`ThreadedRunner::metrics`]): a `ringleader_obs::Metrics` handle of
+//! named counters, max-gauges, log2-bucketed histograms, opaque timers,
+//! and per-shard busy/idle/blocked phase timelines. The default handle
+//! is disabled and costs nothing — every record call is an inlined
+//! no-op on a `None`.
+//!
+//! * **Engine counters** flush *once*, at the run's `Done` boundary,
+//!   from totals the run already computed (`engine.deliveries`,
+//!   `engine.scheduler_picks`, `engine.messages`, `engine.bits_sent`,
+//!   the `engine.max_message_bits` / `engine.bit_rounds` gauges,
+//!   `trace.ring_drops`) — zero hot-loop cost.
+//! * **Shard telemetry** records at coordinator-round granularity:
+//!   `shard.channel_ops` (the PR 9 coordination budget, now a registry
+//!   counter), `shard.epoch_grants` / `shard.handoff_pregrants` /
+//!   `shard.epochs_aggregate` / `shard.epochs_traced` /
+//!   `shard.window_rounds`, the `shard.epoch_len` histogram, and each
+//!   worker's busy/idle/blocked wall-time split — the data that answers
+//!   ROADMAP item 1's multi-core question.
+//! * **Checkpoint timers** (`checkpoint.capture` / `checkpoint.restore`)
+//!   wrap the snapshot cycle on both engines.
+//!
+//! The load-bearing contract: **metrics read state, they never feed
+//! it**. Monotonic wall time lives only inside `ringleader_obs` (the
+//! detlint `wallclock-in-sim` carve-out is granted to that one crate by
+//! its `Policy:` header); sim code holds opaque [`ringleader_obs::Timer`]
+//! handles and never sees a time value, and detlint's `obs-boundary`
+//! rule bans reading metric values back in result-affecting crates. A
+//! metrics-enabled run is therefore **byte-identical** — outcome,
+//! stats, trace, error positions — to the same run with metrics
+//! disabled, across engines × schedulers × shard counts × kill/resume
+//! cycles, pinned by `tests/metrics_equiv.rs`.
+//!
 //! # Examples
 //!
 //! A one-message protocol: the leader asks its clockwise neighbour to echo
@@ -174,8 +210,6 @@ pub use faults::{Corruption, Fault, FaultAction, FaultPlan};
 pub use sched::Scheduler;
 #[doc(hidden)]
 pub use sched::{testkit as sched_testkit, LinkIndex};
-#[doc(hidden)]
-pub use shard::testkit as shard_testkit;
 pub use stats::ExecStats;
 pub use threaded::ThreadedRunner;
 pub use token::{token_violations, validate_token_discipline};

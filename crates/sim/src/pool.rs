@@ -46,7 +46,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use ringleader_obs::Metrics;
 
 /// Default worker count: the machine's available parallelism.
 #[must_use]
@@ -173,6 +174,10 @@ pub struct ThreadPool {
     injector: Option<Sender<Job>>,
     handles: Vec<thread::JoinHandle<()>>,
     panicked: Arc<AtomicUsize>,
+    /// Jobs enqueued but not yet dequeued by a worker; feeds the
+    /// `pool.queue_depth_max` gauge.
+    pending: Arc<AtomicUsize>,
+    metrics: Metrics,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -188,28 +193,57 @@ impl ThreadPool {
     /// Spawns a pool of `workers` threads (at least one).
     #[must_use]
     pub fn new(workers: usize) -> Self {
+        Self::new_with_metrics(workers, Metrics::disabled())
+    }
+
+    /// Spawns a pool whose job flow records into `metrics`: `pool.jobs`
+    /// (enqueued), `pool.parks` (a worker found the queue empty and
+    /// blocked), and the `pool.queue_depth_max` gauge. A disabled handle
+    /// makes this identical to [`new`](Self::new).
+    #[must_use]
+    pub fn new_with_metrics(workers: usize, metrics: Metrics) -> Self {
         let workers = workers.max(1);
         let (tx, rx) = unbounded::<Job>();
         let panicked = Arc::new(AtomicUsize::new(0));
+        let pending = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = rx.clone();
             let panicked = Arc::clone(&panicked);
+            let pending = Arc::clone(&pending);
+            let metrics = metrics.clone();
             handles.push(thread::spawn(move || {
-                // Blocking recv: parked until a job arrives or the pool
-                // drops its injector (disconnect ends the loop).
-                while let Ok(job) = rx.recv() {
+                loop {
+                    // Drain without blocking while work is queued; an
+                    // empty queue is a park — the worker blocks on a
+                    // *real* recv until a job arrives or the pool drops
+                    // its injector (disconnect ends the loop).
+                    let job = match rx.try_recv() {
+                        Ok(job) => job,
+                        Err(TryRecvError::Empty) => {
+                            metrics.counter_add("pool.parks", 1);
+                            match rx.recv() {
+                                Ok(job) => job,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(TryRecvError::Disconnected) => break,
+                    };
+                    pending.fetch_sub(1, Ordering::SeqCst);
                     if catch_unwind(AssertUnwindSafe(job)).is_err() {
                         panicked.fetch_add(1, Ordering::SeqCst);
                     }
                 }
             }));
         }
-        ThreadPool { injector: Some(tx), handles, panicked }
+        ThreadPool { injector: Some(tx), handles, panicked, pending, metrics }
     }
 
     /// Enqueues a job; some idle worker picks it up.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.counter_add("pool.jobs", 1);
+        self.metrics.gauge_max("pool.queue_depth_max", depth as u64);
         let sent = self.injector.as_ref().expect("injector lives until drop").send(Box::new(job));
         assert!(sent.is_ok(), "workers hold the receiver until drop");
     }

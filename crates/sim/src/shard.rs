@@ -100,9 +100,11 @@ use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use ringleader_obs::{Metrics, Phase};
+
 use crate::checkpoint::{EngineSnapshot, RunPhase, SNAPSHOT_VERSION};
 use crate::context::{Context, Process, ProcessError, ProcessResult, Protocol};
-use crate::engine::{Outcome, RingRunner};
+use crate::engine::{flush_engine_metrics, Outcome, RingRunner};
 use crate::faults::DeliveryFault;
 use crate::pool::ThreadPool;
 use crate::sched::LinkIndex;
@@ -740,12 +742,25 @@ struct ShardWorker {
     cw_out: Sender<BitString>,
     /// Counter-clockwise messages crossing the left boundary out.
     ccw_out: Sender<BitString>,
+    /// This shard's index, for per-shard utilization telemetry.
+    shard: usize,
+    /// Phase transitions (busy/idle/blocked) flow here; a disabled
+    /// handle makes every mark a no-op.
+    metrics: Metrics,
 }
 
 impl ShardWorker {
-    fn run(mut self) {
+    fn run(self) {
+        let metrics = self.metrics.clone();
+        let shard = self.shard;
+        self.run_inner();
+        metrics.shard_done(shard);
+    }
+
+    fn run_inner(mut self) {
         let mut ctx = Context::new(false, self.known);
         loop {
+            self.metrics.shard_phase(self.shard, Phase::Idle);
             // Idle loop: wait for work, eagerly buffering boundary
             // traffic so round-time receives rarely block. Any
             // disconnect means the run is over.
@@ -771,6 +786,7 @@ impl ShardWorker {
                 recv(self.halt_rx) -> _m => return,
             };
             if let Some(job) = job {
+                self.metrics.shard_phase(self.shard, Phase::Busy);
                 if !self.execute(job, &mut ctx) {
                     return;
                 }
@@ -1214,11 +1230,17 @@ impl ShardWorker {
         match direction {
             Direction::Clockwise => self.cw.pop(local_pos).or_else(|| {
                 debug_assert_eq!(local_pos, 0, "interior CW queue empty on command");
-                self.left_rx.recv().ok()
+                self.metrics.shard_phase(self.shard, Phase::Blocked);
+                let payload = self.left_rx.recv().ok();
+                self.metrics.shard_phase(self.shard, Phase::Busy);
+                payload
             }),
             Direction::CounterClockwise => self.ccw.pop(local_pos).or_else(|| {
                 debug_assert_eq!(local_pos + 1, self.len, "interior CCW queue empty on command");
-                self.right_rx.recv().ok()
+                self.metrics.shard_phase(self.shard, Phase::Blocked);
+                let payload = self.right_rx.recv().ok();
+                self.metrics.shard_phase(self.shard, Phase::Busy);
+                payload
             }),
         }
     }
@@ -1282,6 +1304,9 @@ struct Coordinator {
     bounds: Vec<(usize, usize)>,
     /// `owner[p]` = the shard owning global position `p`.
     owner: Vec<usize>,
+    /// Coordinator-side telemetry: channel ops, epoch/window counters,
+    /// epoch-length histogram, capture timing. Disabled by default.
+    metrics: Metrics,
 }
 
 /// Runs `protocol` sharded over `shards ≥ 2` arcs, byte-identical to
@@ -1316,6 +1341,7 @@ pub(crate) fn run_sharded(
         processes.push(if i == 0 { protocol.leader(sym) } else { protocol.follower(sym) });
     }
     if let Some(snap) = resume {
+        let _restore_timer = runner.metrics.start_timer("checkpoint.restore");
         for (i, bytes) in snap.processes.iter().enumerate() {
             processes[i]
                 .load_state(bytes)
@@ -1361,7 +1387,7 @@ pub(crate) fn run_sharded(
     }
     let (halt_tx, halt_rx) = unbounded::<()>();
 
-    let pool = ThreadPool::new(shards);
+    let pool = ThreadPool::new_with_metrics(shards, runner.metrics.clone());
     let mut rest = processes;
     for (k, &(lo, hi)) in bounds.iter().enumerate() {
         let len = hi - lo;
@@ -1410,6 +1436,8 @@ pub(crate) fn run_sharded(
             ccw_out: ccw_txs[(k + shards - 1) % shards]
                 .take()
                 .expect("each boundary sender is moved once"),
+            shard: k,
+            metrics: runner.metrics.clone(),
         };
         pool.execute(move || worker.run());
     }
@@ -1429,6 +1457,7 @@ pub(crate) fn run_sharded(
         max_events,
         bounds,
         owner,
+        metrics: runner.metrics.clone(),
     };
     coordinator.run(runner, resume, pause_at, sink)
 }
@@ -1474,11 +1503,11 @@ impl Coordinator {
 
             // Start the leader on shard 0 and merge its report — the
             // counterpart of the serial engine's pre-loop `on_start` block.
-            testkit::bump();
+            self.metrics.counter_add("shard.channel_ops", 1);
             if self.job_txs[0].send(ShardJob::Start).is_err() {
                 return Err(SimError::ShardFailed { shard: 0 });
             }
-            testkit::bump();
+            self.metrics.counter_add("shard.channel_ops", 1);
             let report = self.report_rxs[0]
                 .recv()
                 .map_err(|RecvError| SimError::ShardFailed { shard: 0 })?;
@@ -1502,6 +1531,7 @@ impl Coordinator {
             )?;
             if let Some(d) = entry.decision {
                 stats.deliveries = deliveries;
+                flush_engine_metrics(&self.metrics, &stats, sink.ring.as_ref());
                 return Ok(RunPhase::Done(Outcome {
                     decision: Some(d),
                     stats,
@@ -1572,7 +1602,8 @@ impl Coordinator {
                             rng: meta.index.export_rng(),
                         };
                         let reuse = spares[shard].take().unwrap_or_default();
-                        testkit::bump();
+                        self.metrics.counter_add("shard.epoch_grants", 1);
+                        self.metrics.counter_add("shard.channel_ops", 1);
                         if self.job_txs[shard].send(ShardJob::Epoch { grant, reuse }).is_err() {
                             return Err(SimError::ShardFailed { shard });
                         }
@@ -1582,7 +1613,7 @@ impl Coordinator {
             }
 
             if let Some(shard) = pending.take() {
-                testkit::bump();
+                self.metrics.counter_add("shard.channel_ops", 1);
                 let mut report = self.report_rxs[shard]
                     .recv()
                     .map_err(|RecvError| SimError::ShardFailed { shard })?;
@@ -1607,7 +1638,9 @@ impl Coordinator {
                             rng: h.rng,
                         };
                         let reuse = spares[next].take().unwrap_or_default();
-                        testkit::bump();
+                        self.metrics.counter_add("shard.epoch_grants", 1);
+                        self.metrics.counter_add("shard.handoff_pregrants", 1);
+                        self.metrics.counter_add("shard.channel_ops", 1);
                         if self.job_txs[next].send(ShardJob::Epoch { grant, reuse }).is_err() {
                             return Err(SimError::ShardFailed { shard: next });
                         }
@@ -1623,6 +1656,8 @@ impl Coordinator {
                     // epoch's own ending.
                     let lo = self.bounds[shard].0;
                     let agg = &mut report.agg;
+                    self.metrics.counter_add("shard.epochs_aggregate", 1);
+                    self.metrics.record_histogram("shard.epoch_len", agg.delivered as u64);
                     if deliveries + agg.delivered > self.max_events {
                         return Err(SimError::EventLimitExceeded { limit: self.max_events });
                     }
@@ -1665,6 +1700,7 @@ impl Coordinator {
                                 return Err(SimError::FollowerDecided { position });
                             }
                             stats.deliveries = deliveries;
+                            flush_engine_metrics(&self.metrics, &stats, sink.ring.as_ref());
                             return Ok(RunPhase::Done(Outcome {
                                 decision: Some(decision),
                                 stats,
@@ -1705,6 +1741,8 @@ impl Coordinator {
                 // Replay the epoch: regenerate every observable — picks,
                 // pops, stats, trace, error positions — in serial order.
                 let lo = self.bounds[shard].0;
+                self.metrics.counter_add("shard.epochs_traced", 1);
+                self.metrics.record_histogram("shard.epoch_len", report.used as u64);
                 for done in &report.entries[..report.used] {
                     if deliveries >= self.max_events {
                         return Err(SimError::EventLimitExceeded { limit: self.max_events });
@@ -1747,6 +1785,7 @@ impl Coordinator {
                     )?;
                     if let Some(d) = done.decision {
                         stats.deliveries = deliveries;
+                        flush_engine_metrics(&self.metrics, &stats, sink.ring.as_ref());
                         return Ok(RunPhase::Done(Outcome {
                             decision: Some(d),
                             stats,
@@ -1762,6 +1801,7 @@ impl Coordinator {
 
             // Window fallback: in-flight messages span shards (or a
             // fault plan / the epoch toggle forces it).
+            self.metrics.counter_add("shard.window_rounds", 1);
             let batch = if fifo { meta.in_flight } else { 1 };
             window.clear();
             window.reserve(batch);
@@ -1788,13 +1828,13 @@ impl Coordinator {
                     cmds: std::mem::take(&mut cmds[k]),
                     reuse: spares[k].take().unwrap_or_default(),
                 };
-                testkit::bump();
+                self.metrics.counter_add("shard.channel_ops", 1);
                 if self.job_txs[k].send(job).is_err() {
                     return Err(SimError::ShardFailed { shard: k });
                 }
             }
             for &k in &active {
-                testkit::bump();
+                self.metrics.counter_add("shard.channel_ops", 1);
                 let report = self.report_rxs[k]
                     .recv()
                     .map_err(|RecvError| SimError::ShardFailed { shard: k })?;
@@ -1848,6 +1888,7 @@ impl Coordinator {
                 )?;
                 if let Some(d) = done.decision {
                     stats.deliveries = deliveries;
+                    flush_engine_metrics(&self.metrics, &stats, sink.ring.as_ref());
                     return Ok(RunPhase::Done(Outcome {
                         decision: Some(d),
                         stats,
@@ -1897,15 +1938,16 @@ impl Coordinator {
         position_deliveries: &[u64],
         sink: &TraceSink,
     ) -> Result<EngineSnapshot, SimError> {
+        let _capture_timer = self.metrics.start_timer("checkpoint.capture");
         for (k, tx) in self.job_txs.iter().enumerate() {
-            testkit::bump();
+            self.metrics.counter_add("shard.channel_ops", 1);
             if tx.send(ShardJob::Snapshot).is_err() {
                 return Err(SimError::ShardFailed { shard: k });
             }
         }
         let mut shard_snaps = Vec::with_capacity(self.shards);
         for (k, rx) in self.snap_rxs.iter().enumerate() {
-            testkit::bump();
+            self.metrics.counter_add("shard.channel_ops", 1);
             shard_snaps.push(rx.recv().map_err(|RecvError| SimError::ShardFailed { shard: k })?);
         }
 
@@ -2005,37 +2047,6 @@ fn merge_sends(
         *seq += 1;
     }
     Ok(())
-}
-
-/// Test-support surface: a coordinator-thread counter of channel
-/// messages (jobs sent, reports and snapshots received), so the
-/// equivalence suite can assert the epoch path's coordination budget —
-/// channel messages per delivery — instead of guessing from timings.
-#[doc(hidden)]
-pub mod testkit {
-    use std::cell::Cell;
-
-    thread_local! {
-        static CHANNEL_OPS: Cell<u64> = const { Cell::new(0) };
-    }
-
-    /// Zeroes the calling thread's channel-op counter.
-    pub fn reset_channel_ops() {
-        CHANNEL_OPS.with(|c| c.set(0));
-    }
-
-    /// Coordinator channel messages (sends + receives) on the calling
-    /// thread since the last reset. The coordinator runs on the caller's
-    /// thread, so a test that resets, runs, and reads sees exactly one
-    /// run's traffic.
-    #[must_use]
-    pub fn channel_ops() -> u64 {
-        CHANNEL_OPS.with(|c| c.get())
-    }
-
-    pub(crate) fn bump() {
-        CHANNEL_OPS.with(|c| c.set(c.get() + 1));
-    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use ringleader_obs::Metrics;
 
 use ringleader_automata::Word;
 use ringleader_bitio::BitString;
@@ -72,6 +73,7 @@ enum Envelope {
 pub struct ThreadedRunner {
     timeout: Duration,
     known_ring_size: bool,
+    metrics: Metrics,
 }
 
 impl Default for ThreadedRunner {
@@ -84,7 +86,11 @@ impl ThreadedRunner {
     /// A runner with a 30-second watchdog and unknown ring size.
     #[must_use]
     pub fn new() -> Self {
-        Self { timeout: Duration::from_secs(30), known_ring_size: false }
+        Self {
+            timeout: Duration::from_secs(30),
+            known_ring_size: false,
+            metrics: Metrics::disabled(),
+        }
     }
 
     /// Sets the watchdog timeout after which a stuck run aborts.
@@ -96,6 +102,14 @@ impl ThreadedRunner {
     /// Switches the Note 7.4 known-`n` mode on.
     pub fn known_ring_size(&mut self, on: bool) -> &mut Self {
         self.known_ring_size = on;
+        self
+    }
+
+    /// Attaches a metrics registry; a successful run flushes
+    /// `threaded.bits_sent` and `threaded.messages` into it. The default
+    /// disabled handle records nothing.
+    pub fn metrics(&mut self, metrics: Metrics) -> &mut Self {
+        self.metrics = metrics;
         self
     }
 
@@ -259,11 +273,16 @@ impl ThreadedRunner {
             return Err(err);
         }
         match decision {
-            Ok(d) => Ok(ThreadedOutcome {
-                decision: d,
-                total_bits: total_bits.load(Ordering::SeqCst),
-                message_count: message_count.load(Ordering::SeqCst),
-            }),
+            Ok(d) => {
+                let outcome = ThreadedOutcome {
+                    decision: d,
+                    total_bits: total_bits.load(Ordering::SeqCst),
+                    message_count: message_count.load(Ordering::SeqCst),
+                };
+                self.metrics.counter_add("threaded.bits_sent", outcome.total_bits as u64);
+                self.metrics.counter_add("threaded.messages", outcome.message_count as u64);
+                Ok(outcome)
+            }
             Err(_) => Err(SimError::Stalled { deliveries: message_count.load(Ordering::SeqCst) }),
         }
     }

@@ -748,16 +748,18 @@ fn assert_epochs_match_one_pick(
 /// The epoch path's coordination budget on the workload `BENCH_0004.json`
 /// measured: a FIFO one-pass ring must cost *less than one* coordinator
 /// channel message per delivery — the one-command-per-delivery regime is
-/// exactly what epochs exist to break.
+/// exactly what epochs exist to break. The budget is read from the
+/// `shard.channel_ops` counter of a per-run metrics registry, so runs
+/// never share (or reset) global state.
 #[test]
 fn fifo_one_pass_needs_under_one_channel_message_per_delivery() {
     let n = 96;
     for shards in [2usize, 4, 8] {
+        let metrics = ringleader_obs::Metrics::enabled();
         let mut runner = RingRunner::new();
-        runner.scheduler(Scheduler::Fifo).shards(shards);
-        ringleader_sim::shard_testkit::reset_channel_ops();
+        runner.scheduler(Scheduler::Fifo).shards(shards).metrics(metrics.clone());
         let out = runner.run(&OnePass, &word(n)).expect("one pass completes");
-        let ops = ringleader_sim::shard_testkit::channel_ops();
+        let ops = metrics.counter_value("shard.channel_ops");
         assert_eq!(out.stats.deliveries, n, "one pass is n deliveries");
         assert!(
             ops < out.stats.deliveries as u64,
